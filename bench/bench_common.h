@@ -1,0 +1,35 @@
+#pragma once
+// Shared configuration for the table/figure reproduction harnesses.
+//
+// Knobs (environment variables):
+//   GCNT_BENCH_GATES      gate budget per benchmark design (default 8000)
+//   GCNT_BENCH_EPOCHS     GCN training epochs              (default 150)
+//   GCNT_BENCH_MAX_NODES  size cap for the Fig. 10 sweep   (default 1000000)
+//
+// The labeled suite is cached under ./gcnt_bench_cache/ keyed by the gate
+// budget, so consecutive bench binaries don't re-run the labeling oracle.
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+#include "gcn/model.h"
+#include "gcn/trainer.h"
+
+namespace gcnt::bench {
+
+std::size_t bench_gates();
+std::size_t bench_epochs();
+std::size_t bench_max_nodes();
+
+/// The paper's architecture: D=3, K=(32,64,128), FC=(64,64,128,2).
+GcnConfig paper_model_config(int depth = 3, std::uint64_t seed = 2019);
+
+/// The four Table-1 designs at bench_gates(), labeled (cached on disk).
+std::vector<Dataset> load_suite();
+
+/// Leave-one-design-out balanced training set excluding `held_out`.
+std::vector<TrainGraph> balanced_training_set(
+    const std::vector<Dataset>& suite, std::size_t held_out);
+
+}  // namespace gcnt::bench

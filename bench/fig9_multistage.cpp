@@ -1,0 +1,60 @@
+// Figure 9 reproduction: F1-score of a single GCN vs the 3-stage
+// multi-stage GCN on the full (imbalanced) node population of each design,
+// leave-one-design-out.
+//
+// Paper shape: multi-stage F1 >> single-GCN F1 on all four designs.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/metrics.h"
+#include "common/table.h"
+#include "gcn/multistage.h"
+
+int main() {
+  using namespace gcnt;
+  const auto suite = bench::load_suite();
+
+  Table table("Figure 9: F1-score on imbalanced data",
+              {"Design", "GCN-S (single)", "GCN-M (multi-stage)"});
+
+  for (std::size_t held_out = 0; held_out < suite.size(); ++held_out) {
+    std::vector<const GraphTensors*> training;
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+      if (i != held_out) training.push_back(&suite[i].tensors);
+    }
+
+    MultiStageOptions options;
+    options.model = bench::paper_model_config();
+    options.trainer.epochs = bench::bench_epochs() / 2;
+    options.trainer.learning_rate = 1e-2f;
+    options.trainer.eval_interval = options.trainer.epochs;
+
+    // Single GCN: one stage trained unweighted on the imbalanced data.
+    MultiStageOptions single_options = options;
+    single_options.stages = 1;
+    MultiStageClassifier single(single_options);
+    single.fit(training);
+    const auto single_f1 =
+        evaluate_binary(single.predict(suite[held_out].tensors),
+                        suite[held_out].tensors.labels)
+            .f1();
+
+    // Multi-stage cascade (Section 3.3): 3 stages.
+    options.stages = 3;
+    MultiStageClassifier cascade(options);
+    cascade.fit(training);
+    const auto multi_f1 =
+        evaluate_binary(cascade.predict(suite[held_out].tensors),
+                        suite[held_out].tensors.labels)
+            .f1();
+
+    table.add_row({suite[held_out].name(), Table::num(single_f1),
+                   Table::num(multi_f1)});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nPaper reference: GCN-M F1 ~0.53-0.62 vs GCN-S ~0.2-0.4 "
+               "(multi-stage wins on every design)\n";
+  return 0;
+}

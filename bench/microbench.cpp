@@ -1,0 +1,162 @@
+// Kernel microbenchmarks (google-benchmark): the primitives whose speed
+// the paper's "high performance" claim rests on — SpMM aggregation, dense
+// encoding GEMM, whole-graph GCN inference, bit-parallel logic/fault
+// simulation, and SCOAP/COP analysis passes.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "cop/cop.h"
+#include "gcn/model.h"
+#include "gen/generator.h"
+#include "scoap/scoap.h"
+#include "sim/fault_sim.h"
+#include "sim/logic_sim.h"
+#include "tensor/sparse.h"
+
+namespace {
+
+using namespace gcnt;
+
+const Netlist& shared_netlist(std::size_t gates) {
+  static std::map<std::size_t, Netlist> cache;
+  auto it = cache.find(gates);
+  if (it == cache.end()) {
+    GeneratorConfig config;
+    config.seed = 0xBE;
+    config.target_gates = gates;
+    config.primary_inputs = 64;
+    config.primary_outputs = 32;
+    config.flip_flops = gates / 24;
+    it = cache.emplace(gates, generate_circuit(config)).first;
+  }
+  return it->second;
+}
+
+void BM_SpmmAggregation(benchmark::State& state) {
+  const auto gates = static_cast<std::size_t>(state.range(0));
+  const Netlist& netlist = shared_netlist(gates);
+  const GraphTensors tensors = build_graph_tensors(netlist);
+  Matrix embedding(tensors.node_count(), 64, 0.5f);
+  Matrix out;
+  for (auto _ : state) {
+    tensors.pred.spmm(embedding, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tensors.pred.nnz()));
+}
+BENCHMARK(BM_SpmmAggregation)->Arg(10000)->Arg(100000);
+
+void BM_EncoderGemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  Matrix x(n, 64);
+  Matrix w(64, 128);
+  w.xavier_init(rng);
+  Matrix out;
+  for (auto _ : state) {
+    gemm(x, w, out, false, false);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_EncoderGemm)->Arg(10000)->Arg(50000);
+
+void BM_GcnFullInference(benchmark::State& state) {
+  const auto gates = static_cast<std::size_t>(state.range(0));
+  const Netlist& netlist = shared_netlist(gates);
+  const GraphTensors tensors = build_graph_tensors(netlist);
+  GcnConfig config;
+  config.embed_dims = {32, 64, 128};
+  config.fc_dims = {64, 64, 128};
+  GcnModel model(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.infer(tensors));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(netlist.size()));
+}
+BENCHMARK(BM_GcnFullInference)->Arg(10000)->Arg(100000);
+
+void BM_LogicSimBatch(benchmark::State& state) {
+  const Netlist& netlist = shared_netlist(50000);
+  LogicSimulator sim(netlist);
+  Rng rng(5);
+  const PatternBatch batch = sim.random_batch(rng);
+  std::vector<std::uint64_t> values;
+  for (auto _ : state) {
+    sim.simulate(batch, values);
+    benchmark::DoNotOptimize(values.data());
+  }
+  // 64 patterns per run.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_LogicSimBatch);
+
+void BM_FaultSimBatch(benchmark::State& state) {
+  const Netlist& netlist = shared_netlist(10000);
+  LogicSimulator sim(netlist);
+  FaultSimulator fault_sim(sim);
+  Rng rng(7);
+  const auto faults = sample_faults(netlist, 512, 9);
+  for (auto _ : state) {
+    std::vector<bool> detected(faults.size(), false);
+    std::vector<std::uint64_t> words;
+    const PatternBatch batch = sim.random_batch(rng);
+    benchmark::DoNotOptimize(
+        fault_sim.run_batch(batch, faults, detected, words));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(faults.size()));
+}
+BENCHMARK(BM_FaultSimBatch);
+
+void BM_ScoapFull(benchmark::State& state) {
+  const Netlist& netlist = shared_netlist(100000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_scoap(netlist));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(netlist.size()));
+}
+BENCHMARK(BM_ScoapFull);
+
+void BM_ScoapIncrementalObserve(benchmark::State& state) {
+  Netlist netlist = shared_netlist(50000);  // copy: we mutate it
+  ScoapMeasures measures = compute_scoap(netlist);
+  NodeId target = 0;
+  for (NodeId v = netlist.size() / 2; v < netlist.size(); ++v) {
+    if (is_logic(netlist.type(v))) {
+      target = v;
+      break;
+    }
+  }
+  netlist.insert_observe_point(target);
+  for (auto _ : state) {
+    update_observability_after_observe(netlist, target, measures);
+    benchmark::DoNotOptimize(measures.co.data());
+  }
+}
+BENCHMARK(BM_ScoapIncrementalObserve);
+
+void BM_CopFull(benchmark::State& state) {
+  const Netlist& netlist = shared_netlist(100000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_cop(netlist));
+  }
+}
+BENCHMARK(BM_CopFull);
+
+void BM_CooToCsr(benchmark::State& state) {
+  const Netlist& netlist = shared_netlist(100000);
+  const GraphTensors tensors = build_graph_tensors(netlist);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CsrMatrix::from_coo(tensors.pred_coo));
+  }
+}
+BENCHMARK(BM_CooToCsr);
+
+}  // namespace
+
+BENCHMARK_MAIN();

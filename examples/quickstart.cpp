@@ -1,0 +1,77 @@
+// Quickstart: the whole public API in one small program.
+//
+//   1. generate (or parse) a gate-level netlist,
+//   2. run SCOAP testability analysis,
+//   3. label difficult-to-observe nodes with the behavioral oracle,
+//   4. train the paper's GCN on the graph,
+//   5. predict and report classification quality.
+//
+// Runs in well under a minute on a laptop core.
+
+#include <iostream>
+
+#include "common/metrics.h"
+#include "common/table.h"
+#include "data/dataset.h"
+#include "gcn/trainer.h"
+#include "gen/generator.h"
+
+int main() {
+  using namespace gcnt;
+
+  // 1. A ~3k-gate synthetic design with deliberate hard-to-observe logic.
+  GeneratorConfig generator;
+  generator.seed = 2019;
+  generator.target_gates = 3000;
+  generator.primary_inputs = 32;
+  generator.primary_outputs = 16;
+  generator.flip_flops = 120;
+  generator.trap_fraction = 0.03;
+  Netlist netlist = generate_circuit(generator);
+  std::cout << "generated '" << netlist.name() << "': " << netlist.size()
+            << " nodes, " << netlist.edge_count() << " edges\n";
+
+  // 2 + 3. Testability measures and labels (make_dataset bundles SCOAP,
+  // logic levels, tensor construction and the labeling oracle).
+  Dataset dataset = make_dataset(std::move(netlist));
+  std::cout << "labeled: " << dataset.positives()
+            << " difficult-to-observe nodes of " << dataset.netlist.size()
+            << " (" << Table::percent(static_cast<double>(dataset.positives()) /
+                                      static_cast<double>(dataset.netlist.size()))
+            << ")\n";
+
+  // 4. Train the paper's architecture (D=3, K=32/64/128, FC=64/64/128/2)
+  // on a balanced subset of this design.
+  GcnConfig config;
+  config.embed_dims = {32, 64, 128};
+  config.fc_dims = {64, 64, 128};
+  GcnModel model(config);
+
+  TrainerOptions options;
+  options.epochs = 150;
+  options.learning_rate = 1e-2f;
+  options.eval_interval = 25;
+  Trainer trainer(model, options);
+  const TrainGraph data{&dataset.tensors, balanced_rows(dataset, 1)};
+  const auto history = trainer.train({data}, &data);
+  std::cout << "trained " << options.epochs << " epochs; final loss "
+            << Table::num(history.back().loss, 4) << ", balanced accuracy "
+            << Table::num(history.back().train_accuracy, 3) << "\n";
+
+  // 5. Whole-graph prediction (sparse-matrix inference) and quality on the
+  // full, imbalanced node population.
+  const auto probabilities = model.predict_positive_probability(dataset.tensors);
+  std::vector<std::int32_t> predictions(probabilities.size());
+  for (std::size_t i = 0; i < probabilities.size(); ++i) {
+    predictions[i] = probabilities[i] >= 0.5f ? 1 : 0;
+  }
+  const auto cm = evaluate_binary(predictions, dataset.tensors.labels);
+  std::cout << "full-graph prediction: precision "
+            << Table::num(cm.precision(), 3) << ", recall "
+            << Table::num(cm.recall(), 3) << ", F1 " << Table::num(cm.f1(), 3)
+            << "\n";
+  std::cout << "learned aggregation weights: w_pr = "
+            << Table::num(model.w_pr(), 3)
+            << ", w_su = " << Table::num(model.w_su(), 3) << "\n";
+  return 0;
+}

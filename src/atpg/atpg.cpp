@@ -1,0 +1,122 @@
+#include "atpg/atpg.h"
+
+#include <bit>
+#include <unordered_set>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "sim/fault_sim.h"
+#include "sim/logic_sim.h"
+
+namespace gcnt {
+
+AtpgResult run_atpg(const Netlist& netlist, const AtpgOptions& options) {
+  LogicSimulator sim(netlist);
+  FaultSimulator fault_sim(sim);
+  Rng rng(options.seed);
+
+  std::vector<Fault> faults =
+      options.fault_sample == 0
+          ? enumerate_faults(netlist)
+          : sample_faults(netlist, options.fault_sample, options.seed);
+
+  AtpgResult result;
+  result.total_faults = faults.size();
+  std::vector<bool> detected(faults.size(), false);
+  std::vector<std::uint64_t> words;
+
+  const auto record_pattern = [&](const PatternBatch& batch, int bit) {
+    if (!options.collect_patterns) return;
+    std::vector<bool> pattern(batch.size());
+    for (std::size_t s = 0; s < batch.size(); ++s) {
+      pattern[s] = ((batch[s] >> bit) & 1ULL) != 0;
+    }
+    result.patterns.push_back(std::move(pattern));
+  };
+
+  // --- Stage 1: random patterns with fault dropping. A pattern is counted
+  // only if it is the first detector of at least one fault (greedy
+  // compaction, applied identically to every netlist we compare).
+  std::unordered_set<std::uint64_t> used_patterns;
+  std::size_t stall = 0;
+  for (std::size_t batch_index = 0;
+       batch_index < options.max_random_batches && stall < options.stall_batches;
+       ++batch_index) {
+    const PatternBatch batch = sim.random_batch(rng);
+    // Snapshot to attribute each new detection to a concrete pattern.
+    std::vector<bool> before = detected;
+    const std::size_t newly = fault_sim.run_batch(batch, faults, detected, words);
+    if (newly == 0) {
+      ++stall;
+      continue;
+    }
+    stall = 0;
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (before[i] || !detected[i]) continue;
+      const int first_bit = std::countr_zero(words[i]);
+      const std::size_t pattern_id =
+          batch_index * 64 + static_cast<std::size_t>(first_bit);
+      if (used_patterns.insert(pattern_id).second) {
+        record_pattern(batch, first_bit);
+      }
+    }
+  }
+  result.pattern_count = used_patterns.size();
+
+  // --- Stage 2: deterministic top-off with PODEM. Each generated test is
+  // fault-simulated against all remaining faults so one pattern can drop
+  // many.
+  if (options.deterministic_topoff) {
+    const ScoapMeasures scoap = compute_scoap(netlist);
+    Podem podem(sim, scoap, options.podem);
+    std::vector<std::uint64_t> good_values;
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (detected[i]) continue;
+      const PodemResult test = podem.generate(faults[i]);
+      if (test.status == PodemResult::Status::kUntestable) {
+        ++result.untestable_faults;
+        continue;
+      }
+      if (test.status == PodemResult::Status::kAborted) {
+        ++result.aborted_faults;
+        continue;
+      }
+      // One concrete pattern per PODEM test (as production ATPG stores
+      // it): don't-cares get a single random fill, replicated across the
+      // batch, and the whole remaining fault list is simulated against it
+      // so one pattern can drop many faults.
+      PatternBatch batch(sim.sources().size());
+      for (std::size_t s = 0; s < batch.size(); ++s) {
+        switch (test.assignment[s]) {
+          case Ternary::kZero:
+            batch[s] = 0;
+            break;
+          case Ternary::kOne:
+            batch[s] = ~0ULL;
+            break;
+          case Ternary::kX:
+            batch[s] = rng.chance(0.5) ? ~0ULL : 0ULL;
+            break;
+        }
+      }
+      const std::size_t newly =
+          fault_sim.run_batch(batch, faults, detected, words);
+      if (newly > 0) {
+        ++result.pattern_count;
+        record_pattern(batch, 0);
+      } else {
+        // The target fault should have been detected; if random fill broke
+        // propagation elsewhere, still count the pattern only on success.
+        log_warn("PODEM pattern detected nothing for fault on node ",
+                 faults[i].node);
+      }
+    }
+  }
+
+  for (bool d : detected) {
+    if (d) ++result.detected_faults;
+  }
+  return result;
+}
+
+}  // namespace gcnt

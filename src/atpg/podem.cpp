@@ -1,0 +1,265 @@
+#include "atpg/podem.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace gcnt {
+
+namespace {
+constexpr std::size_t kNoSource = std::numeric_limits<std::size_t>::max();
+}  // namespace
+
+Podem::Podem(const LogicSimulator& sim, const ScoapMeasures& scoap,
+             PodemOptions options)
+    : sim_(&sim), scoap_(&scoap), options_(options) {
+  const std::size_t n = sim.netlist().size();
+  good_.assign(n, Ternary::kX);
+  faulty_.assign(n, Ternary::kX);
+  source_index_of_.assign(n, kNoSource);
+  for (std::size_t i = 0; i < sim.sources().size(); ++i) {
+    source_index_of_[sim.sources()[i]] = i;
+  }
+}
+
+void Podem::imply(const Fault& fault) {
+  const Netlist& netlist = sim_->netlist();
+  std::fill(good_.begin(), good_.end(), Ternary::kX);
+  std::fill(faulty_.begin(), faulty_.end(), Ternary::kX);
+  for (std::size_t i = 0; i < sim_->sources().size(); ++i) {
+    const NodeId s = sim_->sources()[i];
+    good_[s] = source_assignment_[i];
+    faulty_[s] = source_assignment_[i];
+  }
+  // The fault site is pinned in the faulty machine regardless of drive.
+  faulty_[fault.node] = ternary_of(fault.stuck_at_one);
+  for (NodeId v : sim_->order()) {
+    if (!is_source(netlist.type(v))) {
+      good_[v] =
+          evaluate_ternary(netlist, v, [this](NodeId u) { return good_[u]; });
+      if (v != fault.node) {
+        faulty_[v] = evaluate_ternary(netlist, v,
+                                      [this](NodeId u) { return faulty_[u]; });
+      }
+    } else if (v == fault.node) {
+      // A faulty source still reads the stuck value.
+      faulty_[v] = ternary_of(fault.stuck_at_one);
+    }
+  }
+}
+
+bool Podem::fault_detected() const {
+  const Netlist& netlist = sim_->netlist();
+  for (NodeId sink : sim_->sinks()) {
+    const NodeId driver = netlist.fanins(sink).front();
+    const Ternary g = good_[driver];
+    const Ternary f = faulty_[driver];
+    if (g != Ternary::kX && f != Ternary::kX && g != f) return true;
+  }
+  return false;
+}
+
+bool Podem::fault_effect_alive(const Fault& fault) const {
+  // Activation still possible?
+  const Ternary g = good_[fault.node];
+  if (g == ternary_of(fault.stuck_at_one)) return false;  // never activated
+  if (g == Ternary::kX) return true;                      // not yet decided
+  // Activated: effect must exist somewhere with a path forward. We accept
+  // any node carrying a known difference whose fanout is not exhausted.
+  const Netlist& netlist = sim_->netlist();
+  for (NodeId v = 0; v < netlist.size(); ++v) {
+    const Ternary gv = good_[v];
+    const Ternary fv = faulty_[v];
+    if (gv == Ternary::kX || fv == Ternary::kX || gv == fv) continue;
+    if (is_sink(netlist.type(v))) return true;
+    for (NodeId g2 : netlist.fanouts(v)) {
+      if (good_[g2] == Ternary::kX || faulty_[g2] == Ternary::kX) return true;
+      if (is_sink(netlist.type(g2))) return true;
+    }
+  }
+  return false;
+}
+
+std::optional<Podem::Objective> Podem::find_objective(
+    const Fault& fault) const {
+  const Netlist& netlist = sim_->netlist();
+  const Ternary activation = ternary_of(!fault.stuck_at_one);
+  if (good_[fault.node] == Ternary::kX) {
+    return Objective{fault.node, activation == Ternary::kOne};
+  }
+  if (good_[fault.node] != activation) return std::nullopt;  // conflict
+
+  // D-frontier: gates with a known difference on some fanin and an
+  // undetermined output in at least one machine. Prefer the most
+  // observable gate (smallest SCOAP CO).
+  NodeId best_gate = kInvalidNode;
+  std::uint32_t best_co = std::numeric_limits<std::uint32_t>::max();
+  for (NodeId v = 0; v < netlist.size(); ++v) {
+    if (good_[v] != Ternary::kX && faulty_[v] != Ternary::kX) continue;
+    if (is_source(netlist.type(v))) continue;
+    bool has_diff_input = false;
+    for (NodeId u : netlist.fanins(v)) {
+      if (good_[u] != Ternary::kX && faulty_[u] != Ternary::kX &&
+          good_[u] != faulty_[u]) {
+        has_diff_input = true;
+        break;
+      }
+    }
+    if (!has_diff_input) continue;
+    const std::uint32_t co =
+        v < scoap_->co.size() ? scoap_->co[v] : kScoapInfinity;
+    if (co < best_co) {
+      best_co = co;
+      best_gate = v;
+    }
+  }
+  if (best_gate == kInvalidNode) return std::nullopt;
+
+  // Objective: set an X side input of the chosen gate to its
+  // non-controlling value.
+  const CellType type = netlist.type(best_gate);
+  bool non_controlling = true;  // AND/NAND side inputs at 1
+  if (type == CellType::kOr || type == CellType::kNor) non_controlling = false;
+  for (NodeId u : netlist.fanins(best_gate)) {
+    if (good_[u] == Ternary::kX) {
+      // XOR side inputs only need a known value; aim for 0 (cheap default).
+      const bool value = (type == CellType::kXor || type == CellType::kXnor)
+                             ? false
+                             : non_controlling;
+      return Objective{u, value};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> Podem::backtrace(Objective objective,
+                                            bool& value) const {
+  const Netlist& netlist = sim_->netlist();
+  NodeId node = objective.node;
+  bool target = objective.value;
+  for (;;) {
+    if (source_index_of_[node] != kNoSource) {
+      value = target;
+      return source_index_of_[node];
+    }
+    const CellType type = netlist.type(node);
+    const auto& fanins = netlist.fanins(node);
+
+    // Gate inversion parity.
+    const bool inverting = type == CellType::kNot || type == CellType::kNand ||
+                           type == CellType::kNor || type == CellType::kXnor;
+    const bool input_target = inverting ? !target : target;
+
+    // "All inputs" cases pick the hardest X input; "any input" cases the
+    // easiest, following SCOAP controllability.
+    bool want_all = false;
+    switch (type) {
+      case CellType::kAnd:
+      case CellType::kNand:
+        want_all = input_target;  // output non-controlled value needs all 1s
+        break;
+      case CellType::kOr:
+      case CellType::kNor:
+        want_all = !input_target;  // all inputs 0
+        break;
+      default:
+        want_all = false;
+        break;
+    }
+
+    NodeId chosen = kInvalidNode;
+    if (type == CellType::kXor || type == CellType::kXnor) {
+      // Choose any X input; required value assumes the remaining X inputs
+      // settle to 0 (later objectives will fix them if they do not).
+      bool known_parity = false;
+      NodeId first_x = kInvalidNode;
+      for (NodeId u : fanins) {
+        if (good_[u] == Ternary::kX) {
+          if (first_x == kInvalidNode) first_x = u;
+        } else {
+          known_parity ^= good_[u] == Ternary::kOne;
+        }
+      }
+      if (first_x == kInvalidNode) return std::nullopt;
+      chosen = first_x;
+      target = input_target != known_parity;
+      node = chosen;
+      continue;
+    }
+
+    std::uint32_t best_cost =
+        want_all ? 0 : std::numeric_limits<std::uint32_t>::max();
+    for (NodeId u : fanins) {
+      if (good_[u] != Ternary::kX) continue;
+      const std::uint32_t cost =
+          input_target ? scoap_->cc1[u] : scoap_->cc0[u];
+      const bool better = want_all ? cost >= best_cost : cost <= best_cost;
+      if (chosen == kInvalidNode || better) {
+        chosen = u;
+        best_cost = cost;
+      }
+    }
+    if (chosen == kInvalidNode) return std::nullopt;  // no X input left
+    node = chosen;
+    target = input_target;
+  }
+}
+
+PodemResult Podem::generate(const Fault& fault) {
+  source_assignment_.assign(sim_->sources().size(), Ternary::kX);
+  std::vector<Decision> decisions;
+  std::size_t backtracks = 0;
+  std::size_t implications = 0;
+  bool exhausted = false;
+
+  for (;;) {
+    if (++implications > options_.implication_limit) {
+      return PodemResult{PodemResult::Status::kAborted, {}};
+    }
+    imply(fault);
+    if (fault_detected()) {
+      return PodemResult{PodemResult::Status::kTest, source_assignment_};
+    }
+
+    std::optional<Objective> objective;
+    if (fault_effect_alive(fault)) {
+      objective = find_objective(fault);
+    }
+
+    bool need_backtrack = true;
+    if (objective) {
+      bool value = false;
+      if (const auto source = backtrace(*objective, value)) {
+        decisions.push_back(Decision{*source, value, false});
+        source_assignment_[*source] = ternary_of(value);
+        need_backtrack = false;
+      }
+    }
+
+    if (need_backtrack) {
+      ++backtracks;
+      if (backtracks > options_.backtrack_limit) {
+        return PodemResult{PodemResult::Status::kAborted, {}};
+      }
+      for (;;) {
+        if (decisions.empty()) {
+          exhausted = true;
+          break;
+        }
+        Decision& top = decisions.back();
+        if (!top.tried_other) {
+          top.tried_other = true;
+          top.value = !top.value;
+          source_assignment_[top.source_index] = ternary_of(top.value);
+          break;
+        }
+        source_assignment_[top.source_index] = Ternary::kX;
+        decisions.pop_back();
+      }
+      if (exhausted) {
+        return PodemResult{PodemResult::Status::kUntestable, {}};
+      }
+    }
+  }
+}
+
+}  // namespace gcnt

@@ -1,0 +1,75 @@
+#pragma once
+// PODEM deterministic test generation (Goel, 1981) for single stuck-at
+// faults under the full-scan assumption.
+//
+// Used as the "top-off" stage after random-pattern fault simulation, which
+// is how the commercial flow the paper compares against reaches its final
+// coverage. Decisions are made only on sources (PIs / scan cells); each
+// decision is followed by a full 3-valued implication of the good and
+// faulty machines. SCOAP measures guide backtrace (easiest/hardest input
+// selection) and D-frontier gate choice (most observable first).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "atpg/ternary.h"
+#include "scoap/scoap.h"
+#include "sim/fault.h"
+#include "sim/logic_sim.h"
+
+namespace gcnt {
+
+struct PodemOptions {
+  /// Give up on a fault after this many backtracks (fault is then "aborted",
+  /// counted as untestable by the harness, as real ATPG tools do).
+  std::size_t backtrack_limit = 64;
+  /// Hard cap on implication passes per fault (each pass is O(|V|));
+  /// exceeding it aborts the fault. Bounds worst-case runtime.
+  std::size_t implication_limit = 512;
+};
+
+struct PodemResult {
+  enum class Status { kTest, kUntestable, kAborted };
+  Status status = Status::kAborted;
+  /// Source assignment (in LogicSimulator::sources() order) when
+  /// status == kTest; X positions are don't-cares.
+  std::vector<Ternary> assignment;
+};
+
+class Podem {
+ public:
+  /// `scoap` must correspond to the same netlist as `sim`.
+  Podem(const LogicSimulator& sim, const ScoapMeasures& scoap,
+        PodemOptions options = {});
+
+  /// Attempts to generate a test for `fault`.
+  PodemResult generate(const Fault& fault);
+
+ private:
+  struct Objective {
+    NodeId node = kInvalidNode;
+    bool value = false;
+  };
+  struct Decision {
+    std::size_t source_index;
+    bool value;
+    bool tried_other;
+  };
+
+  void imply(const Fault& fault);
+  bool fault_detected() const;
+  bool fault_effect_alive(const Fault& fault) const;
+  std::optional<Objective> find_objective(const Fault& fault) const;
+  std::optional<std::size_t> backtrace(Objective objective, bool& value) const;
+
+  const LogicSimulator* sim_;
+  const ScoapMeasures* scoap_;
+  PodemOptions options_;
+  std::vector<Ternary> source_assignment_;   // by source index
+  std::vector<Ternary> good_;                // by node
+  std::vector<Ternary> faulty_;              // by node
+  std::vector<std::size_t> source_index_of_; // node -> source index or npos
+};
+
+}  // namespace gcnt

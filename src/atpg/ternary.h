@@ -1,0 +1,78 @@
+#pragma once
+// Three-valued logic (0, 1, X) used by the deterministic test generator.
+
+#include <cstdint>
+
+#include "netlist/netlist.h"
+
+namespace gcnt {
+
+enum class Ternary : std::uint8_t { kZero = 0, kOne = 1, kX = 2 };
+
+constexpr Ternary ternary_not(Ternary a) noexcept {
+  if (a == Ternary::kX) return Ternary::kX;
+  return a == Ternary::kZero ? Ternary::kOne : Ternary::kZero;
+}
+
+constexpr Ternary ternary_of(bool b) noexcept {
+  return b ? Ternary::kOne : Ternary::kZero;
+}
+
+/// Evaluates node v in 3-valued logic; `value_of(NodeId) -> Ternary`.
+template <typename Getter>
+Ternary evaluate_ternary(const Netlist& netlist, NodeId v, Getter&& value_of) {
+  const auto& fanins = netlist.fanins(v);
+  switch (netlist.type(v)) {
+    case CellType::kBuf:
+    case CellType::kOutput:
+    case CellType::kObserve:
+      return value_of(fanins[0]);
+    case CellType::kNot:
+      return ternary_not(value_of(fanins[0]));
+    case CellType::kAnd:
+    case CellType::kNand: {
+      bool any_x = false;
+      bool any_zero = false;
+      for (NodeId u : fanins) {
+        const Ternary t = value_of(u);
+        any_x |= t == Ternary::kX;
+        any_zero |= t == Ternary::kZero;
+      }
+      Ternary out = any_zero  ? Ternary::kZero
+                    : any_x   ? Ternary::kX
+                              : Ternary::kOne;
+      return netlist.type(v) == CellType::kAnd ? out : ternary_not(out);
+    }
+    case CellType::kOr:
+    case CellType::kNor: {
+      bool any_x = false;
+      bool any_one = false;
+      for (NodeId u : fanins) {
+        const Ternary t = value_of(u);
+        any_x |= t == Ternary::kX;
+        any_one |= t == Ternary::kOne;
+      }
+      Ternary out = any_one ? Ternary::kOne
+                    : any_x ? Ternary::kX
+                            : Ternary::kZero;
+      return netlist.type(v) == CellType::kOr ? out : ternary_not(out);
+    }
+    case CellType::kXor:
+    case CellType::kXnor: {
+      bool parity = false;
+      for (NodeId u : fanins) {
+        const Ternary t = value_of(u);
+        if (t == Ternary::kX) return Ternary::kX;
+        parity ^= t == Ternary::kOne;
+      }
+      const Ternary out = ternary_of(parity);
+      return netlist.type(v) == CellType::kXor ? out : ternary_not(out);
+    }
+    case CellType::kInput:
+    case CellType::kDff:
+      break;
+  }
+  return Ternary::kX;
+}
+
+}  // namespace gcnt

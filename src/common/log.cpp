@@ -1,0 +1,35 @@
+#include "common/log.h"
+
+namespace gcnt {
+
+LogLevel& log_level() noexcept {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+namespace detail {
+
+namespace {
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void log_line(LogLevel level, const std::string& message) {
+  std::cerr << "[" << level_tag(level) << "] " << message << "\n";
+}
+
+}  // namespace detail
+}  // namespace gcnt

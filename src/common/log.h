@@ -1,0 +1,48 @@
+#pragma once
+// Minimal leveled logging to stderr.
+//
+// The library itself is quiet by default; benches and examples raise the
+// level to Info to narrate progress. Not thread-safe beyond the atomicity
+// of single stream insertions, which is sufficient for progress messages.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace gcnt {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+LogLevel& log_level() noexcept;
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message);
+}  // namespace detail
+
+template <typename... Args>
+void log(LogLevel level, Args&&... args) {
+  if (level < log_level()) return;
+  std::ostringstream oss;
+  (oss << ... << args);
+  detail::log_line(level, oss.str());
+}
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  log(LogLevel::kDebug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  log(LogLevel::kInfo, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  log(LogLevel::kWarn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  log(LogLevel::kError, std::forward<Args>(args)...);
+}
+
+}  // namespace gcnt

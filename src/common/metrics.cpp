@@ -1,0 +1,59 @@
+#include "common/metrics.h"
+
+#include <stdexcept>
+
+namespace gcnt {
+
+double ConfusionMatrix::accuracy() const noexcept {
+  const std::size_t n = total();
+  return n == 0 ? 0.0
+                : static_cast<double>(true_positive + true_negative) /
+                      static_cast<double>(n);
+}
+
+double ConfusionMatrix::precision() const noexcept {
+  const std::size_t denom = true_positive + false_positive;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positive) /
+                          static_cast<double>(denom);
+}
+
+double ConfusionMatrix::recall() const noexcept {
+  const std::size_t denom = true_positive + false_negative;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positive) /
+                          static_cast<double>(denom);
+}
+
+double ConfusionMatrix::f1() const noexcept {
+  const double p = precision();
+  const double r = recall();
+  return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+ConfusionMatrix evaluate_binary(const std::vector<std::int32_t>& predictions,
+                                const std::vector<std::int32_t>& labels,
+                                const std::vector<std::uint32_t>* rows) {
+  if (predictions.size() != labels.size()) {
+    throw std::invalid_argument("evaluate_binary: size mismatch");
+  }
+  ConfusionMatrix cm;
+  const std::size_t count = rows ? rows->size() : labels.size();
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t i = rows ? (*rows)[k] : k;
+    const bool predicted = predictions[i] == 1;
+    const bool actual = labels[i] == 1;
+    if (predicted && actual) {
+      ++cm.true_positive;
+    } else if (!predicted && !actual) {
+      ++cm.true_negative;
+    } else if (predicted) {
+      ++cm.false_positive;
+    } else {
+      ++cm.false_negative;
+    }
+  }
+  return cm;
+}
+
+}  // namespace gcnt

@@ -1,0 +1,33 @@
+#pragma once
+// Binary-classification metrics (accuracy, precision, recall, F1).
+//
+// F1 is the headline metric of the paper's imbalanced experiments (Fig. 9);
+// accuracy is used on the balanced sets (Table 2, Fig. 8).
+
+#include <cstdint>
+#include <vector>
+
+namespace gcnt {
+
+struct ConfusionMatrix {
+  std::size_t true_positive = 0;
+  std::size_t true_negative = 0;
+  std::size_t false_positive = 0;
+  std::size_t false_negative = 0;
+
+  std::size_t total() const noexcept {
+    return true_positive + true_negative + false_positive + false_negative;
+  }
+  double accuracy() const noexcept;
+  double precision() const noexcept;
+  double recall() const noexcept;
+  double f1() const noexcept;
+};
+
+/// Tallies predictions (class index) against labels over `rows`
+/// (nullptr = all rows). Positive class is 1.
+ConfusionMatrix evaluate_binary(const std::vector<std::int32_t>& predictions,
+                                const std::vector<std::int32_t>& labels,
+                                const std::vector<std::uint32_t>* rows = nullptr);
+
+}  // namespace gcnt

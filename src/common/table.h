@@ -1,0 +1,44 @@
+#pragma once
+// Plain-text report tables.
+//
+// The benchmark harnesses print tables in the same shape as the paper's
+// tables; this helper keeps the formatting (alignment, ratio rows) in one
+// place and can also emit CSV for downstream plotting.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gcnt {
+
+/// A simple column-aligned table of strings with a title and header row.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> header);
+
+  /// Appends a row; pads or truncates to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a rule under the header.
+  void print(std::ostream& os) const;
+
+  /// Renders as comma-separated values (header first).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t columns() const noexcept { return header_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }
+
+  /// Formats a double with fixed precision (helper for cell construction).
+  static std::string num(double value, int precision = 3);
+  /// Formats a percentage, e.g. 99.31%.
+  static std::string percent(double fraction, int precision = 2);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gcnt

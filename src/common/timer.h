@@ -1,0 +1,27 @@
+#pragma once
+// Wall-clock timing utilities used by the benchmark harnesses.
+
+#include <chrono>
+
+namespace gcnt {
+
+/// Monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gcnt

@@ -1,0 +1,139 @@
+#include "cop/cop.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gcnt {
+
+namespace {
+
+double gate_prob_one(const Netlist& netlist, NodeId v,
+                     const std::vector<double>& p1) {
+  const auto& fanins = netlist.fanins(v);
+  switch (netlist.type(v)) {
+    case CellType::kInput:
+    case CellType::kDff:
+      return 0.5;  // scan-loaded with uniform random values
+    case CellType::kBuf:
+    case CellType::kOutput:
+    case CellType::kObserve:
+      return p1[fanins[0]];
+    case CellType::kNot:
+      return 1.0 - p1[fanins[0]];
+    case CellType::kAnd:
+    case CellType::kNand: {
+      double all_one = 1.0;
+      for (NodeId u : fanins) all_one *= p1[u];
+      return netlist.type(v) == CellType::kAnd ? all_one : 1.0 - all_one;
+    }
+    case CellType::kOr:
+    case CellType::kNor: {
+      double all_zero = 1.0;
+      for (NodeId u : fanins) all_zero *= 1.0 - p1[u];
+      return netlist.type(v) == CellType::kOr ? 1.0 - all_zero : all_zero;
+    }
+    case CellType::kXor:
+    case CellType::kXnor: {
+      // Probability of odd parity across independent inputs.
+      double odd = 0.0;
+      for (NodeId u : fanins) {
+        odd = odd * (1.0 - p1[u]) + (1.0 - odd) * p1[u];
+      }
+      return netlist.type(v) == CellType::kXor ? odd : 1.0 - odd;
+    }
+  }
+  return 0.5;
+}
+
+/// P(a change at fanin slot `slot` of gate `g` appears at g's output):
+/// the side inputs must hold their non-controlling values.
+double sensitization_probability(const Netlist& netlist, NodeId g,
+                                 std::size_t slot,
+                                 const std::vector<double>& p1) {
+  const auto& fanins = netlist.fanins(g);
+  switch (netlist.type(g)) {
+    case CellType::kOutput:
+    case CellType::kObserve:
+    case CellType::kDff:
+      return 1.0;  // directly captured
+    case CellType::kBuf:
+    case CellType::kNot:
+      return 1.0;
+    case CellType::kAnd:
+    case CellType::kNand: {
+      double prob = 1.0;
+      for (std::size_t j = 0; j < fanins.size(); ++j) {
+        if (j != slot) prob *= p1[fanins[j]];
+      }
+      return prob;
+    }
+    case CellType::kOr:
+    case CellType::kNor: {
+      double prob = 1.0;
+      for (std::size_t j = 0; j < fanins.size(); ++j) {
+        if (j != slot) prob *= 1.0 - p1[fanins[j]];
+      }
+      return prob;
+    }
+    case CellType::kXor:
+    case CellType::kXnor:
+      return 1.0;  // XOR propagates any single-input change
+    case CellType::kInput:
+      break;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+void compute_signal_probabilities(const Netlist& netlist, CopMeasures& out) {
+  const auto order = netlist.topological_order();
+  out.prob_one.assign(netlist.size(), 0.5);
+  for (NodeId v : order) {
+    out.prob_one[v] = gate_prob_one(netlist, v, out.prob_one);
+  }
+}
+
+void compute_cop_observability(const Netlist& netlist, CopMeasures& out) {
+  const auto order = netlist.topological_order();
+  out.observability.assign(netlist.size(), 0.0);
+  // Sinks first: a DFF is a *source* in the combinational order (its D-pin
+  // edge is sequential), so drivers of a DFF are visited before the DFF in
+  // the reverse sweep and must already see observability 1.
+  for (NodeId v = 0; v < netlist.size(); ++v) {
+    if (is_sink(netlist.type(v))) out.observability[v] = 1.0;
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId v = *it;
+    if (is_sink(netlist.type(v))) continue;
+    // Combine fanout branches as independent chances to observe.
+    double miss_all = 1.0;
+    for (NodeId g : netlist.fanouts(v)) {
+      const auto& gf = netlist.fanins(g);
+      for (std::size_t slot = 0; slot < gf.size(); ++slot) {
+        if (gf[slot] != v) continue;
+        const double branch =
+            sensitization_probability(netlist, g, slot, out.prob_one) *
+            out.observability[g];
+        miss_all *= 1.0 - std::min(1.0, branch);
+      }
+    }
+    out.observability[v] = 1.0 - miss_all;
+  }
+}
+
+CopMeasures compute_cop(const Netlist& netlist) {
+  CopMeasures measures;
+  compute_signal_probabilities(netlist, measures);
+  compute_cop_observability(netlist, measures);
+  return measures;
+}
+
+DetectionProbability detection_probability(const CopMeasures& measures,
+                                           NodeId node) {
+  const double p1 = measures.prob_one[node];
+  const double obs = measures.observability[node];
+  return DetectionProbability{p1 * obs, (1.0 - p1) * obs};
+}
+
+}  // namespace gcnt

@@ -1,0 +1,47 @@
+#pragma once
+// COP: probabilistic controllability/observability (Brglez-style).
+//
+// Under uniformly random patterns, COP estimates for every node the
+// probability its output is 1 (signal probability) and the probability that
+// a value change on the node propagates to some observed point. The product
+// approximates stuck-at fault detection probability per random pattern.
+//
+// This is the labeling oracle of our reproduction: commercial DFT tools
+// flag nodes that random patterns almost never observe, and a node with
+// COP observability below a threshold is exactly that population. It also
+// powers the "industrial tool" baseline OPI flow.
+//
+// COP assumes signal independence (ignores reconvergent correlation) —
+// the standard, fast approximation.
+
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace gcnt {
+
+struct CopMeasures {
+  std::vector<double> prob_one;       ///< P(node output == 1)
+  std::vector<double> observability;  ///< P(change at node reaches a sink)
+};
+
+/// Computes both measures for every node.
+CopMeasures compute_cop(const Netlist& netlist);
+
+/// Recomputes only signal probabilities (topological pass).
+void compute_signal_probabilities(const Netlist& netlist, CopMeasures& out);
+
+/// Recomputes only observabilities (reverse topological pass); requires
+/// signal probabilities to be up to date.
+void compute_cop_observability(const Netlist& netlist, CopMeasures& out);
+
+/// Per-node detection probability estimates for stuck-at-0 / stuck-at-1
+/// faults on the node output: P(drive opposite value) * observability.
+struct DetectionProbability {
+  double sa0;  ///< detect stuck-at-0: node must carry 1 and be observed
+  double sa1;  ///< detect stuck-at-1: node must carry 0 and be observed
+};
+DetectionProbability detection_probability(const CopMeasures& measures,
+                                           NodeId node);
+
+}  // namespace gcnt

@@ -1,0 +1,45 @@
+#pragma once
+// Labeled benchmark designs and the sampling schemes of Section 5.
+//
+// A Dataset owns a netlist, its testability measures, tensors and labels.
+// Experiments use leave-one-design-out splits: train on three designs,
+// test on the fourth. Balanced experiments (Table 2, Fig. 8) use all
+// positive nodes plus an equal-size random sample of negatives.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/labeler.h"
+#include "gcn/graph_tensors.h"
+#include "netlist/netlist.h"
+#include "scoap/scoap.h"
+
+namespace gcnt {
+
+struct Dataset {
+  Netlist netlist;
+  ScoapMeasures scoap;
+  std::vector<std::uint32_t> levels;
+  GraphTensors tensors;  ///< labels filled in
+
+  std::vector<std::uint32_t> positive_rows;
+  std::vector<std::uint32_t> negative_rows;
+
+  const std::string& name() const noexcept { return netlist.name(); }
+  std::size_t positives() const noexcept { return positive_rows.size(); }
+  std::size_t negatives() const noexcept { return negative_rows.size(); }
+};
+
+/// Computes measures, tensors and labels for `netlist` (takes ownership).
+Dataset make_dataset(Netlist netlist, const LabelerOptions& options = {});
+
+/// The four Table-1 designs at a given gate budget, fully labeled.
+std::vector<Dataset> make_benchmark_suite(std::size_t target_gates,
+                                          const LabelerOptions& options = {});
+
+/// All positives plus an equal number of seeded-random negatives.
+std::vector<std::uint32_t> balanced_rows(const Dataset& dataset,
+                                         std::uint64_t seed);
+
+}  // namespace gcnt

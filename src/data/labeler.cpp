@@ -1,0 +1,81 @@
+#include "data/labeler.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/rng.h"
+#include "sim/fault_sim.h"
+#include "sim/logic_sim.h"
+
+namespace gcnt {
+
+namespace {
+
+bool labelable(const Netlist& netlist, NodeId v) {
+  const CellType t = netlist.type(v);
+  // Sinks are pins/scan cells (directly observed); sources are scan-fed.
+  return !is_sink(t) && t != CellType::kInput;
+}
+
+std::vector<std::int32_t> label_empirical(const Netlist& netlist,
+                                          const LabelerOptions& options) {
+  LogicSimulator sim(netlist);
+  FaultSimulator probe(sim);
+  Rng rng(options.seed);
+
+  std::vector<std::uint32_t> observed(netlist.size(), 0);
+  std::vector<std::uint64_t> values;
+  for (std::size_t b = 0; b < options.batches; ++b) {
+    sim.simulate(sim.random_batch(rng), values);
+    for (NodeId v = 0; v < netlist.size(); ++v) {
+      if (!labelable(netlist, v)) continue;
+      observed[v] += static_cast<std::uint32_t>(
+          std::popcount(probe.observe_word(v, values)));
+    }
+  }
+
+  const double patterns = static_cast<double>(options.batches) * 64.0;
+  std::vector<std::int32_t> labels(netlist.size(), 0);
+  for (NodeId v = 0; v < netlist.size(); ++v) {
+    if (!labelable(netlist, v)) continue;
+    const double rate = static_cast<double>(observed[v]) / patterns;
+    labels[v] = rate < options.min_observed_rate ? 1 : 0;
+  }
+  return labels;
+}
+
+}  // namespace
+
+std::vector<std::int32_t> label_by_cop(const Netlist& netlist,
+                                       const CopMeasures& cop,
+                                       double threshold) {
+  std::vector<std::int32_t> labels(netlist.size(), 0);
+  for (NodeId v = 0; v < netlist.size(); ++v) {
+    if (!labelable(netlist, v)) continue;
+    labels[v] = cop.observability[v] < threshold ? 1 : 0;
+  }
+  return labels;
+}
+
+std::vector<std::int32_t> label_difficult_to_control(const Netlist& netlist,
+                                                     const CopMeasures& cop,
+                                                     double threshold) {
+  std::vector<std::int32_t> labels(netlist.size(), 0);
+  for (NodeId v = 0; v < netlist.size(); ++v) {
+    if (!labelable(netlist, v)) continue;
+    const double p1 = cop.prob_one[v];
+    labels[v] = std::min(p1, 1.0 - p1) < threshold ? 1 : 0;
+  }
+  return labels;
+}
+
+std::vector<std::int32_t> label_difficult_to_observe(
+    const Netlist& netlist, const LabelerOptions& options) {
+  if (options.oracle == LabelerOptions::Oracle::kCopThreshold) {
+    const CopMeasures cop = compute_cop(netlist);
+    return label_by_cop(netlist, cop, options.cop_threshold);
+  }
+  return label_empirical(netlist, options);
+}
+
+}  // namespace gcnt

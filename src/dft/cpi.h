@@ -1,0 +1,36 @@
+#pragma once
+// Control point insertion (CPI).
+//
+// Section 2.2 of the paper notes its test-point methodology applies to
+// control points as well as observation points; this module provides the
+// control-side flow: find nodes random patterns can almost never drive to
+// one of their values (COP probability below threshold) and insert a
+// control point forcing that value (Fig. 2's CP1/CP2). With the control
+// input at its inactive value the circuit is functionally unchanged.
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace gcnt {
+
+struct CpiOptions {
+  /// A node needs a CP when min(P(=1), P(=0)) falls below this.
+  double probability_threshold = 0.01;
+  std::size_t max_rounds = 16;
+  /// Fraction of the candidate list fixed per round (rarest value first).
+  double insert_fraction = 0.35;
+  std::size_t min_inserts_per_round = 4;
+};
+
+struct CpiResult {
+  std::vector<Netlist::ControlPoint> inserted;
+  std::size_t rounds = 0;
+  std::size_t remaining_below_threshold = 0;
+};
+
+/// Analytic (COP-threshold) control point insertion; mutates `netlist`.
+CpiResult run_baseline_cpi(Netlist& netlist, const CpiOptions& options = {});
+
+}  // namespace gcnt

@@ -1,0 +1,95 @@
+#include "dft/gcn_cpi.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/log.h"
+#include "cop/cop.h"
+#include "gcn/graph_tensors.h"
+#include "scoap/scoap.h"
+
+namespace gcnt {
+
+namespace {
+
+std::vector<std::int32_t> predict_cascade(
+    const std::vector<const GcnModel*>& stages, const GraphTensors& tensors) {
+  std::vector<std::int32_t> predictions(tensors.node_count(), 1);
+  for (const GcnModel* stage : stages) {
+    const auto positive = stage->predict_positive_probability(tensors);
+    for (std::size_t v = 0; v < predictions.size(); ++v) {
+      if (positive[v] < 0.5f) predictions[v] = 0;
+    }
+  }
+  return predictions;
+}
+
+bool valid_target(const Netlist& netlist, NodeId v,
+                  const std::unordered_set<NodeId>& controlled) {
+  const CellType t = netlist.type(v);
+  return !is_sink(t) && t != CellType::kInput && !controlled.count(v);
+}
+
+}  // namespace
+
+GcnCpiResult run_gcn_cpi(Netlist& netlist,
+                         const std::vector<const GcnModel*>& stages,
+                         const GcnCpiOptions& options) {
+  GcnCpiResult result;
+  std::unordered_set<NodeId> controlled;
+
+  for (std::size_t iteration = 0; iteration < options.max_iterations;
+       ++iteration) {
+    // CP insertion rewires fanouts, so tensors are rebuilt per iteration
+    // (the graph deltas are not append-only as in the OPI flow).
+    GraphTensors tensors = build_graph_tensors(netlist);
+    if (options.standardize_features) tensors.standardize_features();
+    const auto predictions = predict_cascade(stages, tensors);
+
+    std::vector<NodeId> candidates;
+    for (NodeId v = 0; v < predictions.size(); ++v) {
+      if (predictions[v] == 1 && valid_target(netlist, v, controlled)) {
+        candidates.push_back(v);
+      }
+    }
+    result.final_positive_predictions = candidates.size();
+    if (candidates.empty()) break;
+    result.iterations = iteration + 1;
+
+    // Rank by downstream coverage: positives in the fan-out cone benefit
+    // from this node becoming controllable.
+    std::vector<std::pair<int, NodeId>> ranked;
+    ranked.reserve(candidates.size());
+    for (NodeId v : candidates) {
+      int coverage = 1;
+      for (NodeId w : netlist.fanout_cone(v, options.rank_cone_limit)) {
+        coverage += predictions[w] == 1 ? 1 : 0;
+      }
+      ranked.emplace_back(coverage, v);
+    }
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      return a.first > b.first;
+    });
+
+    std::size_t budget = std::max<std::size_t>(
+        options.min_inserts_per_iteration,
+        static_cast<std::size_t>(options.insert_fraction *
+                                 static_cast<double>(ranked.size())));
+    budget = std::min(budget, ranked.size());
+
+    // Drive each target toward its rare value (from COP probabilities).
+    const CopMeasures cop = compute_cop(netlist);
+    for (std::size_t k = 0; k < budget; ++k) {
+      const NodeId target = ranked[k].second;
+      const bool rare_is_one = cop.prob_one[target] < 0.5;
+      result.inserted.push_back(
+          netlist.insert_control_point(target, rare_is_one));
+      controlled.insert(target);
+    }
+    log_info("gcn-cpi iteration ", iteration + 1, ": ", candidates.size(),
+             " positives, inserted ", budget, " CPs");
+  }
+  return result;
+}
+
+}  // namespace gcnt

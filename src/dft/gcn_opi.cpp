@@ -1,0 +1,102 @@
+#include "dft/gcn_opi.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "dft/impact.h"
+#include "gcn/graph_tensors.h"
+#include "scoap/scoap.h"
+
+namespace gcnt {
+
+namespace {
+
+/// Whole-graph cascade prediction: positive iff every stage keeps the node.
+std::vector<std::int32_t> predict_cascade(
+    const std::vector<const GcnModel*>& stages, const GraphTensors& tensors) {
+  std::vector<std::int32_t> predictions(tensors.node_count(), 1);
+  for (const GcnModel* stage : stages) {
+    const auto positive = stage->predict_positive_probability(tensors);
+    for (std::size_t v = 0; v < predictions.size(); ++v) {
+      if (positive[v] < 0.5f) predictions[v] = 0;
+    }
+  }
+  return predictions;
+}
+
+/// OP targets must drive a real signal; pins and already-inserted OPs are
+/// excluded, as are nodes that already feed an OP.
+bool valid_target(const Netlist& netlist, NodeId v) {
+  const CellType t = netlist.type(v);
+  if (is_sink(t) || t == CellType::kInput) return false;
+  for (NodeId g : netlist.fanouts(v)) {
+    if (netlist.type(g) == CellType::kObserve) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+OpiResult run_gcn_opi(Netlist& netlist,
+                      const std::vector<const GcnModel*>& stages,
+                      const GcnOpiOptions& options) {
+  ScoapMeasures scoap = compute_scoap(netlist);
+  std::vector<std::uint32_t> levels = netlist.logic_levels();
+  GraphTensors tensors = build_graph_tensors(netlist, scoap, levels);
+  if (options.standardize_features) tensors.standardize_features();
+
+  OpiResult result;
+  for (std::size_t iteration = 0; iteration < options.max_iterations;
+       ++iteration) {
+    const auto predictions = predict_cascade(stages, tensors);
+    std::vector<NodeId> candidates;
+    for (NodeId v = 0; v < predictions.size(); ++v) {
+      if (predictions[v] == 1 && valid_target(netlist, v)) {
+        candidates.push_back(v);
+      }
+    }
+    result.final_positive_predictions = candidates.size();
+    if (candidates.empty()) break;
+    result.iterations = iteration + 1;
+
+    // Rank every positive prediction by impact (Fig. 6).
+    ImpactEvaluator evaluator(stages, netlist, tensors, scoap, levels);
+    std::vector<std::pair<int, NodeId>> ranked;
+    ranked.reserve(candidates.size());
+    for (NodeId v : candidates) {
+      ranked.emplace_back(
+          evaluator.impact_of(v, predictions, options.impact_cone_limit), v);
+    }
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      return a.first > b.first;
+    });
+
+    std::size_t budget = std::max<std::size_t>(
+        options.min_inserts_per_iteration,
+        static_cast<std::size_t>(options.insert_fraction *
+                                 static_cast<double>(ranked.size())));
+    budget = std::min(budget, ranked.size());
+
+    std::size_t inserted = 0;
+    for (const auto& [impact, target] : ranked) {
+      if (inserted >= budget) break;
+      // Low-impact candidates are deferred, but always make progress: a
+      // positive with no upstream coverage still needs its own OP.
+      if (impact < options.min_impact && inserted > 0) break;
+      const NodeId op = netlist.insert_observe_point(target);
+      update_observability_after_observe(netlist, target, scoap);
+      levels.resize(netlist.size(), 0);
+      levels[op] = levels[target] + 1;
+      append_observe_point(tensors, netlist, target, op, scoap,
+                           netlist.fanin_cone(target));
+      result.inserted.push_back(target);
+      ++inserted;
+    }
+    tensors.rebuild_csr();
+    log_info("gcn-opi iteration ", iteration + 1, ": ", candidates.size(),
+             " positives, inserted ", inserted, " OPs");
+  }
+  return result;
+}
+
+}  // namespace gcnt

@@ -1,0 +1,137 @@
+#include "dft/impact.h"
+
+#include <algorithm>
+
+#include "gcn/vec_ops.h"
+
+namespace gcnt {
+
+ImpactEvaluator::ImpactEvaluator(std::vector<const GcnModel*> stages,
+                                 const Netlist& netlist,
+                                 const GraphTensors& tensors,
+                                 const ScoapMeasures& scoap,
+                                 const std::vector<std::uint32_t>& levels)
+    : stages_(std::move(stages)),
+      netlist_(&netlist),
+      tensors_(&tensors),
+      scoap_(&scoap),
+      levels_(&levels) {}
+
+std::vector<float> ImpactEvaluator::embed(const GcnModel& model, NodeId v,
+                                          int depth,
+                                          const Overlay& overlay) const {
+  // Stage index participates in the memo key: embeddings are per-model.
+  std::size_t stage_index = 0;
+  for (; stage_index < stages_.size(); ++stage_index) {
+    if (stages_[stage_index] == &model) break;
+  }
+  const std::uint64_t key = static_cast<std::uint64_t>(v) |
+                            (static_cast<std::uint64_t>(depth) << 32) |
+                            (static_cast<std::uint64_t>(stage_index) << 40);
+  if (const auto it = overlay.memo.find(key); it != overlay.memo.end()) {
+    return it->second;
+  }
+
+  std::vector<float> result;
+  if (depth == 0) {
+    if (v == kVirtualOp) {
+      // The paper assigns the tentative OP node attributes [0, 1, 1, 0].
+      result = {tensors_->encode(0, 0.0), tensors_->encode(1, 1.0),
+                tensors_->encode(2, 1.0), tensors_->encode(3, 0.0)};
+    } else {
+      const float* row = tensors_->features.row(v);
+      result.assign(row, row + kNodeFeatureDim);
+      const auto it = overlay.observability_feature.find(v);
+      if (it != overlay.observability_feature.end()) {
+        result[3] = it->second;
+      }
+    }
+  } else {
+    const float wp = model.w_pr();
+    const float ws = model.w_su();
+    std::vector<float> aggregated = embed(model, v, depth - 1, overlay);
+    if (v == kVirtualOp) {
+      // The virtual OP's only neighbor is its target (a predecessor).
+      axpy_row(aggregated, wp, embed(model, overlay.target, depth - 1, overlay));
+    } else {
+      for (NodeId u : netlist_->fanins(v)) {
+        axpy_row(aggregated, wp, embed(model, u, depth - 1, overlay));
+      }
+      for (NodeId w : netlist_->fanouts(v)) {
+        axpy_row(aggregated, ws, embed(model, w, depth - 1, overlay));
+      }
+      if (v == overlay.target) {
+        // Tentative structural edit: target gains the OP as a successor.
+        axpy_row(aggregated, ws, embed(model, kVirtualOp, depth - 1, overlay));
+      }
+    }
+    result = apply_linear_row(
+        model.encoders()[static_cast<std::size_t>(depth - 1)], aggregated);
+    relu_row(result);
+  }
+  overlay.memo.emplace(key, result);
+  return result;
+}
+
+bool ImpactEvaluator::cascade_positive(NodeId v,
+                                       const Overlay& overlay) const {
+  for (const GcnModel* stage : stages_) {
+    const std::vector<float> h = fc_head_row(
+        stage->fc_layers(), embed(*stage, v, stage->config().depth, overlay));
+    if (h[1] <= h[0]) return false;  // this stage filters v out
+  }
+  return true;
+}
+
+int ImpactEvaluator::impact_of(NodeId target,
+                               const std::vector<std::int32_t>& predictions,
+                               std::size_t cone_limit) const {
+  std::vector<NodeId> cone = netlist_->fanin_cone(target, cone_limit);
+  cone.push_back(target);
+
+  int before = 0;
+  for (NodeId v : cone) before += predictions[v] == 1 ? 1 : 0;
+  if (before == 0) return 0;
+
+  // Tentative SCOAP CO update, restricted to the capped cone (descending
+  // level = valid reverse-topological order within the cone).
+  Overlay overlay;
+  overlay.target = target;
+  std::sort(cone.begin(), cone.end(), [&](NodeId a, NodeId b) {
+    return (*levels_)[a] > (*levels_)[b];
+  });
+  std::unordered_map<NodeId, std::uint32_t> new_co;
+  new_co.reserve(cone.size());
+  const auto co_of = [&](NodeId g) {
+    const auto it = new_co.find(g);
+    return it != new_co.end() ? it->second : scoap_->co[g];
+  };
+  for (NodeId v : cone) {
+    if (v == target) {
+      new_co[v] = 0;  // the OP observes it directly
+      continue;
+    }
+    if (is_sink(netlist_->type(v))) continue;
+    std::uint32_t best = kScoapInfinity;
+    for (NodeId g : netlist_->fanouts(v)) {
+      const auto& gf = netlist_->fanins(g);
+      for (std::size_t slot = 0; slot < gf.size(); ++slot) {
+        if (gf[slot] != v) continue;
+        best = std::min(
+            best, scoap_observe_through(*netlist_, g, slot, *scoap_, co_of(g)));
+      }
+    }
+    new_co[v] = best;
+  }
+  for (const auto& [v, co] : new_co) {
+    if (co != scoap_->co[v]) {
+      overlay.observability_feature[v] = tensors_->encode(3, co);
+    }
+  }
+
+  int after = 0;
+  for (NodeId v : cone) after += cascade_positive(v, overlay) ? 1 : 0;
+  return before - after;
+}
+
+}  // namespace gcnt

@@ -1,0 +1,62 @@
+#pragma once
+// Impact evaluation for observation-point candidates (Section 4, Fig. 6).
+//
+// The impact of inserting an OP at node `a` is the reduction in positive
+// (difficult-to-observe) predictions within a's fan-in cone: one OP can fix
+// the observability of its whole upstream region. Evaluating a candidate
+// tentatively must not touch the real netlist/tensors, so this evaluator:
+//
+//  * recomputes SCOAP CO for the (capped) fan-in cone under "a has an OP"
+//    into an overlay map,
+//  * re-predicts the cone nodes with a D-hop recursive cascade evaluation
+//    that reads overlay features where present (and models the virtual OP
+//    node as an extra successor of `a`), memoizing (node, depth)
+//    embeddings within the candidate,
+//  * counts positives before (from the whole-graph predictions) and after.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "gcn/model.h"
+#include "scoap/scoap.h"
+
+namespace gcnt {
+
+class ImpactEvaluator {
+ public:
+  /// `stages` is a prediction cascade (size 1 = single GCN). All models
+  /// must share depth/feature conventions with `tensors`.
+  ImpactEvaluator(std::vector<const GcnModel*> stages, const Netlist& netlist,
+                  const GraphTensors& tensors, const ScoapMeasures& scoap,
+                  const std::vector<std::uint32_t>& levels);
+
+  /// Impact = positives in cone(target) now - positives after a tentative
+  /// OP insertion at `target`. `predictions` is the current whole-graph
+  /// cascade output. The cone is capped at `cone_limit` nodes.
+  int impact_of(NodeId target, const std::vector<std::int32_t>& predictions,
+                std::size_t cone_limit = 128) const;
+
+ private:
+  /// Sentinel id for the tentative OP node.
+  static constexpr NodeId kVirtualOp = kInvalidNode;
+
+  struct Overlay {
+    NodeId target = kInvalidNode;
+    std::unordered_map<NodeId, float> observability_feature;
+    /// Memoized embeddings keyed by (node, depth).
+    mutable std::unordered_map<std::uint64_t, std::vector<float>> memo;
+  };
+
+  std::vector<float> embed(const GcnModel& model, NodeId v, int depth,
+                           const Overlay& overlay) const;
+  bool cascade_positive(NodeId v, const Overlay& overlay) const;
+
+  std::vector<const GcnModel*> stages_;
+  const Netlist* netlist_;
+  const GraphTensors* tensors_;
+  const ScoapMeasures* scoap_;
+  const std::vector<std::uint32_t>* levels_;
+};
+
+}  // namespace gcnt

@@ -1,0 +1,137 @@
+#include "gcn/graph_tensors.h"
+
+#include <cmath>
+
+namespace gcnt {
+
+float transform_feature(double raw) noexcept {
+  return static_cast<float>(std::log1p(raw));
+}
+
+void GraphTensors::standardize_features() {
+  const std::size_t n = features.rows();
+  if (n == 0) return;
+  for (std::size_t c = 0; c < kNodeFeatureDim; ++c) {
+    double mean = 0.0;
+    for (std::size_t r = 0; r < n; ++r) mean += features.at(r, c);
+    mean /= static_cast<double>(n);
+    double variance = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double delta = features.at(r, c) - mean;
+      variance += delta * delta;
+    }
+    const double stddev = std::sqrt(variance / static_cast<double>(n));
+    const float scale = stddev > 1e-6 ? static_cast<float>(1.0 / stddev) : 1.0f;
+    for (std::size_t r = 0; r < n; ++r) {
+      features.at(r, c) =
+          (features.at(r, c) - static_cast<float>(mean)) * scale;
+    }
+    // Compose with the existing affine so encode() matches the new rows.
+    feature_mean[c] = feature_mean[c] + static_cast<float>(mean) / feature_scale[c];
+    feature_scale[c] *= scale;
+  }
+}
+
+void GraphTensors::rebuild_csr() {
+  // Keep shapes square and in sync with the feature rows even when a node
+  // has no fanin/fanout entries yet.
+  const auto n = static_cast<std::uint32_t>(features.rows());
+  if (pred_coo.rows < n) pred_coo.rows = n;
+  if (pred_coo.cols < n) pred_coo.cols = n;
+  if (succ_coo.rows < n) succ_coo.rows = n;
+  if (succ_coo.cols < n) succ_coo.cols = n;
+  pred = CsrMatrix::from_coo(pred_coo);
+  succ = CsrMatrix::from_coo(succ_coo);
+  pred_t = pred.transpose();
+  succ_t = succ.transpose();
+}
+
+GraphTensors build_graph_tensors(const Netlist& netlist,
+                                 const ScoapMeasures& scoap,
+                                 const std::vector<std::uint32_t>& levels) {
+  GraphTensors tensors;
+  const std::size_t n = netlist.size();
+  tensors.features.resize(n, kNodeFeatureDim);
+  for (NodeId v = 0; v < n; ++v) {
+    float* row = tensors.features.row(v);
+    if (netlist.type(v) == CellType::kObserve) {
+      // Paper convention: observation points carry [0, 1, 1, 0] regardless
+      // of where they sit (Section 4) — keeps incremental updates and
+      // from-scratch rebuilds identical.
+      row[0] = transform_feature(0.0);
+      row[1] = transform_feature(1.0);
+      row[2] = transform_feature(1.0);
+      row[3] = transform_feature(0.0);
+      continue;
+    }
+    row[0] = transform_feature(levels[v]);
+    row[1] = transform_feature(scoap.cc0[v]);
+    row[2] = transform_feature(scoap.cc1[v]);
+    row[3] = transform_feature(scoap.co[v]);
+  }
+  tensors.pred_coo = CooMatrix(n, n);
+  tensors.succ_coo = CooMatrix(n, n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId u : netlist.fanins(v)) {
+      tensors.pred_coo.add(v, u, 1.0f);
+    }
+    for (NodeId w : netlist.fanouts(v)) {
+      tensors.succ_coo.add(v, w, 1.0f);
+    }
+  }
+  tensors.rebuild_csr();
+  return tensors;
+}
+
+GraphTensors build_graph_tensors(const Netlist& netlist) {
+  const ScoapMeasures scoap = compute_scoap(netlist);
+  return build_graph_tensors(netlist, scoap, netlist.logic_levels());
+}
+
+void append_observe_point(GraphTensors& tensors, const Netlist& netlist,
+                          NodeId target, NodeId op,
+                          const ScoapMeasures& scoap,
+                          const std::vector<NodeId>& refreshed) {
+  // Three appended tuples, mirroring the paper's incremental COO update.
+  tensors.pred_coo.add(op, target, 1.0f);
+  tensors.succ_coo.add(target, op, 1.0f);
+
+  // New feature row: the paper assigns the new node [0, 1, 1, 0].
+  Matrix grown(netlist.size(), kNodeFeatureDim);
+  for (std::size_t r = 0; r < tensors.features.rows(); ++r) {
+    for (std::size_t c = 0; c < kNodeFeatureDim; ++c) {
+      grown.at(r, c) = tensors.features.at(r, c);
+    }
+  }
+  float* row = grown.row(op);
+  row[0] = tensors.encode(0, 0.0);
+  row[1] = tensors.encode(1, 1.0);
+  row[2] = tensors.encode(2, 1.0);
+  row[3] = tensors.encode(3, 0.0);
+  tensors.features = std::move(grown);
+  if (!tensors.labels.empty()) tensors.labels.resize(netlist.size(), 0);
+
+  // Observability changed only in the fan-in cone of the target.
+  for (NodeId v : refreshed) {
+    tensors.features.at(v, 3) = tensors.encode(3, scoap.co[v]);
+  }
+  tensors.features.at(target, 3) = tensors.encode(3, scoap.co[target]);
+}
+
+CooMatrix build_merged_adjacency(const GraphTensors& tensors, float w_pr,
+                                 float w_su) {
+  const std::size_t n = tensors.node_count();
+  CooMatrix merged(n, n);
+  for (std::uint32_t v = 0; v < n; ++v) merged.add(v, v, 1.0f);
+  for (std::size_t k = 0; k < tensors.pred_coo.nnz(); ++k) {
+    merged.add(tensors.pred_coo.row_index[k], tensors.pred_coo.col_index[k],
+               w_pr * tensors.pred_coo.values[k]);
+  }
+  for (std::size_t k = 0; k < tensors.succ_coo.nnz(); ++k) {
+    merged.add(tensors.succ_coo.row_index[k], tensors.succ_coo.col_index[k],
+               w_su * tensors.succ_coo.values[k]);
+  }
+  return merged;
+}
+
+}  // namespace gcnt

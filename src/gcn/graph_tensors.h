@@ -1,0 +1,93 @@
+#pragma once
+// Tensor view of a netlist for the GCN: node attribute matrix plus sparse
+// predecessor/successor adjacency.
+//
+// Following Section 3.1, every node carries [LL, C0, C1, O] (logic level
+// and SCOAP measures); features are log-compressed so saturated SCOAP
+// values stay in a trainable range. The aggregation of Eq. (1) uses two
+// 0/1 matrices P and S with (P*E)[v] = sum of fanin embeddings and
+// (S*E)[v] = sum of fanout embeddings; the trainable scalars w_pr / w_su
+// stay outside the matrices so training never rebuilds them, and the
+// paper's merged matrix A = I + w_pr*P + w_su*S can still be materialized
+// for the pure-inference engine (Eq. 2).
+//
+// COO forms are retained because the OPI flow appends tuples incrementally
+// when the netlist gains observation points (Section 4).
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "scoap/scoap.h"
+#include "tensor/matrix.h"
+#include "tensor/sparse.h"
+
+namespace gcnt {
+
+/// Node attribute dimension: [LL, C0, C1, O].
+constexpr std::size_t kNodeFeatureDim = 4;
+
+/// log1p compression applied to each raw attribute.
+float transform_feature(double raw) noexcept;
+
+struct GraphTensors {
+  Matrix features;  ///< N x 4, transformed (optionally standardized) attributes
+  CooMatrix pred_coo;
+  CooMatrix succ_coo;
+  CsrMatrix pred;    ///< row v sums fanins of v
+  CsrMatrix succ;    ///< row v sums fanouts of v
+  CsrMatrix pred_t;  ///< transpose of pred (for backprop)
+  CsrMatrix succ_t;  ///< transpose of succ
+  std::vector<std::int32_t> labels;  ///< optional; empty if unlabeled
+
+  /// Affine feature post-transform: stored feature = (log1p(raw) - mean) *
+  /// scale. Identity until standardize_features() is called; kept so that
+  /// incremental updates (new OP rows, refreshed observability) encode new
+  /// raw values consistently with the existing rows.
+  std::array<float, kNodeFeatureDim> feature_mean{0.f, 0.f, 0.f, 0.f};
+  std::array<float, kNodeFeatureDim> feature_scale{1.f, 1.f, 1.f, 1.f};
+
+  /// Encodes a raw attribute value for column `col` under the current
+  /// affine post-transform.
+  float encode(std::size_t col, double raw) const noexcept {
+    return (transform_feature(raw) - feature_mean[col]) * feature_scale[col];
+  }
+
+  /// Standardizes each feature column to zero mean / unit variance over
+  /// the current rows (per-graph statistics, so the transform remains
+  /// usable inductively) and records the affine so later incremental rows
+  /// stay on the same scale. Improves conditioning of GCN training.
+  void standardize_features();
+
+  std::size_t node_count() const noexcept { return features.rows(); }
+
+  /// Rebuilds the CSR forms from the COO forms (after incremental edits).
+  void rebuild_csr();
+};
+
+/// Builds tensors from a netlist with precomputed SCOAP measures and
+/// logic levels.
+GraphTensors build_graph_tensors(const Netlist& netlist,
+                                 const ScoapMeasures& scoap,
+                                 const std::vector<std::uint32_t>& levels);
+
+/// Convenience: computes SCOAP and levels internally.
+GraphTensors build_graph_tensors(const Netlist& netlist);
+
+/// Incremental update after netlist.insert_observe_point(target) created
+/// node `op`: appends the COO tuples and the new feature row ([0,1,1,0]
+/// per the paper), and refreshes the observability feature of the nodes in
+/// `refreshed` (the fan-in cone whose SCOAP CO changed). Does NOT rebuild
+/// the CSR forms; call rebuild_csr() once per insertion round.
+void append_observe_point(GraphTensors& tensors, const Netlist& netlist,
+                          NodeId target, NodeId op,
+                          const ScoapMeasures& scoap,
+                          const std::vector<NodeId>& refreshed);
+
+/// Materializes the paper's merged adjacency A = I + w_pr*P + w_su*S in
+/// COO form (Eq. 2) for the standalone sparse inference engine.
+CooMatrix build_merged_adjacency(const GraphTensors& tensors, float w_pr,
+                                 float w_su);
+
+}  // namespace gcnt

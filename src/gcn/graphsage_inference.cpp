@@ -1,0 +1,73 @@
+#include "gcn/graphsage_inference.h"
+
+#include <algorithm>
+
+#include "gcn/vec_ops.h"
+
+namespace gcnt {
+
+GraphSageInference::GraphSageInference(const GcnModel& model,
+                                       const Netlist& netlist,
+                                       const Matrix& features,
+                                       SampleFanouts fanouts,
+                                       std::uint64_t seed)
+    : model_(&model),
+      netlist_(&netlist),
+      features_(&features),
+      fanouts_(std::move(fanouts)),
+      rng_(seed) {}
+
+std::vector<float> GraphSageInference::embed(NodeId v, int depth) {
+  if (depth == 0) {
+    const float* row = features_->row(v);
+    return std::vector<float>(row, row + features_->cols());
+  }
+  const auto hop = static_cast<std::size_t>(model_->config().depth - depth);
+  const std::size_t fanout =
+      fanouts_.per_hop[std::min(hop, fanouts_.per_hop.size() - 1)];
+
+  std::vector<float> aggregated = embed(v, depth - 1);
+
+  // Fixed-size sampling with replacement per GraphSAGE: the estimator of
+  // Eq. 1's weighted sum is degree/|samples| * sum(sampled embeddings).
+  const auto& preds = netlist_->fanins(v);
+  const auto& succs = netlist_->fanouts(v);
+  const std::size_t pred_samples = fanout / 2;
+  const std::size_t succ_samples = fanout - pred_samples;
+  if (!preds.empty() && pred_samples > 0) {
+    const float scale = model_->w_pr() * static_cast<float>(preds.size()) /
+                        static_cast<float>(pred_samples);
+    for (std::size_t s = 0; s < pred_samples; ++s) {
+      axpy_row(aggregated, scale,
+               embed(preds[rng_.below(preds.size())], depth - 1));
+    }
+  }
+  if (!succs.empty() && succ_samples > 0) {
+    const float scale = model_->w_su() * static_cast<float>(succs.size()) /
+                        static_cast<float>(succ_samples);
+    for (std::size_t s = 0; s < succ_samples; ++s) {
+      axpy_row(aggregated, scale,
+               embed(succs[rng_.below(succs.size())], depth - 1));
+    }
+  }
+  auto out = apply_linear_row(
+      model_->encoders()[static_cast<std::size_t>(depth - 1)], aggregated);
+  relu_row(out);
+  return out;
+}
+
+std::vector<float> GraphSageInference::infer_node(NodeId v) {
+  return fc_head_row(model_->fc_layers(),
+                     embed(v, model_->config().depth));
+}
+
+Matrix GraphSageInference::infer_all() {
+  Matrix logits(netlist_->size(), model_->config().num_classes);
+  for (NodeId v = 0; v < netlist_->size(); ++v) {
+    const auto row = infer_node(v);
+    for (std::size_t c = 0; c < row.size(); ++c) logits.at(v, c) = row[c];
+  }
+  return logits;
+}
+
+}  // namespace gcnt

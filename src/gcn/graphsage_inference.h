@@ -1,0 +1,54 @@
+#pragma once
+// GraphSAGE-style minibatch inference — the faithful cost model for the
+// "released implementation of [12]" baseline in Fig. 10.
+//
+// GraphSAGE's released pipeline computes every node's embedding from a
+// FIXED-SIZE sampled neighborhood per hop (sampling WITH replacement when
+// the true degree is smaller), so per-node work is Θ(S1*S2*...*SD) matrix-
+// vector products regardless of the real (small) gate fanin/fanout. That —
+// duplicated recomputation plus fixed-fanout padding — is what makes the
+// recursion three orders of magnitude slower than the paper's shared
+// sparse-matrix formulation on million-gate netlists.
+//
+// The math per sampled neighborhood matches GcnModel up to the sampling
+// (weighted-sum aggregation, shared encoders, FC head).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "gcn/model.h"
+#include "netlist/netlist.h"
+
+namespace gcnt {
+
+struct SampleFanouts {
+  /// Neighbors sampled per hop, outermost first. GraphSAGE's defaults are
+  /// 25 and 10 for a 2-layer model; a third layer commonly uses 10.
+  std::vector<std::size_t> per_hop = {25, 10, 10};
+};
+
+class GraphSageInference {
+ public:
+  GraphSageInference(const GcnModel& model, const Netlist& netlist,
+                     const Matrix& features, SampleFanouts fanouts = {},
+                     std::uint64_t seed = 1);
+
+  /// Logits for one node from its sampled, recursively expanded
+  /// neighborhood.
+  std::vector<float> infer_node(NodeId v);
+
+  /// Logits for every node (independent per-node recursions).
+  Matrix infer_all();
+
+ private:
+  std::vector<float> embed(NodeId v, int depth);
+
+  const GcnModel* model_;
+  const Netlist* netlist_;
+  const Matrix* features_;
+  SampleFanouts fanouts_;
+  Rng rng_;
+};
+
+}  // namespace gcnt

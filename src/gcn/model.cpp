@@ -1,0 +1,200 @@
+#include "gcn/model.h"
+
+#include <stdexcept>
+
+namespace gcnt {
+
+GcnModel::GcnModel(const GcnConfig& config)
+    : config_(config), w_pr_(1, 1), w_su_(1, 1) {
+  if (config_.depth < 1 ||
+      static_cast<std::size_t>(config_.depth) > config_.embed_dims.size()) {
+    throw std::invalid_argument("GcnModel: depth out of range");
+  }
+  Rng rng(config_.seed);
+  w_pr_.value.at(0, 0) = config_.initial_w_pr;
+  w_su_.value.at(0, 0) =
+      config_.tied_aggregation ? config_.initial_w_pr : config_.initial_w_su;
+
+  std::size_t in_dim = kNodeFeatureDim;
+  for (int d = 0; d < config_.depth; ++d) {
+    const std::size_t out_dim = config_.embed_dims[static_cast<std::size_t>(d)];
+    encoders_.emplace_back(in_dim, out_dim, rng);
+    in_dim = out_dim;
+  }
+  for (std::size_t dim : config_.fc_dims) {
+    fc_.emplace_back(in_dim, dim, rng);
+    in_dim = dim;
+  }
+  fc_.emplace_back(in_dim, config_.num_classes, rng);
+}
+
+Matrix GcnModel::run_forward(const GraphTensors& graph, Cache* cache) const {
+  const float wp = w_pr();
+  const float ws = w_su();
+
+  Matrix embedding = graph.features;
+  if (cache) {
+    cache->embeddings.clear();
+    cache->aggregated.clear();
+    cache->pred_sums.clear();
+    cache->succ_sums.clear();
+    cache->fc_inputs.clear();
+    cache->fc_outputs.clear();
+    cache->embeddings.push_back(embedding);
+  }
+
+  for (const Linear& encoder : encoders_) {
+    // Aggregation (Eq. 1): G = E + w_pr * P*E + w_su * S*E.
+    Matrix pred_sum;
+    Matrix succ_sum;
+    graph.pred.spmm(embedding, pred_sum);
+    graph.succ.spmm(embedding, succ_sum);
+    Matrix aggregated = embedding;
+    aggregated.axpy(wp, pred_sum);
+    aggregated.axpy(ws, succ_sum);
+
+    // Encoding: E = ReLU(G * W + b).
+    Matrix pre_activation;
+    encoder.forward(aggregated, pre_activation);
+    Matrix activated;
+    Relu::forward(pre_activation, activated);
+
+    if (cache) {
+      cache->pred_sums.push_back(std::move(pred_sum));
+      cache->succ_sums.push_back(std::move(succ_sum));
+      cache->aggregated.push_back(std::move(aggregated));
+      cache->embeddings.push_back(activated);
+    }
+    embedding = std::move(activated);
+  }
+
+  // FC head: ReLU between hidden layers, raw logits at the end.
+  Matrix hidden = std::move(embedding);
+  for (std::size_t i = 0; i < fc_.size(); ++i) {
+    if (cache) cache->fc_inputs.push_back(hidden);
+    Matrix out;
+    fc_[i].forward(hidden, out);
+    if (i + 1 < fc_.size()) {
+      Matrix activated;
+      Relu::forward(out, activated);
+      if (cache) cache->fc_outputs.push_back(activated);
+      hidden = std::move(activated);
+    } else {
+      hidden = std::move(out);
+    }
+  }
+  return hidden;
+}
+
+Matrix GcnModel::forward(const GraphTensors& graph) {
+  return run_forward(graph, &cache_);
+}
+
+Matrix GcnModel::infer(const GraphTensors& graph) const {
+  return run_forward(graph, nullptr);
+}
+
+void GcnModel::backward(const GraphTensors& graph, const Matrix& dlogits) {
+  if (cache_.fc_inputs.size() != fc_.size()) {
+    throw std::logic_error("GcnModel::backward without matching forward");
+  }
+  // FC head, in reverse.
+  Matrix grad = dlogits;
+  for (std::size_t i = fc_.size(); i-- > 0;) {
+    Matrix dinput;
+    fc_[i].backward(cache_.fc_inputs[i], grad, dinput);
+    if (i > 0) {
+      // Undo the ReLU that produced fc_inputs[i].
+      Matrix masked;
+      Relu::backward(cache_.fc_outputs[i - 1], dinput, masked);
+      grad = std::move(masked);
+    } else {
+      grad = std::move(dinput);
+    }
+  }
+
+  // Aggregation/encoder stack, in reverse. `grad` is now dE_D.
+  const float wp = w_pr();
+  const float ws = w_su();
+  for (std::size_t d = encoders_.size(); d-- > 0;) {
+    // E_d = ReLU(Z), Z = G_d * W_d + b.
+    Matrix dz;
+    Relu::backward(cache_.embeddings[d + 1], grad, dz);
+    Matrix dg;
+    encoders_[d].backward(cache_.aggregated[d], dz, dg);
+
+    // dw_pr += sum((P*E_{d-1}) .* dG); same for w_su. With tied weights
+    // both contributions flow into the single shared scalar.
+    w_pr_.grad.at(0, 0) += cache_.pred_sums[d].dot(dg);
+    if (config_.tied_aggregation) {
+      w_pr_.grad.at(0, 0) += cache_.succ_sums[d].dot(dg);
+    } else {
+      w_su_.grad.at(0, 0) += cache_.succ_sums[d].dot(dg);
+    }
+
+    // dE_{d-1} = dG + w_pr * P^T * dG + w_su * S^T * dG.
+    Matrix dprev = dg;
+    graph.pred_t.spmm(dg, dprev, wp, 1.0f);
+    graph.succ_t.spmm(dg, dprev, ws, 1.0f);
+    grad = std::move(dprev);
+  }
+}
+
+std::vector<float> GcnModel::predict_positive_probability(
+    const GraphTensors& graph) const {
+  const Matrix probabilities = softmax(infer(graph));
+  std::vector<float> positive(probabilities.rows());
+  for (std::size_t r = 0; r < probabilities.rows(); ++r) {
+    positive[r] = probabilities.at(r, 1);
+  }
+  return positive;
+}
+
+std::vector<Param*> GcnModel::params() {
+  std::vector<Param*> all;
+  if (!config_.frozen_aggregation) {
+    all.push_back(&w_pr_);
+    if (!config_.tied_aggregation) all.push_back(&w_su_);
+  }
+  for (Linear& layer : encoders_) {
+    for (Param* p : layer.params()) all.push_back(p);
+  }
+  for (Linear& layer : fc_) {
+    for (Param* p : layer.params()) all.push_back(p);
+  }
+  return all;
+}
+
+void GcnModel::zero_grad() {
+  for (Param* p : params()) p->zero_grad();
+}
+
+std::vector<const Param*> GcnModel::params() const {
+  std::vector<const Param*> all;
+  if (!config_.frozen_aggregation) {
+    all.push_back(&w_pr_);
+    if (!config_.tied_aggregation) all.push_back(&w_su_);
+  }
+  for (const Linear& layer : encoders_) {
+    all.push_back(&layer.weight);
+    all.push_back(&layer.bias);
+  }
+  for (const Linear& layer : fc_) {
+    all.push_back(&layer.weight);
+    all.push_back(&layer.bias);
+  }
+  return all;
+}
+
+void GcnModel::copy_params_from(const GcnModel& other) {
+  auto mine = params();
+  auto theirs = other.params();
+  if (mine.size() != theirs.size()) {
+    throw std::invalid_argument("copy_params_from: config mismatch");
+  }
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    mine[i]->value = theirs[i]->value;
+  }
+}
+
+}  // namespace gcnt

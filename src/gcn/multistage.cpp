@@ -1,0 +1,108 @@
+#include "gcn/multistage.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gcnt {
+
+namespace {
+
+/// Rows of `graph` (restricted to `rows`) the stage predicts positive.
+std::vector<std::uint32_t> surviving_rows(const GcnModel& stage,
+                                          const GraphTensors& graph,
+                                          const std::vector<std::uint32_t>& rows) {
+  const auto positive = stage.predict_positive_probability(graph);
+  std::vector<std::uint32_t> kept;
+  kept.reserve(rows.size());
+  for (std::uint32_t r : rows) {
+    if (positive[r] >= 0.5f) kept.push_back(r);
+  }
+  return kept;
+}
+
+float imbalance_weight(const GraphTensors& graph,
+                       const std::vector<std::uint32_t>& rows, float cap) {
+  std::size_t pos = 0;
+  for (std::uint32_t r : rows) {
+    if (graph.labels[r] == 1) ++pos;
+  }
+  if (pos == 0) return 1.0f;
+  const float ratio = static_cast<float>(rows.size() - pos) /
+                      static_cast<float>(pos);
+  return std::clamp(ratio, 1.0f, cap);
+}
+
+std::vector<std::uint32_t> all_rows(const GraphTensors& graph) {
+  std::vector<std::uint32_t> rows(graph.node_count());
+  for (std::uint32_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  return rows;
+}
+
+}  // namespace
+
+MultiStageClassifier::MultiStageClassifier(const MultiStageOptions& options)
+    : options_(options) {
+  if (options_.stages == 0) {
+    throw std::invalid_argument("MultiStageClassifier: need >= 1 stage");
+  }
+}
+
+void MultiStageClassifier::fit(
+    const std::vector<const GraphTensors*>& graphs) {
+  stages_.clear();
+  survivors_.clear();
+
+  // Active rows per graph; stage k trains on the survivors of stage k-1.
+  std::vector<std::vector<std::uint32_t>> active;
+  active.reserve(graphs.size());
+  for (const GraphTensors* g : graphs) active.push_back(all_rows(*g));
+
+  for (std::size_t s = 0; s < options_.stages; ++s) {
+    // Weight positives by the remaining imbalance (averaged over graphs);
+    // the last stage decides on a near-balanced population.
+    float weight = 0.0f;
+    for (std::size_t g = 0; g < graphs.size(); ++g) {
+      weight += imbalance_weight(*graphs[g], active[g],
+                                 options_.max_positive_weight);
+    }
+    weight /= static_cast<float>(graphs.size());
+    if (s + 1 == options_.stages) {
+      weight = options_.final_positive_weight;
+    }
+
+    GcnConfig config = options_.model;
+    config.seed = options_.model.seed + 1000 * (s + 1);
+    stages_.emplace_back(config);
+
+    TrainerOptions trainer_options = options_.trainer;
+    trainer_options.positive_class_weight = weight;
+    Trainer trainer(stages_.back(), trainer_options);
+
+    std::vector<TrainGraph> train_set;
+    train_set.reserve(graphs.size());
+    for (std::size_t g = 0; g < graphs.size(); ++g) {
+      train_set.push_back(TrainGraph{graphs[g], active[g]});
+    }
+    trainer.train(train_set, nullptr);
+
+    // Filter: keep only predicted-positive rows for the next stage.
+    for (std::size_t g = 0; g < graphs.size(); ++g) {
+      active[g] = surviving_rows(stages_.back(), *graphs[g], active[g]);
+    }
+    survivors_.push_back(active.empty() ? 0 : active[0].size());
+  }
+}
+
+std::vector<std::int32_t> MultiStageClassifier::predict(
+    const GraphTensors& graph) const {
+  std::vector<std::uint32_t> remaining = all_rows(graph);
+  for (const GcnModel& stage : stages_) {
+    remaining = surviving_rows(stage, graph, remaining);
+    if (remaining.empty()) break;
+  }
+  std::vector<std::int32_t> predictions(graph.node_count(), 0);
+  for (std::uint32_t r : remaining) predictions[r] = 1;
+  return predictions;
+}
+
+}  // namespace gcnt

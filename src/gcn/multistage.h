@@ -1,0 +1,56 @@
+#pragma once
+// Multi-stage GCN cascade for imbalanced node classification
+// (Section 3.3, Fig. 4).
+//
+// Each stage trains with a positive-class loss weight proportional to the
+// remaining imbalance, so it only discards negatives it is confident
+// about; nodes predicted positive flow to the next stage, which sees a
+// progressively more balanced population. A node's final prediction is
+// positive iff every stage keeps it.
+
+#include <cstdint>
+#include <vector>
+
+#include "gcn/model.h"
+#include "gcn/trainer.h"
+
+namespace gcnt {
+
+struct MultiStageOptions {
+  std::size_t stages = 3;
+  GcnConfig model;           ///< per-stage architecture (seed is offset per stage)
+  TrainerOptions trainer;    ///< per-stage training budget
+  /// Cap on the positive class weight (the raw imbalance ratio can exceed
+  /// 100 and destabilize early training).
+  float max_positive_weight = 64.0f;
+  /// Positive weight used for the final stage (balanced decision).
+  float final_positive_weight = 1.0f;
+};
+
+class MultiStageClassifier {
+ public:
+  explicit MultiStageClassifier(const MultiStageOptions& options);
+
+  /// Trains the cascade on labeled graphs (full, imbalanced node sets).
+  void fit(const std::vector<const GraphTensors*>& graphs);
+
+  /// Cascade prediction: 1 = difficult-to-observe.
+  std::vector<std::int32_t> predict(const GraphTensors& graph) const;
+
+  const std::vector<GcnModel>& stage_models() const noexcept {
+    return stages_;
+  }
+
+  /// Per-stage survivor counts recorded during fit() on the first training
+  /// graph (for the stage-filtering ablation).
+  const std::vector<std::size_t>& survivors_per_stage() const noexcept {
+    return survivors_;
+  }
+
+ private:
+  MultiStageOptions options_;
+  std::vector<GcnModel> stages_;
+  std::vector<std::size_t> survivors_;
+};
+
+}  // namespace gcnt

@@ -1,0 +1,47 @@
+#include "gcn/recursive_inference.h"
+
+#include "gcn/vec_ops.h"
+
+namespace gcnt {
+
+RecursiveInference::RecursiveInference(const GcnModel& model,
+                                       const Netlist& netlist,
+                                       const Matrix& features)
+    : model_(&model), netlist_(&netlist), features_(&features) {}
+
+std::vector<float> RecursiveInference::embed(NodeId v, int depth) const {
+  if (depth == 0) {
+    const float* row = features_->row(v);
+    return std::vector<float>(row, row + features_->cols());
+  }
+  // Aggregation (Eq. 1) computed recursively — the neighborhoods of v's
+  // neighbors are re-expanded without sharing, as in [12].
+  std::vector<float> aggregated = embed(v, depth - 1);
+  const float wp = model_->w_pr();
+  const float ws = model_->w_su();
+  for (NodeId u : netlist_->fanins(v)) {
+    axpy_row(aggregated, wp, embed(u, depth - 1));
+  }
+  for (NodeId w : netlist_->fanouts(v)) {
+    axpy_row(aggregated, ws, embed(w, depth - 1));
+  }
+  auto out = apply_linear_row(
+      model_->encoders()[static_cast<std::size_t>(depth - 1)], aggregated);
+  relu_row(out);
+  return out;
+}
+
+std::vector<float> RecursiveInference::infer_node(NodeId v) const {
+  return fc_head_row(model_->fc_layers(), embed(v, model_->config().depth));
+}
+
+Matrix RecursiveInference::infer_all() const {
+  Matrix logits(netlist_->size(), model_->config().num_classes);
+  for (NodeId v = 0; v < netlist_->size(); ++v) {
+    const auto row = infer_node(v);
+    for (std::size_t c = 0; c < row.size(); ++c) logits.at(v, c) = row[c];
+  }
+  return logits;
+}
+
+}  // namespace gcnt

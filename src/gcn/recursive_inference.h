@@ -1,0 +1,40 @@
+#pragma once
+// Recursion-based per-node inference — the baseline of Fig. 10.
+//
+// Computes each node's embedding by expanding its D-hop neighborhood
+// independently, exactly as the released GraphSAGE implementation [12]
+// does per minibatch: overlapping neighborhoods are recomputed from
+// scratch for every node, which is the duplicated work the paper's sparse
+// whole-graph formulation eliminates. Produces bit-identical gate math to
+// GcnModel::infer (the tests check numeric agreement), only the schedule
+// differs.
+
+#include <vector>
+
+#include "gcn/model.h"
+#include "netlist/netlist.h"
+
+namespace gcnt {
+
+class RecursiveInference {
+ public:
+  /// `features` must be the same transformed attribute matrix GcnModel
+  /// consumes (GraphTensors::features).
+  RecursiveInference(const GcnModel& model, const Netlist& netlist,
+                     const Matrix& features);
+
+  /// Logits for one node (length = num_classes).
+  std::vector<float> infer_node(NodeId v) const;
+
+  /// Logits for every node, one independent recursion per node.
+  Matrix infer_all() const;
+
+ private:
+  std::vector<float> embed(NodeId v, int depth) const;
+
+  const GcnModel* model_;
+  const Netlist* netlist_;
+  const Matrix* features_;
+};
+
+}  // namespace gcnt

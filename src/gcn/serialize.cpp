@@ -1,0 +1,135 @@
+#include "gcn/serialize.h"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gcnt {
+
+namespace {
+
+constexpr const char* kMagic = "gcnt-model";
+constexpr int kVersion = 1;
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::runtime_error("load_model: " + message);
+}
+
+std::vector<std::size_t> read_dims(std::istringstream& line) {
+  std::vector<std::size_t> dims;
+  std::size_t value = 0;
+  while (line >> value) dims.push_back(value);
+  return dims;
+}
+
+}  // namespace
+
+void save_model(const GcnModel& model, std::ostream& out) {
+  const GcnConfig& config = model.config();
+  out << kMagic << " v" << kVersion << "\n";
+  out << "depth " << config.depth << "\n";
+  out << "embed_dims";
+  for (std::size_t k : config.embed_dims) out << " " << k;
+  out << "\nfc_dims";
+  for (std::size_t k : config.fc_dims) out << " " << k;
+  out << "\nnum_classes " << config.num_classes << "\n";
+  out << "aggregation " << (config.tied_aggregation ? 1 : 0) << " "
+      << (config.frozen_aggregation ? 1 : 0) << " "
+      << std::setprecision(std::numeric_limits<float>::max_digits10)
+      << model.w_pr() << " " << model.w_su() << "\n";
+
+  out << std::setprecision(std::numeric_limits<float>::max_digits10);
+  for (const Param* param : model.params()) {
+    out << "param " << param->value.rows() << " " << param->value.cols()
+        << "\n";
+    for (std::size_t i = 0; i < param->value.size(); ++i) {
+      out << param->value.data()[i]
+          << ((i + 1) % 8 == 0 || i + 1 == param->value.size() ? "\n" : " ");
+    }
+  }
+}
+
+GcnModel load_model(std::istream& in) {
+  std::string magic, version;
+  if (!(in >> magic >> version) || magic != kMagic || version != "v1") {
+    fail("bad header");
+  }
+
+  GcnConfig config;
+  std::string line;
+  std::getline(in, line);  // consume end of header line
+
+  const auto expect_line = [&](const std::string& key) -> std::istringstream {
+    if (!std::getline(in, line)) fail("truncated before " + key);
+    std::istringstream stream(line);
+    std::string token;
+    stream >> token;
+    if (token != key) fail("expected '" + key + "', got '" + token + "'");
+    return stream;
+  };
+
+  {
+    auto stream = expect_line("depth");
+    if (!(stream >> config.depth)) fail("bad depth");
+  }
+  {
+    auto stream = expect_line("embed_dims");
+    config.embed_dims = read_dims(stream);
+  }
+  {
+    auto stream = expect_line("fc_dims");
+    config.fc_dims = read_dims(stream);
+  }
+  {
+    auto stream = expect_line("num_classes");
+    if (!(stream >> config.num_classes)) fail("bad num_classes");
+  }
+  {
+    auto stream = expect_line("aggregation");
+    int tied = 0, frozen = 0;
+    if (!(stream >> tied >> frozen >> config.initial_w_pr >>
+          config.initial_w_su)) {
+      fail("bad aggregation line");
+    }
+    config.tied_aggregation = tied != 0;
+    config.frozen_aggregation = frozen != 0;
+  }
+  if (config.embed_dims.empty() || config.depth < 1 ||
+      static_cast<std::size_t>(config.depth) > config.embed_dims.size()) {
+    fail("inconsistent architecture");
+  }
+
+  GcnModel model(config);
+  for (Param* param : model.params()) {
+    std::string token;
+    std::size_t rows = 0, cols = 0;
+    if (!(in >> token >> rows >> cols) || token != "param") {
+      fail("missing param block");
+    }
+    if (rows != param->value.rows() || cols != param->value.cols()) {
+      fail("parameter shape mismatch");
+    }
+    for (std::size_t i = 0; i < param->value.size(); ++i) {
+      if (!(in >> param->value.data()[i])) fail("truncated parameter data");
+    }
+  }
+  return model;
+}
+
+void save_model_file(const GcnModel& model, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  save_model(model, out);
+}
+
+GcnModel load_model_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  return load_model(in);
+}
+
+}  // namespace gcnt

@@ -1,0 +1,36 @@
+#pragma once
+// Model persistence: save/load trained GCN weights.
+//
+// Text-based, endianness-independent format:
+//
+//   gcnt-model v1
+//   depth D
+//   embed_dims k1 k2 ...
+//   fc_dims f1 f2 ...
+//   num_classes C
+//   aggregation <tied> <frozen> <w_pr> <w_su>
+//   param <rows> <cols>
+//   <row-major float values ...>
+//   ...
+//
+// Floats are written with max_digits10 so a round-trip is bit-exact.
+
+#include <iosfwd>
+#include <string>
+
+#include "gcn/model.h"
+
+namespace gcnt {
+
+/// Writes configuration + every parameter of `model`.
+void save_model(const GcnModel& model, std::ostream& out);
+
+/// Reconstructs a model (architecture + weights). Throws
+/// std::runtime_error on malformed input or a version mismatch.
+GcnModel load_model(std::istream& in);
+
+/// File-path conveniences; throw std::runtime_error on I/O failure.
+void save_model_file(const GcnModel& model, const std::string& path);
+GcnModel load_model_file(const std::string& path);
+
+}  // namespace gcnt

@@ -1,0 +1,133 @@
+#include "gcn/trainer.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "common/metrics.h"
+
+#include "common/thread_pool.h"
+#include "nn/optimizer.h"
+
+namespace gcnt {
+
+namespace {
+
+std::vector<std::int32_t> argmax_rows(const Matrix& logits) {
+  std::vector<std::int32_t> out(logits.rows(), 0);
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const float* row = logits.row(r);
+    std::int32_t best = 0;
+    for (std::size_t c = 1; c < logits.cols(); ++c) {
+      if (row[c] > row[best]) best = static_cast<std::int32_t>(c);
+    }
+    out[r] = best;
+  }
+  return out;
+}
+
+}  // namespace
+
+Trainer::Trainer(GcnModel& model, TrainerOptions options)
+    : model_(&model), options_(options) {}
+
+double Trainer::evaluate_accuracy(const GcnModel& model,
+                                  const TrainGraph& data) {
+  const Matrix logits = model.infer(*data.graph);
+  const auto predictions = argmax_rows(logits);
+  const auto cm = evaluate_binary(predictions, data.graph->labels,
+                                  data.rows.empty() ? nullptr : &data.rows);
+  return cm.accuracy();
+}
+
+std::vector<EpochRecord> Trainer::train(
+    const std::vector<TrainGraph>& train_graphs, const TrainGraph* test) {
+  if (train_graphs.empty()) {
+    throw std::invalid_argument("Trainer::train: no training graphs");
+  }
+  for (const TrainGraph& tg : train_graphs) {
+    if (tg.graph == nullptr || tg.graph->labels.empty()) {
+      throw std::invalid_argument("Trainer::train: unlabeled graph");
+    }
+  }
+
+  const std::vector<float> class_weights{1.0f,
+                                         options_.positive_class_weight};
+
+  std::unique_ptr<Optimizer> optimizer;
+  if (options_.use_adam) {
+    optimizer = std::make_unique<AdamOptimizer>(options_.learning_rate);
+  } else {
+    optimizer = std::make_unique<SgdOptimizer>(options_.learning_rate,
+                                               options_.sgd_momentum);
+  }
+
+  // One replica per worker slot; each step a replica handles one graph,
+  // mirroring the one-graph-per-GPU scheme of Fig. 5.
+  const std::size_t replica_count =
+      options_.workers == 0 ? train_graphs.size()
+                            : std::min(options_.workers, train_graphs.size());
+  std::vector<GcnModel> replicas(replica_count, *model_);
+  ThreadPool pool(replica_count);
+
+  const auto master_params = model_->params();
+  std::vector<EpochRecord> history;
+  history.reserve(options_.epochs);
+
+  for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    std::vector<double> losses(train_graphs.size(), 0.0);
+
+    // Process graphs in waves of `replica_count`.
+    for (std::size_t wave = 0; wave < train_graphs.size();
+         wave += replica_count) {
+      const std::size_t in_wave =
+          std::min(replica_count, train_graphs.size() - wave);
+      for (std::size_t k = 0; k < in_wave; ++k) {
+        replicas[k].copy_params_from(*model_);
+        replicas[k].zero_grad();
+      }
+      pool.parallel_for(in_wave, [&](std::size_t k) {
+        const TrainGraph& tg = train_graphs[wave + k];
+        GcnModel& replica = replicas[k];
+        const Matrix logits = replica.forward(*tg.graph);
+        Matrix dlogits;
+        losses[wave + k] = softmax_cross_entropy(
+            logits, tg.graph->labels, class_weights,
+            tg.rows.empty() ? nullptr : &tg.rows, dlogits);
+        replica.backward(*tg.graph, dlogits);
+      });
+      // Gather: average replica gradients into the master, then step.
+      const float scale = 1.0f / static_cast<float>(in_wave);
+      for (std::size_t k = 0; k < in_wave; ++k) {
+        const auto replica_params = replicas[k].params();
+        for (std::size_t p = 0; p < master_params.size(); ++p) {
+          master_params[p]->grad.axpy(scale, replica_params[p]->grad);
+        }
+      }
+      optimizer->step(master_params);
+    }
+
+    EpochRecord record;
+    record.epoch = epoch;
+    for (double l : losses) record.loss += l;
+    record.loss /= static_cast<double>(train_graphs.size());
+    if (epoch % options_.eval_interval == 0 ||
+        epoch + 1 == options_.epochs) {
+      double acc = 0.0;
+      for (const TrainGraph& tg : train_graphs) {
+        acc += evaluate_accuracy(*model_, tg);
+      }
+      record.train_accuracy = acc / static_cast<double>(train_graphs.size());
+      if (test != nullptr) {
+        record.test_accuracy = evaluate_accuracy(*model_, *test);
+      }
+    } else if (!history.empty()) {
+      record.train_accuracy = history.back().train_accuracy;
+      record.test_accuracy = history.back().test_accuracy;
+    }
+    history.push_back(record);
+  }
+  return history;
+}
+
+}  // namespace gcnt

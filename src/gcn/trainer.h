@@ -1,0 +1,64 @@
+#pragma once
+// End-to-end GCN training over multiple netlist graphs.
+//
+// Implements the paper's parallel training scheme (Section 3.4.2, Fig. 5):
+// graphs cannot be split like image batches, so each worker ("device")
+// owns a model replica and one whole graph per step; replica gradients are
+// gathered and averaged into the master model, which takes the optimizer
+// step. On a single-core host the pool serializes but the scheme — and its
+// gradient equivalence to serial training, which the tests check — is the
+// same.
+
+#include <cstdint>
+#include <vector>
+
+#include "gcn/model.h"
+
+namespace gcnt {
+
+/// One training/evaluation unit: a graph and the rows the loss runs on
+/// (e.g. a balanced subset). Labels come from GraphTensors::labels.
+struct TrainGraph {
+  const GraphTensors* graph = nullptr;
+  std::vector<std::uint32_t> rows;  ///< empty = all rows
+};
+
+struct TrainerOptions {
+  std::size_t epochs = 100;
+  float learning_rate = 1e-2f;
+  /// Loss weight on the positive (difficult-to-observe) class; stages of
+  /// the multi-stage cascade raise this (Section 3.3).
+  float positive_class_weight = 1.0f;
+  bool use_adam = true;       ///< false = SGD with momentum (paper setup)
+  float sgd_momentum = 0.9f;
+  std::size_t workers = 0;    ///< replicas; 0 = one per training graph
+  /// Record train/test accuracy every `eval_interval` epochs (1 = always).
+  std::size_t eval_interval = 1;
+};
+
+struct EpochRecord {
+  std::size_t epoch = 0;
+  double loss = 0.0;
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;  ///< 0 when no test graph supplied
+};
+
+class Trainer {
+ public:
+  Trainer(GcnModel& model, TrainerOptions options);
+
+  /// Trains `model` in place; returns the per-epoch learning curve
+  /// (Fig. 8 data). `test` may be nullptr.
+  std::vector<EpochRecord> train(const std::vector<TrainGraph>& train_graphs,
+                                 const TrainGraph* test);
+
+  /// Accuracy of `model` on one graph restricted to `rows`.
+  static double evaluate_accuracy(const GcnModel& model,
+                                  const TrainGraph& data);
+
+ private:
+  GcnModel* model_;
+  TrainerOptions options_;
+};
+
+}  // namespace gcnt

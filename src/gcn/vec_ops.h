@@ -1,0 +1,49 @@
+#pragma once
+// Small row-vector helpers shared by the per-node inference engines
+// (recursive baseline, GraphSAGE-style sampled baseline, OPI impact
+// evaluation). Whole-graph paths use the Matrix kernels instead.
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace gcnt {
+
+/// row-vector * W + b on plain float vectors.
+inline std::vector<float> apply_linear_row(const Linear& layer,
+                                           const std::vector<float>& in) {
+  const Matrix& w = layer.weight.value;
+  const Matrix& b = layer.bias.value;
+  std::vector<float> out(w.cols());
+  for (std::size_t j = 0; j < w.cols(); ++j) out[j] = b.at(0, j);
+  for (std::size_t i = 0; i < w.rows(); ++i) {
+    const float x = in[i];
+    if (x == 0.0f) continue;
+    const float* wrow = w.row(i);
+    for (std::size_t j = 0; j < w.cols(); ++j) out[j] += x * wrow[j];
+  }
+  return out;
+}
+
+inline void relu_row(std::vector<float>& v) {
+  for (float& x : v) {
+    if (x < 0.0f) x = 0.0f;
+  }
+}
+
+inline void axpy_row(std::vector<float>& acc, float alpha,
+                     const std::vector<float>& x) {
+  for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += alpha * x[i];
+}
+
+/// Applies a model's FC head to a single embedding row.
+inline std::vector<float> fc_head_row(const std::vector<Linear>& fc,
+                                      std::vector<float> h) {
+  for (std::size_t i = 0; i < fc.size(); ++i) {
+    h = apply_linear_row(fc[i], h);
+    if (i + 1 < fc.size()) relu_row(h);
+  }
+  return h;
+}
+
+}  // namespace gcnt

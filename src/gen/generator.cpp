@@ -1,0 +1,359 @@
+#include "gen/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gcnt {
+
+namespace {
+
+/// Gate-type mix for ordinary logic. Inversion-rich (NAND/NOR/NOT heavy)
+/// like synthesized standard-cell netlists: inverting gates keep signal
+/// probabilities near 0.5, which keeps typical logic randomly observable —
+/// so the difficult-to-observe population comes from the deliberate traps,
+/// not from probability drift.
+CellType random_logic_type(Rng& rng) {
+  const double r = rng.uniform();
+  if (r < 0.08) return CellType::kAnd;
+  if (r < 0.36) return CellType::kNand;
+  if (r < 0.42) return CellType::kOr;
+  if (r < 0.60) return CellType::kNor;
+  if (r < 0.70) return CellType::kXor;
+  if (r < 0.75) return CellType::kXnor;
+  if (r < 0.92) return CellType::kNot;
+  return CellType::kBuf;
+}
+
+int random_arity(CellType type, int max_fanin, Rng& rng) {
+  if (type == CellType::kNot || type == CellType::kBuf) return 1;
+  (void)type;
+  // Geometric bias toward 2-input gates.
+  int arity = 2;
+  while (arity < max_fanin && rng.chance(0.3)) ++arity;
+  return arity;
+}
+
+/// COP-style signal probability of a prospective gate (independence
+/// approximation). Used to keep generated logic probability-balanced: a
+/// netlist whose signals drift to near-constant values is untypical of
+/// synthesized logic and drowns the deliberate traps in accidental ones.
+double gate_p1(CellType type, const std::vector<NodeId>& fanins,
+               const std::vector<double>& p1) {
+  switch (type) {
+    case CellType::kBuf:
+      return p1[fanins[0]];
+    case CellType::kNot:
+      return 1.0 - p1[fanins[0]];
+    case CellType::kAnd:
+    case CellType::kNand: {
+      double all = 1.0;
+      for (NodeId u : fanins) all *= p1[u];
+      return type == CellType::kAnd ? all : 1.0 - all;
+    }
+    case CellType::kOr:
+    case CellType::kNor: {
+      double none = 1.0;
+      for (NodeId u : fanins) none *= 1.0 - p1[u];
+      return type == CellType::kOr ? 1.0 - none : none;
+    }
+    case CellType::kXor:
+    case CellType::kXnor: {
+      double odd = 0.0;
+      for (NodeId u : fanins) odd = odd * (1.0 - p1[u]) + (1.0 - odd) * p1[u];
+      return type == CellType::kXor ? odd : 1.0 - odd;
+    }
+    default:
+      return 0.5;
+  }
+}
+
+/// AND-reduces `signals` with a tree of AND gates; returns the root.
+NodeId and_reduce(Netlist& netlist, std::vector<NodeId> signals,
+                  int max_fanin, std::size_t* created) {
+  assert(!signals.empty());
+  while (signals.size() > 1) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i < signals.size();) {
+      const std::size_t take = std::min<std::size_t>(
+          static_cast<std::size_t>(max_fanin), signals.size() - i);
+      if (take == 1) {
+        next.push_back(signals[i]);
+        ++i;
+        continue;
+      }
+      const NodeId gate = netlist.add_node(CellType::kAnd);
+      for (std::size_t k = 0; k < take; ++k) {
+        netlist.connect(signals[i + k], gate);
+      }
+      if (created) ++*created;
+      next.push_back(gate);
+      i += take;
+    }
+    signals = std::move(next);
+  }
+  return signals.front();
+}
+
+/// XOR-reduces `signals` (output-compactor style) down to at most `keep`.
+std::vector<NodeId> xor_compact(Netlist& netlist, std::vector<NodeId> signals,
+                                std::size_t keep, int max_fanin) {
+  while (signals.size() > keep) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i < signals.size();) {
+      const std::size_t take = std::min<std::size_t>(
+          static_cast<std::size_t>(max_fanin), signals.size() - i);
+      if (take == 1) {
+        next.push_back(signals[i]);
+        ++i;
+        continue;
+      }
+      const NodeId gate = netlist.add_node(CellType::kXor);
+      for (std::size_t k = 0; k < take; ++k) {
+        netlist.connect(signals[i + k], gate);
+      }
+      next.push_back(gate);
+      i += take;
+    }
+    if (next.size() == signals.size()) break;
+    signals = std::move(next);
+  }
+  return signals;
+}
+
+/// Levelized driver pools: rank 0 holds the sources; gates at rank r draw
+/// mostly from rank r-1, which bounds combinational depth the way logic
+/// between scan stages is bounded in real designs.
+class LeveledPools {
+ public:
+  explicit LeveledPools(std::vector<NodeId> sources) {
+    ranks_.push_back(std::move(sources));
+  }
+
+  void start_rank() { ranks_.emplace_back(); }
+  void add(NodeId v) { ranks_.back().push_back(v); }
+  std::size_t current_rank() const { return ranks_.size() - 1; }
+
+  /// Picks one driver for a gate at the current rank: mostly the previous
+  /// rank (with a dangling-node preference), sometimes 2-4 ranks back
+  /// (reconvergence), occasionally a source.
+  NodeId pick(const Netlist& netlist, Rng& rng) const {
+    const std::size_t r = current_rank();
+    const double roll = rng.uniform();
+    const std::vector<NodeId>* pool;
+    if (roll < 0.72 || r <= 1) {
+      pool = &ranks_[r - 1];
+    } else if (roll < 0.92) {
+      const std::size_t back = 2 + rng.below(std::min<std::size_t>(3, r - 1));
+      pool = &ranks_[r - back];
+    } else {
+      pool = &ranks_[0];
+    }
+    if (pool->empty()) pool = &ranks_[r - 1];
+    NodeId candidate = (*pool)[rng.below(pool->size())];
+    // Prefer a dangling node from the previous rank so little logic is
+    // left unconnected.
+    if (!netlist.fanouts(candidate).empty() && rng.chance(0.5)) {
+      const auto& prev = ranks_[r - 1];
+      const NodeId retry = prev[rng.below(prev.size())];
+      if (netlist.fanouts(retry).empty()) candidate = retry;
+    }
+    return candidate;
+  }
+
+  std::vector<NodeId> pick_distinct(const Netlist& netlist, int arity,
+                                    Rng& rng) const {
+    std::vector<NodeId> chosen;
+    chosen.reserve(static_cast<std::size_t>(arity));
+    for (int attempt = 0; static_cast<int>(chosen.size()) < arity; ++attempt) {
+      const NodeId candidate = pick(netlist, rng);
+      if (std::find(chosen.begin(), chosen.end(), candidate) ==
+          chosen.end()) {
+        chosen.push_back(candidate);
+      } else if (attempt > 8 * arity) {
+        chosen.push_back(candidate);  // tiny pools: accept duplicates
+      }
+    }
+    return chosen;
+  }
+
+ private:
+  std::vector<std::vector<NodeId>> ranks_;
+};
+
+}  // namespace
+
+Netlist generate_circuit(const GeneratorConfig& config) {
+  Rng rng(config.seed);
+  Netlist netlist("synth_" + std::to_string(config.seed));
+
+  // Sources: primary inputs and scan flip-flops.
+  std::vector<NodeId> sources;
+  for (std::size_t i = 0; i < config.primary_inputs; ++i) {
+    sources.push_back(
+        netlist.add_node(CellType::kInput, "pi" + std::to_string(i)));
+  }
+  std::vector<NodeId> dffs;
+  for (std::size_t i = 0; i < config.flip_flops; ++i) {
+    const NodeId ff =
+        netlist.add_node(CellType::kDff, "ff" + std::to_string(i));
+    dffs.push_back(ff);
+    sources.push_back(ff);
+  }
+  LeveledPools pools(sources);
+
+  // Tracked signal probabilities (COP approximation) for balancing.
+  std::vector<double> p1(netlist.size(), 0.5);
+  const auto track = [&](NodeId gate, CellType type,
+                         const std::vector<NodeId>& fanins) {
+    p1.resize(netlist.size(), 0.5);
+    p1[gate] = gate_p1(type, fanins, p1);
+  };
+
+  const std::size_t depth = std::max<std::size_t>(4, config.target_depth);
+  const std::size_t width =
+      std::max<std::size_t>(6, config.target_gates / depth);
+
+  const auto trap_budget = static_cast<std::size_t>(
+      config.trap_fraction * static_cast<double>(config.target_gates));
+  std::size_t trap_gates = 0;
+  std::size_t gates_placed = 0;
+
+  for (std::size_t rank = 1;
+       rank <= depth || gates_placed < config.target_gates; ++rank) {
+    pools.start_rank();
+
+    // --- Observability trap (paper Fig. 2: "Module 1 is unobservable").
+    // Budgeted so traps spread across ranks.
+    if (trap_gates < trap_budget && rank >= 3 && rng.chance(0.5)) {
+      // Enable: wide AND reduction over lower-rank signals; it sits at 1
+      // with probability ~2^-width under random patterns.
+      std::vector<NodeId> enable_taps;
+      for (int i = 0; i < config.trap_enable_width; ++i) {
+        enable_taps.push_back(pools.pick(netlist, rng));
+      }
+      std::size_t created = 0;
+      const NodeId enable =
+          and_reduce(netlist, enable_taps, config.max_fanin, &created);
+
+      // Trapped region: a private subtree whose only exits are gated by
+      // `enable`; region nodes never enter the shared pools, so no other
+      // (observable) path out can appear later. Regions are kept SHALLOW
+      // (most nodes within 2 hops of an exit): a D-hop GCN can then see the
+      // enable tree from every trapped node, matching the paper's setting
+      // where a depth-3 neighborhood suffices to recognize the pattern.
+      const std::vector<NodeId> seeds = pools.pick_distinct(netlist, 4, rng);
+      std::vector<NodeId> region = seeds;
+      const std::size_t region_size = 5 + rng.below(10);
+      std::vector<NodeId> region_nodes;
+      for (std::size_t g = 0; g < region_size; ++g) {
+        const CellType type = random_logic_type(rng);
+        const int arity = random_arity(type, config.max_fanin, rng);
+        const NodeId gate = netlist.add_node(type);
+        std::vector<NodeId> chosen;
+        for (int attempt = 0; static_cast<int>(chosen.size()) < arity;
+             ++attempt) {
+          // Bias toward the seeds: keeps the region wide and shallow.
+          const NodeId driver = rng.chance(0.6)
+                                    ? seeds[rng.below(seeds.size())]
+                                    : region[rng.below(region.size())];
+          if (std::find(chosen.begin(), chosen.end(), driver) ==
+                  chosen.end() ||
+              attempt > 8 * arity) {
+            chosen.push_back(driver);
+          }
+        }
+        for (NodeId driver : chosen) netlist.connect(driver, gate);
+        region.push_back(gate);
+        region_nodes.push_back(gate);
+        ++created;
+      }
+      for (NodeId v : region_nodes) {
+        if (!netlist.fanouts(v).empty()) continue;
+        const NodeId gate = netlist.add_node(CellType::kAnd);
+        netlist.connect(v, gate);
+        netlist.connect(enable, gate);
+        pools.add(gate);
+        // Exit gates really are near-constant 0 (the enable is ~2^-width);
+        // record that so downstream balancing reacts correctly.
+        p1.resize(netlist.size(), 0.5);
+        p1[gate] =
+            0.5 * std::pow(0.5, static_cast<double>(config.trap_enable_width));
+        ++created;
+      }
+      trap_gates += created;
+      gates_placed += created;
+    }
+
+    // --- Ordinary gates for this rank.
+    for (std::size_t g = 0; g < width; ++g) {
+      CellType type = random_logic_type(rng);
+      const int arity = random_arity(type, config.max_fanin, rng);
+      const auto fanins = pools.pick_distinct(netlist, arity, rng);
+      // Probability balancing: a near-constant output would make this and
+      // all downstream logic accidentally untestable, so degrade to a
+      // parity gate (probability ~0.5) instead.
+      if (const double p = gate_p1(type, fanins, p1);
+          (p < 0.05 || p > 0.95) && arity >= 2) {
+        type = rng.chance(0.5) ? CellType::kXor : CellType::kXnor;
+      }
+      const NodeId gate = netlist.add_node(type);
+      for (NodeId u : fanins) netlist.connect(u, gate);
+      track(gate, type, fanins);
+      pools.add(gate);
+      ++gates_placed;
+    }
+    if (gates_placed >= config.target_gates && rank >= depth) break;
+  }
+
+  // Tie scan flip-flop D pins to arbitrary logic (sequential edges cannot
+  // create combinational cycles).
+  std::vector<NodeId> capture_candidates;
+  for (NodeId v = 0; v < netlist.size(); ++v) {
+    if (is_logic(netlist.type(v))) capture_candidates.push_back(v);
+  }
+  for (NodeId ff : dffs) {
+    netlist.connect(
+        capture_candidates[rng.below(capture_candidates.size())], ff);
+  }
+
+  // Output stage: XOR-compact every dangling signal down to the PO budget.
+  std::vector<NodeId> dangling;
+  for (NodeId v = 0; v < netlist.size(); ++v) {
+    if (netlist.fanouts(v).empty() && !is_sink(netlist.type(v))) {
+      dangling.push_back(v);
+    }
+  }
+  if (dangling.empty()) dangling.push_back(capture_candidates.back());
+  auto roots = xor_compact(netlist, std::move(dangling),
+                           config.primary_outputs, config.max_fanin);
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    const NodeId po =
+        netlist.add_node(CellType::kOutput, "po" + std::to_string(i));
+    netlist.connect(roots[i], po);
+  }
+
+  return netlist;
+}
+
+Netlist generate_benchmark_design(int index, std::size_t target_gates) {
+  GeneratorConfig config;
+  config.seed = 0xB100 + static_cast<std::uint64_t>(index);
+  config.target_gates = target_gates;
+  config.primary_inputs = 48 + 16 * static_cast<std::size_t>(index);
+  config.primary_outputs = 24 + 8 * static_cast<std::size_t>(index);
+  config.flip_flops = std::max<std::size_t>(16, target_gates / 24);
+  // Mild per-design shape variation, mirroring the spread in Table 1.
+  config.trap_fraction = 0.018 + 0.002 * index;
+  config.trap_enable_width = 8 + (index % 2);
+  config.target_depth = 22 + 3 * static_cast<std::size_t>(index);
+  Netlist netlist = generate_circuit(config);
+  netlist.set_name("B" + std::to_string(index + 1));
+  return netlist;
+}
+
+}  // namespace gcnt

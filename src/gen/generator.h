@@ -1,0 +1,56 @@
+#pragma once
+// Seeded synthetic gate-level circuit generator.
+//
+// Stand-in for the paper's four industrial 12nm designs (Table 1), which we
+// cannot redistribute. The generator reproduces the properties the GCN and
+// the DFT flows actually react to:
+//
+//  * levelized DAG structure with locality-biased fanin selection
+//    (module-like clustering) and reconvergent fanout,
+//  * a realistic gate-type mix and fanin distribution,
+//  * sequential elements treated as scan cells,
+//  * XOR-tree output compaction so no signal dangles, and
+//  * "observability traps": regions whose only propagation path runs
+//    through an AND/OR gate whose side input is a wide reduction that is
+//    almost never at its non-controlling value (the paper's Figure 2
+//    "Module 1 is unobservable" pattern). These regions produce the
+//    difficult-to-observe population (~0.5-1% of nodes, matching the
+//    paper's #POS/#NEG ratio).
+//
+// The same seed always yields the same netlist.
+
+#include <cstdint>
+
+#include "netlist/netlist.h"
+
+namespace gcnt {
+
+struct GeneratorConfig {
+  std::uint64_t seed = 1;
+  /// Approximate number of logic gates (the final node count also includes
+  /// PIs, POs, DFFs and compactor gates; see generate_circuit docs).
+  std::size_t target_gates = 10000;
+  std::size_t primary_inputs = 64;
+  std::size_t primary_outputs = 32;
+  /// Number of scan flip-flops (sources at level 0, D pins tied to logic).
+  std::size_t flip_flops = 128;
+  /// Gate fanin is drawn from [2, max_fanin] with geometric bias toward 2.
+  int max_fanin = 4;
+  /// Fraction of logic gates placed inside observability traps.
+  double trap_fraction = 0.03;
+  /// Width of each trap's enable reduction tree; propagation probability
+  /// through the trap gate is ~2^-trap_enable_width.
+  int trap_enable_width = 9;
+  /// Target combinational depth (scan-to-scan logic levels); gates at rank
+  /// r draw mostly from rank r-1, as synthesized pipelines do.
+  std::size_t target_depth = 24;
+};
+
+/// Generates a structurally valid netlist (Netlist::validate() is empty).
+Netlist generate_circuit(const GeneratorConfig& config);
+
+/// The four Table-1 designs B1..B4 at a given gate budget: same generator
+/// with per-design seeds/shape tweaks. `index` is 0..3.
+Netlist generate_benchmark_design(int index, std::size_t target_gates);
+
+}  // namespace gcnt

@@ -1,0 +1,22 @@
+#pragma once
+// Common interface for the classical baseline models of Table 2.
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace gcnt {
+
+class BinaryClassifier {
+ public:
+  virtual ~BinaryClassifier() = default;
+
+  /// Trains on feature rows `x` with labels `y` in {0, 1}.
+  virtual void fit(const Matrix& x, const std::vector<std::int32_t>& y) = 0;
+
+  /// Predicted class per row.
+  virtual std::vector<std::int32_t> predict(const Matrix& x) const = 0;
+};
+
+}  // namespace gcnt

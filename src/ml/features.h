@@ -1,0 +1,35 @@
+#pragma once
+// Handcrafted neighborhood features for the classical baselines (Table 2).
+//
+// Classical models need fixed-length vectors, so — as in Section 5 — we
+// breadth-first collect up to N_fi nodes from the fan-in cone and N_fo
+// from the fan-out cone of the target node and concatenate their 4-dim
+// attributes after the target's own, zero-padding short cones. The paper
+// uses 500+500 on million-gate designs; the default here scales to our
+// design sizes and is configurable.
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "tensor/matrix.h"
+
+namespace gcnt {
+
+struct ConeFeatureOptions {
+  std::size_t fanin_nodes = 50;
+  std::size_t fanout_nodes = 50;
+};
+
+/// Feature vector length under `options`.
+std::size_t cone_feature_dim(const ConeFeatureOptions& options) noexcept;
+
+/// Extracts features for the nodes listed in `rows`. `node_features` is
+/// the N x 4 transformed attribute matrix (GraphTensors::features).
+/// Returns |rows| x cone_feature_dim(options).
+Matrix extract_cone_features(const Netlist& netlist,
+                             const Matrix& node_features,
+                             const std::vector<std::uint32_t>& rows,
+                             const ConeFeatureOptions& options = {});
+
+}  // namespace gcnt

@@ -1,0 +1,106 @@
+#include "ml/linear_models.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gcnt {
+
+void LinearModelBase::fit(const Matrix& x, const std::vector<std::int32_t>& y) {
+  if (x.rows() != y.size()) {
+    throw std::invalid_argument("LinearModel::fit: label count mismatch");
+  }
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+
+  // Standardize from training statistics.
+  mean_.assign(d, 0.0f);
+  inv_std_.assign(d, 1.0f);
+  for (std::size_t r = 0; r < n; ++r) {
+    const float* row = x.row(r);
+    for (std::size_t c = 0; c < d; ++c) mean_[c] += row[c];
+  }
+  for (float& m : mean_) m /= static_cast<float>(n);
+  std::vector<double> var(d, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const float* row = x.row(r);
+    for (std::size_t c = 0; c < d; ++c) {
+      const double delta = row[c] - mean_[c];
+      var[c] += delta * delta;
+    }
+  }
+  for (std::size_t c = 0; c < d; ++c) {
+    const double stddev = std::sqrt(var[c] / static_cast<double>(n));
+    inv_std_[c] = stddev > 1e-8 ? static_cast<float>(1.0 / stddev) : 0.0f;
+  }
+
+  weights_.assign(d, 0.0f);
+  bias_ = 0.0f;
+  Rng rng(options_.seed);
+  std::vector<std::size_t> index(n);
+  for (std::size_t i = 0; i < n; ++i) index[i] = i;
+
+  for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.shuffle(index);
+    for (std::size_t start = 0; start < n; start += options_.batch_size) {
+      const std::size_t end = std::min(n, start + options_.batch_size);
+      std::vector<float> grad_w(d, 0.0f);
+      float grad_b = 0.0f;
+      for (std::size_t k = start; k < end; ++k) {
+        const std::size_t r = index[k];
+        float score = bias_;
+        for (std::size_t c = 0; c < d; ++c) {
+          score += weights_[c] * standardized(x, r, c);
+        }
+        const float signed_label = y[r] == 1 ? 1.0f : -1.0f;
+        const float g = loss_gradient(score, signed_label);
+        if (g == 0.0f) continue;
+        for (std::size_t c = 0; c < d; ++c) {
+          grad_w[c] += g * standardized(x, r, c);
+        }
+        grad_b += g;
+      }
+      const float scale =
+          options_.learning_rate / static_cast<float>(end - start);
+      for (std::size_t c = 0; c < d; ++c) {
+        weights_[c] -= scale * grad_w[c] +
+                       options_.learning_rate * options_.l2 * weights_[c];
+      }
+      bias_ -= scale * grad_b;
+    }
+  }
+}
+
+std::vector<float> LinearModelBase::decision_function(const Matrix& x) const {
+  std::vector<float> scores(x.rows(), bias_);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    float acc = bias_;
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      acc += weights_[c] * standardized(x, r, c);
+    }
+    scores[r] = acc;
+  }
+  return scores;
+}
+
+std::vector<std::int32_t> LinearModelBase::predict(const Matrix& x) const {
+  const auto scores = decision_function(x);
+  std::vector<std::int32_t> labels(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    labels[i] = scores[i] >= 0.0f ? 1 : 0;
+  }
+  return labels;
+}
+
+float LogisticRegression::loss_gradient(float score, float signed_label) const {
+  // d/ds of log(1 + exp(-ys)) = -y * sigmoid(-ys).
+  const float margin = signed_label * score;
+  const float sigmoid = 1.0f / (1.0f + std::exp(margin));
+  return -signed_label * sigmoid;
+}
+
+float LinearSvm::loss_gradient(float score, float signed_label) const {
+  // Hinge: max(0, 1 - ys); subgradient -y when the margin is violated.
+  return signed_label * score < 1.0f ? -signed_label : 0.0f;
+}
+
+}  // namespace gcnt

@@ -1,0 +1,70 @@
+#pragma once
+// Linear baselines: logistic regression and linear SVM.
+//
+// Both are trained by mini-batch SGD with L2 regularization; features are
+// standardized internally (mean/variance from the training set), which the
+// wide-dynamic-range SCOAP attributes require.
+
+#include "ml/classifier.h"
+
+#include "common/rng.h"
+
+namespace gcnt {
+
+struct LinearModelOptions {
+  std::size_t epochs = 60;
+  std::size_t batch_size = 64;
+  float learning_rate = 0.05f;
+  float l2 = 1e-4f;
+  std::uint64_t seed = 11;
+};
+
+/// Shared standardize + linear-score machinery.
+class LinearModelBase : public BinaryClassifier {
+ public:
+  explicit LinearModelBase(LinearModelOptions options)
+      : options_(options) {}
+
+  void fit(const Matrix& x, const std::vector<std::int32_t>& y) final;
+  std::vector<std::int32_t> predict(const Matrix& x) const final;
+
+  /// Raw decision score per row (positive = class 1).
+  std::vector<float> decision_function(const Matrix& x) const;
+
+ protected:
+  /// Per-example gradient scale on w.x+b, given score s and label in
+  /// {-1,+1}: logistic uses sigmoid, SVM uses hinge subgradient.
+  virtual float loss_gradient(float score, float signed_label) const = 0;
+
+  LinearModelOptions options_;
+
+ private:
+  float standardized(const Matrix& x, std::size_t row, std::size_t col) const {
+    return (x.at(row, col) - mean_[col]) * inv_std_[col];
+  }
+
+  std::vector<float> weights_;
+  float bias_ = 0.0f;
+  std::vector<float> mean_;
+  std::vector<float> inv_std_;
+};
+
+class LogisticRegression final : public LinearModelBase {
+ public:
+  explicit LogisticRegression(LinearModelOptions options = {})
+      : LinearModelBase(options) {}
+
+ protected:
+  float loss_gradient(float score, float signed_label) const override;
+};
+
+class LinearSvm final : public LinearModelBase {
+ public:
+  explicit LinearSvm(LinearModelOptions options = {})
+      : LinearModelBase(options) {}
+
+ protected:
+  float loss_gradient(float score, float signed_label) const override;
+};
+
+}  // namespace gcnt

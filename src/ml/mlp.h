@@ -1,0 +1,45 @@
+#pragma once
+// Multi-layer perceptron baseline ("MLP" in Table 2).
+//
+// Per the paper, its architecture matches the GCN's classifier head
+// (64, 64, 128, 2 with ReLU) but it consumes the handcrafted cone features
+// instead of learned embeddings — isolating the value of the graph
+// aggregation itself.
+
+#include "ml/classifier.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace gcnt {
+
+struct MlpOptions {
+  std::vector<std::size_t> hidden_dims = {64, 64, 128};
+  std::size_t epochs = 80;
+  std::size_t batch_size = 64;
+  float learning_rate = 1e-3f;
+  std::uint64_t seed = 31;
+};
+
+class MlpClassifier final : public BinaryClassifier {
+ public:
+  explicit MlpClassifier(MlpOptions options = {}) : options_(options) {}
+
+  void fit(const Matrix& x, const std::vector<std::int32_t>& y) override;
+  std::vector<std::int32_t> predict(const Matrix& x) const override;
+
+ private:
+  Matrix forward(const Matrix& x, std::vector<Matrix>* inputs,
+                 std::vector<Matrix>* activations) const;
+  /// Standardizes a raw batch into model space.
+  Matrix standardize(const Matrix& x) const;
+
+  MlpOptions options_;
+  std::vector<Linear> layers_;
+  std::vector<float> mean_;
+  std::vector<float> inv_std_;
+};
+
+}  // namespace gcnt

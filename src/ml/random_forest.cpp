@@ -1,0 +1,169 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace gcnt {
+
+namespace {
+
+double gini(std::size_t positives, std::size_t total) {
+  if (total == 0) return 0.0;
+  const double p = static_cast<double>(positives) / static_cast<double>(total);
+  return 2.0 * p * (1.0 - p);
+}
+
+struct SplitChoice {
+  std::int32_t feature = -1;
+  float threshold = 0.0f;
+  double impurity = 1e30;
+};
+
+}  // namespace
+
+float RandomForest::Tree::predict_row(const Matrix& x,
+                                      std::size_t row) const {
+  std::int32_t index = 0;
+  for (;;) {
+    const Node& node = nodes[static_cast<std::size_t>(index)];
+    if (node.left < 0) return node.positive_fraction;
+    index = x.at(row, static_cast<std::size_t>(node.feature)) <= node.threshold
+                ? node.left
+                : node.right;
+  }
+}
+
+void RandomForest::fit(const Matrix& x, const std::vector<std::int32_t>& y) {
+  if (x.rows() != y.size()) {
+    throw std::invalid_argument("RandomForest::fit: label count mismatch");
+  }
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  const std::size_t features_per_split =
+      options_.features_per_split > 0
+          ? options_.features_per_split
+          : std::max<std::size_t>(
+                1, static_cast<std::size_t>(std::sqrt(static_cast<double>(d))));
+
+  trees_.clear();
+  trees_.resize(options_.trees);
+  Rng forest_rng(options_.seed);
+
+  for (Tree& tree : trees_) {
+    Rng rng = forest_rng.split();
+    // Bootstrap sample.
+    std::vector<std::uint32_t> sample(n);
+    for (auto& s : sample) s = static_cast<std::uint32_t>(rng.below(n));
+
+    // Iterative tree construction (explicit stack of work items).
+    struct Work {
+      std::vector<std::uint32_t> rows;
+      std::int32_t node_index;
+      std::size_t depth;
+    };
+    std::vector<Work> stack;
+    tree.nodes.emplace_back();
+    stack.push_back(Work{std::move(sample), 0, 0});
+
+    while (!stack.empty()) {
+      Work work = std::move(stack.back());
+      stack.pop_back();
+      Node& node = tree.nodes[static_cast<std::size_t>(work.node_index)];
+
+      std::size_t positives = 0;
+      for (std::uint32_t r : work.rows) positives += y[r] == 1 ? 1u : 0u;
+      node.positive_fraction =
+          work.rows.empty()
+              ? 0.0f
+              : static_cast<float>(positives) /
+                    static_cast<float>(work.rows.size());
+
+      const bool pure = positives == 0 || positives == work.rows.size();
+      if (pure || work.depth >= options_.max_depth ||
+          work.rows.size() < options_.min_samples_split) {
+        continue;  // leaf
+      }
+
+      // Pick the best of a random feature/threshold search.
+      SplitChoice best;
+      for (std::size_t f = 0; f < features_per_split; ++f) {
+        const auto feature = static_cast<std::size_t>(rng.below(d));
+        for (std::size_t t = 0; t < options_.threshold_candidates; ++t) {
+          const std::uint32_t pivot_row =
+              work.rows[rng.below(work.rows.size())];
+          const float threshold = x.at(pivot_row, feature);
+          std::size_t left_total = 0, left_pos = 0;
+          for (std::uint32_t r : work.rows) {
+            if (x.at(r, feature) <= threshold) {
+              ++left_total;
+              left_pos += y[r] == 1 ? 1u : 0u;
+            }
+          }
+          const std::size_t right_total = work.rows.size() - left_total;
+          const std::size_t right_pos = positives - left_pos;
+          if (left_total == 0 || right_total == 0) continue;
+          const double impurity =
+              (static_cast<double>(left_total) * gini(left_pos, left_total) +
+               static_cast<double>(right_total) *
+                   gini(right_pos, right_total)) /
+              static_cast<double>(work.rows.size());
+          if (impurity < best.impurity) {
+            best = SplitChoice{static_cast<std::int32_t>(feature), threshold,
+                               impurity};
+          }
+        }
+      }
+      if (best.feature < 0) continue;  // no usable split found
+
+      std::vector<std::uint32_t> left_rows, right_rows;
+      for (std::uint32_t r : work.rows) {
+        if (x.at(r, static_cast<std::size_t>(best.feature)) <=
+            best.threshold) {
+          left_rows.push_back(r);
+        } else {
+          right_rows.push_back(r);
+        }
+      }
+
+      const auto left_index = static_cast<std::int32_t>(tree.nodes.size());
+      tree.nodes.emplace_back();
+      const auto right_index = static_cast<std::int32_t>(tree.nodes.size());
+      tree.nodes.emplace_back();
+      // Note: emplace_back may reallocate; re-fetch the node reference.
+      Node& parent = tree.nodes[static_cast<std::size_t>(work.node_index)];
+      parent.feature = best.feature;
+      parent.threshold = best.threshold;
+      parent.left = left_index;
+      parent.right = right_index;
+      stack.push_back(Work{std::move(left_rows), left_index, work.depth + 1});
+      stack.push_back(
+          Work{std::move(right_rows), right_index, work.depth + 1});
+    }
+  }
+}
+
+std::vector<float> RandomForest::predict_probability(const Matrix& x) const {
+  std::vector<float> probabilities(x.rows(), 0.0f);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    float acc = 0.0f;
+    for (const Tree& tree : trees_) acc += tree.predict_row(x, r);
+    probabilities[r] = trees_.empty()
+                           ? 0.0f
+                           : acc / static_cast<float>(trees_.size());
+  }
+  return probabilities;
+}
+
+std::vector<std::int32_t> RandomForest::predict(const Matrix& x) const {
+  const auto probabilities = predict_probability(x);
+  std::vector<std::int32_t> labels(probabilities.size());
+  for (std::size_t i = 0; i < probabilities.size(); ++i) {
+    labels[i] = probabilities[i] >= 0.5f ? 1 : 0;
+  }
+  return labels;
+}
+
+}  // namespace gcnt

@@ -1,0 +1,51 @@
+#pragma once
+// Random forest of CART trees (gini impurity), bagging + random feature
+// subsets per split. Baseline "RF" of Table 2.
+
+#include "ml/classifier.h"
+
+#include <cstdint>
+
+namespace gcnt {
+
+struct RandomForestOptions {
+  std::size_t trees = 40;
+  std::size_t max_depth = 12;
+  std::size_t min_samples_split = 4;
+  /// Features examined per split; 0 = floor(sqrt(dim)).
+  std::size_t features_per_split = 0;
+  /// Candidate thresholds sampled per feature per split.
+  std::size_t threshold_candidates = 12;
+  std::uint64_t seed = 23;
+};
+
+class RandomForest final : public BinaryClassifier {
+ public:
+  explicit RandomForest(RandomForestOptions options = {})
+      : options_(options) {}
+
+  void fit(const Matrix& x, const std::vector<std::int32_t>& y) override;
+  std::vector<std::int32_t> predict(const Matrix& x) const override;
+
+  /// Mean positive-class vote fraction per row.
+  std::vector<float> predict_probability(const Matrix& x) const;
+
+ private:
+  struct Node {
+    // Internal: feature/threshold + children. Leaf: children == -1.
+    std::int32_t feature = -1;
+    float threshold = 0.0f;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    float positive_fraction = 0.0f;
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+    float predict_row(const Matrix& x, std::size_t row) const;
+  };
+
+  RandomForestOptions options_;
+  std::vector<Tree> trees_;
+};
+
+}  // namespace gcnt

@@ -1,0 +1,183 @@
+#include "netlist/bench_io.h"
+
+#include <cctype>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace gcnt {
+
+namespace {
+
+struct PendingGate {
+  std::string lhs;
+  CellType type = CellType::kBuf;
+  std::vector<std::string> operands;
+  int line = 0;
+};
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw std::runtime_error("bench parse error at line " +
+                           std::to_string(line) + ": " + message);
+}
+
+std::string strip(const std::string& text) {
+  std::size_t begin = 0, end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin])))
+    ++begin;
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1])))
+    --end;
+  return text.substr(begin, end - begin);
+}
+
+/// Splits "FUNC(a, b, c)" into FUNC and {a,b,c}; returns false on mismatch.
+bool split_call(const std::string& text, std::string& func,
+                std::vector<std::string>& args) {
+  const std::size_t open = text.find('(');
+  const std::size_t close = text.rfind(')');
+  if (open == std::string::npos || close == std::string::npos || close < open)
+    return false;
+  func = strip(text.substr(0, open));
+  args.clear();
+  std::string inner = text.substr(open + 1, close - open - 1);
+  std::size_t start = 0;
+  while (start <= inner.size()) {
+    const std::size_t comma = inner.find(',', start);
+    const std::string piece =
+        strip(comma == std::string::npos ? inner.substr(start)
+                                         : inner.substr(start, comma - start));
+    if (!piece.empty()) args.push_back(piece);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return !func.empty();
+}
+
+}  // namespace
+
+Netlist read_bench(std::istream& in, std::string design_name) {
+  Netlist netlist(std::move(design_name));
+  std::unordered_map<std::string, NodeId> signals;
+  std::vector<PendingGate> gates;
+  std::vector<std::pair<std::string, int>> outputs;   // signal, line
+  std::vector<std::pair<std::string, int>> observes;  // signal, line
+
+  std::string raw;
+  int line_number = 0;
+  while (std::getline(in, raw)) {
+    ++line_number;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    const std::string line = strip(raw);
+    if (line.empty()) continue;
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      std::string func;
+      std::vector<std::string> args;
+      if (!split_call(line, func, args) || args.size() != 1) {
+        fail(line_number, "expected INPUT(x) / OUTPUT(x) / OBSERVE(x)");
+      }
+      for (char& c : func) c = static_cast<char>(std::toupper(c));
+      if (func == "INPUT") {
+        if (signals.count(args[0])) fail(line_number, "redefinition of " + args[0]);
+        signals.emplace(args[0],
+                        netlist.add_node(CellType::kInput, args[0]));
+      } else if (func == "OUTPUT") {
+        outputs.emplace_back(args[0], line_number);
+      } else if (func == "OBSERVE") {
+        observes.emplace_back(args[0], line_number);
+      } else {
+        fail(line_number, "unknown directive " + func);
+      }
+      continue;
+    }
+
+    PendingGate gate;
+    gate.lhs = strip(line.substr(0, eq));
+    gate.line = line_number;
+    std::string func;
+    if (!split_call(strip(line.substr(eq + 1)), func, gate.operands)) {
+      fail(line_number, "expected <name> = GATE(args)");
+    }
+    if (!parse_cell_type(func, gate.type)) {
+      fail(line_number, "unknown gate type " + func);
+    }
+    if (!is_logic(gate.type) && gate.type != CellType::kDff) {
+      fail(line_number, "gate type " + func + " not allowed on assignment");
+    }
+    if (gate.lhs.empty()) fail(line_number, "missing signal name");
+    if (signals.count(gate.lhs)) fail(line_number, "redefinition of " + gate.lhs);
+    signals.emplace(gate.lhs, netlist.add_node(gate.type, gate.lhs));
+    gates.push_back(std::move(gate));
+  }
+
+  const auto resolve = [&](const std::string& name, int line) -> NodeId {
+    const auto it = signals.find(name);
+    if (it == signals.end()) fail(line, "undefined signal " + name);
+    return it->second;
+  };
+
+  for (const auto& gate : gates) {
+    const NodeId lhs = signals.at(gate.lhs);
+    const int arity = static_cast<int>(gate.operands.size());
+    if (arity < min_fanin(gate.type) || arity > max_fanin(gate.type)) {
+      fail(gate.line, "illegal operand count for " +
+                          std::string(cell_type_name(gate.type)));
+    }
+    for (const auto& operand : gate.operands) {
+      netlist.connect(resolve(operand, gate.line), lhs);
+    }
+  }
+  for (const auto& [signal, line] : outputs) {
+    const NodeId po = netlist.add_node(CellType::kOutput, "out_" + signal);
+    netlist.connect(resolve(signal, line), po);
+  }
+  for (const auto& [signal, line] : observes) {
+    const NodeId op = netlist.add_node(CellType::kObserve, "op_" + signal);
+    netlist.connect(resolve(signal, line), op);
+  }
+  return netlist;
+}
+
+Netlist read_bench_string(const std::string& text, std::string design_name) {
+  std::istringstream in(text);
+  return read_bench(in, std::move(design_name));
+}
+
+void write_bench(const Netlist& netlist, std::ostream& out) {
+  out << "# design " << netlist.name() << "\n";
+  const std::size_t n = netlist.size();
+  for (NodeId v = 0; v < n; ++v) {
+    const CellType t = netlist.type(v);
+    if (t == CellType::kInput) {
+      out << "INPUT(" << netlist.node_name(v) << ")\n";
+    } else if (t == CellType::kOutput || t == CellType::kObserve) {
+      out << (t == CellType::kOutput ? "OUTPUT(" : "OBSERVE(")
+          << netlist.node_name(netlist.fanins(v).front()) << ")\n";
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    const CellType t = netlist.type(v);
+    if (!is_logic(t) && t != CellType::kDff) continue;
+    out << netlist.node_name(v) << " = " << cell_type_name(t) << "(";
+    const auto& fanins = netlist.fanins(v);
+    for (std::size_t i = 0; i < fanins.size(); ++i) {
+      if (i) out << ", ";
+      out << netlist.node_name(fanins[i]);
+    }
+    out << ")\n";
+  }
+}
+
+std::string write_bench_string(const Netlist& netlist) {
+  std::ostringstream out;
+  write_bench(netlist, out);
+  return out.str();
+}
+
+}  // namespace gcnt

@@ -1,0 +1,34 @@
+#include "netlist/cell.h"
+
+#include <array>
+#include <cctype>
+#include <string>
+
+namespace gcnt {
+
+namespace {
+constexpr std::array<std::string_view, kCellTypeCount> kNames = {
+    "INPUT", "OUTPUT", "BUF", "NOT",  "AND", "NAND",
+    "OR",    "NOR",    "XOR", "XNOR", "DFF", "OBSERVE",
+};
+}  // namespace
+
+std::string_view cell_type_name(CellType type) noexcept {
+  return kNames[static_cast<std::size_t>(type)];
+}
+
+bool parse_cell_type(std::string_view text, CellType& out) noexcept {
+  std::string upper(text);
+  for (char& c : upper) c = static_cast<char>(std::toupper(c));
+  // BUFF is a common alias in ISCAS .bench files.
+  if (upper == "BUFF") upper = "BUF";
+  for (std::size_t i = 0; i < kNames.size(); ++i) {
+    if (upper == kNames[i]) {
+      out = static_cast<CellType>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace gcnt

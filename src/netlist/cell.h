@@ -1,0 +1,100 @@
+#pragma once
+// Cell library for gate-level netlists.
+//
+// The set matches what the paper's netlists need: standard combinational
+// gates, sequential elements (DFF, treated as scan cells), and the two DFT
+// artifacts inserted by the flows (observation points are modeled as a
+// dedicated sink cell type; control points as an extra gate + input).
+
+#include <cstdint>
+#include <string_view>
+
+namespace gcnt {
+
+enum class CellType : std::uint8_t {
+  kInput,    // primary input; no fanins
+  kOutput,   // primary output; exactly one fanin
+  kBuf,      // buffer; one fanin
+  kNot,      // inverter; one fanin
+  kAnd,      // >= 2 fanins
+  kNand,     // >= 2 fanins
+  kOr,       // >= 2 fanins
+  kNor,      // >= 2 fanins
+  kXor,      // >= 2 fanins
+  kXnor,     // >= 2 fanins
+  kDff,      // scan flip-flop; one fanin (D); output fully controllable
+  kObserve,  // DFT observation point; one fanin, behaves as a scan sink
+};
+
+constexpr int kCellTypeCount = 12;
+
+/// Upper-case mnemonic used by the .bench reader/writer.
+std::string_view cell_type_name(CellType type) noexcept;
+
+/// Parses a mnemonic (case-insensitive); returns false if unknown.
+bool parse_cell_type(std::string_view text, CellType& out) noexcept;
+
+/// True for cells that source a value without combinational fanin
+/// (primary inputs and scan flip-flop outputs).
+constexpr bool is_source(CellType type) noexcept {
+  return type == CellType::kInput || type == CellType::kDff;
+}
+
+/// True for cells whose input is directly observed by the tester
+/// (primary outputs, scan flip-flop D pins, observation points).
+constexpr bool is_sink(CellType type) noexcept {
+  return type == CellType::kOutput || type == CellType::kDff ||
+         type == CellType::kObserve;
+}
+
+/// True for purely combinational logic gates (excludes IO/DFF/OP).
+constexpr bool is_logic(CellType type) noexcept {
+  switch (type) {
+    case CellType::kBuf:
+    case CellType::kNot:
+    case CellType::kAnd:
+    case CellType::kNand:
+    case CellType::kOr:
+    case CellType::kNor:
+    case CellType::kXor:
+    case CellType::kXnor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Minimum legal fanin count for a cell type.
+constexpr int min_fanin(CellType type) noexcept {
+  switch (type) {
+    case CellType::kInput:
+      return 0;
+    case CellType::kOutput:
+    case CellType::kBuf:
+    case CellType::kNot:
+    case CellType::kDff:
+    case CellType::kObserve:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+/// Maximum legal fanin count (kNoFaninLimit when unbounded).
+constexpr int kNoFaninLimit = 1 << 20;
+constexpr int max_fanin(CellType type) noexcept {
+  switch (type) {
+    case CellType::kInput:
+      return 0;
+    case CellType::kOutput:
+    case CellType::kBuf:
+    case CellType::kNot:
+    case CellType::kDff:
+    case CellType::kObserve:
+      return 1;
+    default:
+      return kNoFaninLimit;
+  }
+}
+
+}  // namespace gcnt

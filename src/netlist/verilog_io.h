@@ -1,0 +1,38 @@
+#pragma once
+// Reader/writer for flat structural Verilog — the interchange format most
+// gate-level EDA flows emit. Supported subset:
+//
+//   module top (a, b, y);
+//     input a, b;        // also: input a; input b;
+//     output y;
+//     wire w1, w2;
+//     nand g1 (w1, a, b);   // primitive gates, output port first
+//     not  g2 (w2, w1);
+//     dff  g3 (q, w2);      // scan flip-flop (q <= D each cycle)
+//     assign y = w2;        // alias, materialized as a BUF
+//   endmodule
+//
+// Primitives: and/or/nand/nor/xor/xnor/not/buf (any arity where legal)
+// plus dff. One module per file; comments (// and /* */) are ignored.
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace gcnt {
+
+/// Parses the subset above. Throws std::runtime_error with a line number
+/// on anything else (undeclared nets, redefinitions, unknown primitives).
+Netlist read_verilog(std::istream& in, std::string fallback_name = "top");
+
+Netlist read_verilog_string(const std::string& text,
+                            std::string fallback_name = "top");
+
+/// Serializes a netlist as flat structural Verilog; OBSERVE points become
+/// module outputs (they are scan-captured in hardware).
+void write_verilog(const Netlist& netlist, std::ostream& out);
+
+std::string write_verilog_string(const Netlist& netlist);
+
+}  // namespace gcnt

@@ -1,0 +1,55 @@
+#include "nn/layers.h"
+
+#include <stdexcept>
+
+namespace gcnt {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng)
+    : weight(in_features, out_features), bias(1, out_features) {
+  weight.value.xavier_init(rng);
+  bias.value.fill(0.0f);
+}
+
+void Linear::forward(const Matrix& x, Matrix& y) const {
+  gemm(x, weight.value, y, false, false);
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    float* yrow = y.row(r);
+    const float* b = bias.value.row(0);
+    for (std::size_t c = 0; c < y.cols(); ++c) yrow[c] += b[c];
+  }
+}
+
+void Linear::backward(const Matrix& x, const Matrix& dy, Matrix& dx) {
+  if (x.rows() != dy.rows()) {
+    throw std::invalid_argument("Linear::backward: batch mismatch");
+  }
+  // dW += x^T * dy ; db += column sums of dy ; dx = dy * W^T.
+  gemm(x, dy, weight.grad, true, false, 1.0f, 1.0f);
+  for (std::size_t r = 0; r < dy.rows(); ++r) {
+    const float* drow = dy.row(r);
+    float* brow = bias.grad.row(0);
+    for (std::size_t c = 0; c < dy.cols(); ++c) brow[c] += drow[c];
+  }
+  gemm(dy, weight.value, dx, false, true);
+}
+
+void Relu::forward(const Matrix& x, Matrix& y) {
+  y.resize(x.rows(), x.cols());
+  const float* in = x.data();
+  float* out = y.data();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = in[i] > 0.0f ? in[i] : 0.0f;
+  }
+}
+
+void Relu::backward(const Matrix& y, const Matrix& dy, Matrix& dx) {
+  dx.resize(y.rows(), y.cols());
+  const float* act = y.data();
+  const float* grad = dy.data();
+  float* out = dx.data();
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    out[i] = act[i] > 0.0f ? grad[i] : 0.0f;
+  }
+}
+
+}  // namespace gcnt

@@ -1,0 +1,55 @@
+#pragma once
+// Neural-network building blocks with explicit forward/backward methods.
+//
+// There is deliberately no general autograd: each module knows its own
+// gradient, the models compose them in reverse order, and the tests verify
+// every module against finite differences. Parameters pair a value with an
+// accumulated gradient so multiple graphs can contribute before a step
+// (the paper's multi-device gradient averaging).
+
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/matrix.h"
+
+namespace gcnt {
+
+/// A trainable tensor: value + accumulated gradient of matching shape.
+struct Param {
+  Matrix value;
+  Matrix grad;
+
+  explicit Param(std::size_t rows = 0, std::size_t cols = 0)
+      : value(rows, cols), grad(rows, cols) {}
+
+  void zero_grad() noexcept { grad.fill(0.0f); }
+};
+
+/// Fully-connected layer: y = x * W + b, with x of shape N x in.
+class Linear {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features, Rng& rng);
+
+  std::size_t in_features() const noexcept { return weight.value.rows(); }
+  std::size_t out_features() const noexcept { return weight.value.cols(); }
+
+  void forward(const Matrix& x, Matrix& y) const;
+
+  /// Accumulates dW/db from (x, dy) and writes dx. `dx` may alias nothing.
+  void backward(const Matrix& x, const Matrix& dy, Matrix& dx);
+
+  /// Parameters in a stable order (weight, bias).
+  std::vector<Param*> params() { return {&weight, &bias}; }
+
+  Param weight;  ///< in x out
+  Param bias;    ///< 1 x out
+};
+
+/// Rectified linear unit, elementwise.
+struct Relu {
+  static void forward(const Matrix& x, Matrix& y);
+  /// dx = dy where y > 0 (uses the forward output as the mask).
+  static void backward(const Matrix& y, const Matrix& dy, Matrix& dx);
+};
+
+}  // namespace gcnt

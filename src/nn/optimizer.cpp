@@ -1,0 +1,64 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gcnt {
+
+void SgdOptimizer::step(const std::vector<Param*>& params) {
+  if (velocity_.empty()) {
+    for (const Param* p : params) {
+      velocity_.emplace_back(p->value.rows(), p->value.cols());
+    }
+  }
+  if (velocity_.size() != params.size()) {
+    throw std::invalid_argument("SgdOptimizer: param list changed");
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Param& p = *params[i];
+    Matrix& v = velocity_[i];
+    float* value = p.value.data();
+    float* grad = p.grad.data();
+    float* vel = v.data();
+    for (std::size_t k = 0; k < p.value.size(); ++k) {
+      const float g = grad[k] + weight_decay_ * value[k];
+      vel[k] = momentum_ * vel[k] + g;
+      value[k] -= learning_rate_ * vel[k];
+    }
+    p.zero_grad();
+  }
+}
+
+void AdamOptimizer::step(const std::vector<Param*>& params) {
+  if (first_moment_.empty()) {
+    for (const Param* p : params) {
+      first_moment_.emplace_back(p->value.rows(), p->value.cols());
+      second_moment_.emplace_back(p->value.rows(), p->value.cols());
+    }
+  }
+  if (first_moment_.size() != params.size()) {
+    throw std::invalid_argument("AdamOptimizer: param list changed");
+  }
+  ++step_count_;
+  const float bias1 =
+      1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bias2 =
+      1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Param& p = *params[i];
+    float* value = p.value.data();
+    float* grad = p.grad.data();
+    float* m = first_moment_[i].data();
+    float* v = second_moment_[i].data();
+    for (std::size_t k = 0; k < p.value.size(); ++k) {
+      m[k] = beta1_ * m[k] + (1.0f - beta1_) * grad[k];
+      v[k] = beta2_ * v[k] + (1.0f - beta2_) * grad[k] * grad[k];
+      const float m_hat = m[k] / bias1;
+      const float v_hat = v[k] / bias2;
+      value[k] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+    p.zero_grad();
+  }
+}
+
+}  // namespace gcnt

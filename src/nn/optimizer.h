@@ -1,0 +1,61 @@
+#pragma once
+// First-order optimizers over Param lists.
+//
+// The paper trains with stochastic gradient descent (Section 5); Adam is
+// provided as well because it converges in far fewer epochs on a 1-core
+// host, and the benches use it where the paper's result is insensitive to
+// the optimizer choice.
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace gcnt {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Applies one update using each param's accumulated gradient, then
+  /// zeroes the gradients. The param list must be identical across calls.
+  virtual void step(const std::vector<Param*>& params) = 0;
+};
+
+class SgdOptimizer final : public Optimizer {
+ public:
+  explicit SgdOptimizer(float learning_rate, float momentum = 0.9f,
+                        float weight_decay = 0.0f)
+      : learning_rate_(learning_rate),
+        momentum_(momentum),
+        weight_decay_(weight_decay) {}
+
+  void step(const std::vector<Param*>& params) override;
+
+ private:
+  float learning_rate_;
+  float momentum_;
+  float weight_decay_;
+  std::vector<Matrix> velocity_;
+};
+
+class AdamOptimizer final : public Optimizer {
+ public:
+  explicit AdamOptimizer(float learning_rate, float beta1 = 0.9f,
+                         float beta2 = 0.999f, float epsilon = 1e-8f)
+      : learning_rate_(learning_rate),
+        beta1_(beta1),
+        beta2_(beta2),
+        epsilon_(epsilon) {}
+
+  void step(const std::vector<Param*>& params) override;
+
+ private:
+  float learning_rate_;
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  long step_count_ = 0;
+  std::vector<Matrix> first_moment_;
+  std::vector<Matrix> second_moment_;
+};
+
+}  // namespace gcnt

@@ -1,0 +1,228 @@
+#include "scoap/scoap.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gcnt {
+
+namespace {
+
+/// Controllability of a gate output from its fanin measures.
+void gate_controllability(const Netlist& netlist, NodeId v,
+                          const std::vector<std::uint32_t>& cc0,
+                          const std::vector<std::uint32_t>& cc1,
+                          std::uint32_t& out0, std::uint32_t& out1) {
+  const auto& fanins = netlist.fanins(v);
+  const CellType type = netlist.type(v);
+  switch (type) {
+    case CellType::kInput:
+    case CellType::kDff:
+    case CellType::kObserve:
+      // Sources are fully controllable through the scan chain; observation
+      // points carry the paper's fixed [0,1,1,0] attribute convention.
+      out0 = 1;
+      out1 = 1;
+      return;
+    case CellType::kBuf:
+    case CellType::kOutput:
+      out0 = scoap_add(cc0[fanins[0]], 1);
+      out1 = scoap_add(cc1[fanins[0]], 1);
+      return;
+    case CellType::kNot:
+      out0 = scoap_add(cc1[fanins[0]], 1);
+      out1 = scoap_add(cc0[fanins[0]], 1);
+      return;
+    case CellType::kAnd:
+    case CellType::kNand: {
+      std::uint32_t all_one = 0;
+      std::uint32_t min_zero = kScoapInfinity;
+      for (NodeId u : fanins) {
+        all_one = scoap_add(all_one, cc1[u]);
+        min_zero = std::min(min_zero, cc0[u]);
+      }
+      const std::uint32_t zero_cost = scoap_add(min_zero, 1);
+      const std::uint32_t one_cost = scoap_add(all_one, 1);
+      if (type == CellType::kAnd) {
+        out0 = zero_cost;
+        out1 = one_cost;
+      } else {
+        out0 = one_cost;
+        out1 = zero_cost;
+      }
+      return;
+    }
+    case CellType::kOr:
+    case CellType::kNor: {
+      std::uint32_t all_zero = 0;
+      std::uint32_t min_one = kScoapInfinity;
+      for (NodeId u : fanins) {
+        all_zero = scoap_add(all_zero, cc0[u]);
+        min_one = std::min(min_one, cc1[u]);
+      }
+      // OR is 0 only when every input is 0; it is 1 via any single input.
+      const std::uint32_t all_zero_cost = scoap_add(all_zero, 1);
+      const std::uint32_t any_one_cost = scoap_add(min_one, 1);
+      if (type == CellType::kOr) {
+        out0 = all_zero_cost;
+        out1 = any_one_cost;
+      } else {
+        out0 = any_one_cost;
+        out1 = all_zero_cost;
+      }
+      return;
+    }
+    case CellType::kXor:
+    case CellType::kXnor: {
+      // Dynamic program over inputs: cheapest cost of even / odd parity.
+      std::uint32_t even = 0;
+      std::uint32_t odd = kScoapInfinity;
+      for (NodeId u : fanins) {
+        const std::uint32_t new_even =
+            std::min(scoap_add(even, cc0[u]), scoap_add(odd, cc1[u]));
+        const std::uint32_t new_odd =
+            std::min(scoap_add(even, cc1[u]), scoap_add(odd, cc0[u]));
+        even = new_even;
+        odd = new_odd;
+      }
+      const std::uint32_t parity0 = scoap_add(even, 1);
+      const std::uint32_t parity1 = scoap_add(odd, 1);
+      if (type == CellType::kXor) {
+        out0 = parity0;
+        out1 = parity1;
+      } else {
+        out0 = parity1;
+        out1 = parity0;
+      }
+      return;
+    }
+  }
+  out0 = kScoapInfinity;
+  out1 = kScoapInfinity;
+}
+
+}  // namespace
+
+/// Observability of fanin slot `slot` of gate `g`, given the gate's own
+/// output observability: cost of sensitizing the path through `g`.
+std::uint32_t scoap_observe_through(const Netlist& netlist, NodeId g,
+                                    std::size_t slot,
+                                    const ScoapMeasures& measures,
+                                    std::uint32_t gate_co) {
+  const std::vector<std::uint32_t>& cc0 = measures.cc0;
+  const std::vector<std::uint32_t>& cc1 = measures.cc1;
+  const auto& fanins = netlist.fanins(g);
+  switch (netlist.type(g)) {
+    case CellType::kOutput:
+    case CellType::kObserve:
+      return 0;
+    case CellType::kDff:
+      return 0;  // captured by the scan cell
+    case CellType::kBuf:
+    case CellType::kNot:
+      return scoap_add(gate_co, 1);
+    case CellType::kAnd:
+    case CellType::kNand: {
+      std::uint32_t cost = scoap_add(gate_co, 1);
+      for (std::size_t j = 0; j < fanins.size(); ++j) {
+        if (j == slot) continue;
+        cost = scoap_add(cost, cc1[fanins[j]]);  // side inputs at 1
+      }
+      return cost;
+    }
+    case CellType::kOr:
+    case CellType::kNor: {
+      std::uint32_t cost = scoap_add(gate_co, 1);
+      for (std::size_t j = 0; j < fanins.size(); ++j) {
+        if (j == slot) continue;
+        cost = scoap_add(cost, cc0[fanins[j]]);  // side inputs at 0
+      }
+      return cost;
+    }
+    case CellType::kXor:
+    case CellType::kXnor: {
+      std::uint32_t cost = scoap_add(gate_co, 1);
+      for (std::size_t j = 0; j < fanins.size(); ++j) {
+        if (j == slot) continue;
+        cost = scoap_add(cost, std::min(cc0[fanins[j]], cc1[fanins[j]]));
+      }
+      return cost;
+    }
+    case CellType::kInput:
+      break;
+  }
+  return kScoapInfinity;
+}
+
+void compute_controllability(const Netlist& netlist, ScoapMeasures& measures) {
+  const auto order = netlist.topological_order();
+  measures.cc0.assign(netlist.size(), kScoapInfinity);
+  measures.cc1.assign(netlist.size(), kScoapInfinity);
+  for (NodeId v : order) {
+    gate_controllability(netlist, v, measures.cc0, measures.cc1,
+                         measures.cc0[v], measures.cc1[v]);
+  }
+}
+
+void compute_observability(const Netlist& netlist, ScoapMeasures& measures) {
+  const auto order = netlist.topological_order();
+  measures.co.assign(netlist.size(), kScoapInfinity);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId v = *it;
+    if (is_sink(netlist.type(v))) {
+      measures.co[v] = 0;  // value lands in a scan cell / on a pin
+      continue;
+    }
+    std::uint32_t best = kScoapInfinity;
+    for (NodeId g : netlist.fanouts(v)) {
+      const auto& gf = netlist.fanins(g);
+      for (std::size_t slot = 0; slot < gf.size(); ++slot) {
+        if (gf[slot] != v) continue;
+        best = std::min(best, scoap_observe_through(netlist, g, slot,
+                                                    measures, measures.co[g]));
+      }
+    }
+    measures.co[v] = best;
+  }
+}
+
+ScoapMeasures compute_scoap(const Netlist& netlist) {
+  ScoapMeasures measures;
+  compute_controllability(netlist, measures);
+  compute_observability(netlist, measures);
+  return measures;
+}
+
+void resize_for(const Netlist& netlist, ScoapMeasures& measures) {
+  // New nodes are observation points: fully observable, and their own
+  // controllability mirrors a scan cell ([0,1,1,0] attributes in the paper).
+  measures.cc0.resize(netlist.size(), 1);
+  measures.cc1.resize(netlist.size(), 1);
+  measures.co.resize(netlist.size(), 0);
+}
+
+void update_observability_after_observe(const Netlist& netlist, NodeId target,
+                                        ScoapMeasures& measures) {
+  resize_for(netlist, measures);
+  // Only nodes in the fan-in cone of `target` (inclusive) can improve.
+  auto cone = netlist.fanin_cone(target);
+  cone.push_back(target);
+  const auto levels = netlist.logic_levels();
+  std::sort(cone.begin(), cone.end(), [&](NodeId a, NodeId b) {
+    return levels[a] > levels[b];
+  });
+  for (NodeId v : cone) {
+    if (is_sink(netlist.type(v))) continue;
+    std::uint32_t best = kScoapInfinity;
+    for (NodeId g : netlist.fanouts(v)) {
+      const auto& gf = netlist.fanins(g);
+      for (std::size_t slot = 0; slot < gf.size(); ++slot) {
+        if (gf[slot] != v) continue;
+        best = std::min(best, scoap_observe_through(netlist, g, slot,
+                                                    measures, measures.co[g]));
+      }
+    }
+    measures.co[v] = best;
+  }
+}
+
+}  // namespace gcnt

@@ -1,0 +1,31 @@
+#include "sim/fault.h"
+
+#include "common/rng.h"
+
+namespace gcnt {
+
+std::vector<Fault> enumerate_faults(const Netlist& netlist) {
+  std::vector<Fault> faults;
+  faults.reserve(2 * netlist.size());
+  for (NodeId v = 0; v < netlist.size(); ++v) {
+    const CellType t = netlist.type(v);
+    if (t == CellType::kOutput || t == CellType::kObserve) continue;
+    faults.push_back(Fault{v, false});
+    faults.push_back(Fault{v, true});
+  }
+  return faults;
+}
+
+std::vector<Fault> sample_faults(const Netlist& netlist, std::size_t count,
+                                 std::uint64_t seed) {
+  auto all = enumerate_faults(netlist);
+  if (all.size() <= count) return all;
+  Rng rng(seed);
+  const auto keep = rng.sample_indices(all.size(), count);
+  std::vector<Fault> sampled;
+  sampled.reserve(count);
+  for (std::size_t index : keep) sampled.push_back(all[index]);
+  return sampled;
+}
+
+}  // namespace gcnt

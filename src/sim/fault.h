@@ -1,0 +1,32 @@
+#pragma once
+// Single stuck-at fault model on node outputs.
+//
+// The fault universe matches the paper's OPI granularity: for every gate,
+// the question is whether its *output* is testable, so faults live on node
+// outputs (stuck-at-0 and stuck-at-1 per node). Sink cells (PO / OP) have
+// no output net and carry no faults.
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace gcnt {
+
+struct Fault {
+  NodeId node = kInvalidNode;
+  bool stuck_at_one = false;
+
+  friend bool operator==(const Fault&, const Fault&) = default;
+};
+
+/// Full collapsed fault list: sa0 + sa1 on every node that has an output
+/// net (everything except OUTPUT and OBSERVE cells).
+std::vector<Fault> enumerate_faults(const Netlist& netlist);
+
+/// Deterministically samples `count` faults (for tractable coverage
+/// evaluation on large designs). Returns the full list if it is smaller.
+std::vector<Fault> sample_faults(const Netlist& netlist, std::size_t count,
+                                 std::uint64_t seed);
+
+}  // namespace gcnt

@@ -1,0 +1,52 @@
+#pragma once
+// Shared 64-bit gate evaluation over an arbitrary fanin-value getter.
+//
+// Used by both the good-machine simulator (getter = dense value array) and
+// the fault simulator (getter = faulty-else-good overlay), so the two can
+// never disagree on gate semantics.
+
+#include <cstdint>
+
+#include "netlist/netlist.h"
+
+namespace gcnt {
+
+/// Evaluates node v's output word; `value_of(NodeId) -> std::uint64_t`
+/// supplies fanin words. Source nodes (INPUT/DFF) are not evaluable here.
+template <typename Getter>
+std::uint64_t evaluate_gate(const Netlist& netlist, NodeId v,
+                            Getter&& value_of) {
+  const auto& fanins = netlist.fanins(v);
+  switch (netlist.type(v)) {
+    case CellType::kBuf:
+    case CellType::kOutput:
+    case CellType::kObserve:
+      return value_of(fanins[0]);
+    case CellType::kNot:
+      return ~value_of(fanins[0]);
+    case CellType::kAnd:
+    case CellType::kNand: {
+      std::uint64_t acc = ~0ULL;
+      for (NodeId u : fanins) acc &= value_of(u);
+      return netlist.type(v) == CellType::kAnd ? acc : ~acc;
+    }
+    case CellType::kOr:
+    case CellType::kNor: {
+      std::uint64_t acc = 0;
+      for (NodeId u : fanins) acc |= value_of(u);
+      return netlist.type(v) == CellType::kOr ? acc : ~acc;
+    }
+    case CellType::kXor:
+    case CellType::kXnor: {
+      std::uint64_t acc = 0;
+      for (NodeId u : fanins) acc ^= value_of(u);
+      return netlist.type(v) == CellType::kXor ? acc : ~acc;
+    }
+    case CellType::kInput:
+    case CellType::kDff:
+      break;
+  }
+  return 0;
+}
+
+}  // namespace gcnt

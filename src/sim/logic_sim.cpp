@@ -1,0 +1,50 @@
+#include "sim/logic_sim.h"
+
+#include <stdexcept>
+
+#include "sim/gate_eval.h"
+
+namespace gcnt {
+
+LogicSimulator::LogicSimulator(const Netlist& netlist)
+    : netlist_(&netlist), order_(netlist.topological_order()) {
+  for (NodeId pi : netlist.primary_inputs()) sources_.push_back(pi);
+  for (NodeId ff : netlist.flip_flops()) sources_.push_back(ff);
+  for (NodeId po : netlist.primary_outputs()) sinks_.push_back(po);
+  for (NodeId op : netlist.observe_points()) sinks_.push_back(op);
+  for (NodeId ff : netlist.flip_flops()) sinks_.push_back(ff);
+  rank_.assign(netlist.size(), 0);
+  for (std::uint32_t i = 0; i < order_.size(); ++i) rank_[order_[i]] = i;
+}
+
+std::uint64_t LogicSimulator::evaluate(
+    NodeId v, const std::vector<std::uint64_t>& values) const {
+  if (is_source(netlist_->type(v))) {
+    return values[v];  // sources keep their scan-loaded word
+  }
+  return evaluate_gate(*netlist_, v,
+                       [&values](NodeId u) { return values[u]; });
+}
+
+void LogicSimulator::simulate(const PatternBatch& batch,
+                              std::vector<std::uint64_t>& values) const {
+  if (batch.size() != sources_.size()) {
+    throw std::invalid_argument("pattern batch size does not match sources");
+  }
+  values.assign(netlist_->size(), 0);
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    values[sources_[i]] = batch[i];
+  }
+  for (NodeId v : order_) {
+    if (is_source(netlist_->type(v))) continue;
+    values[v] = evaluate(v, values);
+  }
+}
+
+PatternBatch LogicSimulator::random_batch(Rng& rng) const {
+  PatternBatch batch(sources_.size());
+  for (auto& word : batch) word = rng();
+  return batch;
+}
+
+}  // namespace gcnt

@@ -1,0 +1,62 @@
+#pragma once
+// 64-way bit-parallel logic simulation of the combinational (full-scan)
+// view of a netlist.
+//
+// Each simulation evaluates 64 patterns at once: every node holds a 64-bit
+// word whose bit k is the node's value under pattern k. Sources are the
+// primary inputs plus scan flip-flop outputs (scan load); sinks are primary
+// outputs, scan D pins and observation points (scan capture).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "netlist/netlist.h"
+
+namespace gcnt {
+
+/// A batch of 64 patterns: one word per source, in source-order.
+using PatternBatch = std::vector<std::uint64_t>;
+
+class LogicSimulator {
+ public:
+  explicit LogicSimulator(const Netlist& netlist);
+
+  const Netlist& netlist() const noexcept { return *netlist_; }
+
+  /// Sources in the order PatternBatch words are consumed
+  /// (primary inputs first, then flip-flops).
+  const std::vector<NodeId>& sources() const noexcept { return sources_; }
+
+  /// Sink nodes where values are observed (POs, OPs, DFFs via D capture).
+  const std::vector<NodeId>& sinks() const noexcept { return sinks_; }
+
+  /// Nodes in evaluation (topological) order.
+  const std::vector<NodeId>& order() const noexcept { return order_; }
+  /// Position of each node within order() — ranks increase along edges.
+  const std::vector<std::uint32_t>& rank() const noexcept { return rank_; }
+
+  /// Evaluates all 64 patterns; `values` is resized to netlist().size().
+  /// values[v] bit k = value of node v under pattern k. A DFF's word is its
+  /// scan-loaded value (from the batch); the captured D value is the word
+  /// of its fanin.
+  void simulate(const PatternBatch& batch,
+                std::vector<std::uint64_t>& values) const;
+
+  /// Evaluates one node from already-computed fanin words (used by the
+  /// fault simulator when replaying events). Not meaningful for sources.
+  std::uint64_t evaluate(NodeId v,
+                         const std::vector<std::uint64_t>& values) const;
+
+  /// Uniform random batch.
+  PatternBatch random_batch(Rng& rng) const;
+
+ private:
+  const Netlist* netlist_;
+  std::vector<NodeId> sources_;
+  std::vector<NodeId> sinks_;
+  std::vector<NodeId> order_;
+  std::vector<std::uint32_t> rank_;
+};
+
+}  // namespace gcnt

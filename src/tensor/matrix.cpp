@@ -1,0 +1,116 @@
+#include "tensor/matrix.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace gcnt {
+
+void Matrix::xavier_init(Rng& rng) {
+  const double bound =
+      std::sqrt(6.0 / static_cast<double>(rows_ + cols_ + 1));
+  for (float& w : data_) {
+    w = static_cast<float>(rng.uniform(-bound, bound));
+  }
+}
+
+void Matrix::axpy(float alpha, const Matrix& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("axpy: shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+}
+
+void Matrix::scale(float alpha) noexcept {
+  for (float& x : data_) x *= alpha;
+}
+
+float Matrix::dot(const Matrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("dot: shape mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    acc += static_cast<double>(data_[i]) * other.data_[i];
+  }
+  return static_cast<float>(acc);
+}
+
+void gemm(const Matrix& a, const Matrix& b, Matrix& out, bool transpose_a,
+          bool transpose_b, float alpha, float beta) {
+  const std::size_t m = transpose_a ? a.cols() : a.rows();
+  const std::size_t k = transpose_a ? a.rows() : a.cols();
+  const std::size_t kb = transpose_b ? b.cols() : b.rows();
+  const std::size_t n = transpose_b ? b.rows() : b.cols();
+  if (k != kb) throw std::invalid_argument("gemm: inner dimension mismatch");
+
+  if (beta == 0.0f) {
+    out.resize(m, n, 0.0f);
+  } else {
+    if (out.rows() != m || out.cols() != n) {
+      throw std::invalid_argument("gemm: output shape mismatch");
+    }
+    out.scale(beta);
+  }
+
+  // Loop orders chosen so the innermost loop is always contiguous in the
+  // matrix being streamed.
+  if (!transpose_a && !transpose_b) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const float* arow = a.row(i);
+      float* orow = out.row(i);
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = alpha * arow[p];
+        if (av == 0.0f) continue;
+        const float* brow = b.row(p);
+        for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
+    }
+  } else if (transpose_a && !transpose_b) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const float* arow = a.row(p);  // a is k x m
+      const float* brow = b.row(p);
+      for (std::size_t i = 0; i < m; ++i) {
+        const float av = alpha * arow[i];
+        if (av == 0.0f) continue;
+        float* orow = out.row(i);
+        for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
+    }
+  } else if (!transpose_a && transpose_b) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const float* arow = a.row(i);
+      float* orow = out.row(i);
+      for (std::size_t j = 0; j < n; ++j) {
+        const float* brow = b.row(j);  // b is n x k
+        double acc = 0.0;
+        for (std::size_t p = 0; p < k; ++p) {
+          acc += static_cast<double>(arow[p]) * brow[p];
+        }
+        orow[j] += alpha * static_cast<float>(acc);
+      }
+    }
+  } else {
+    for (std::size_t p = 0; p < k; ++p) {
+      const float* arow = a.row(p);  // a is k x m
+      for (std::size_t i = 0; i < m; ++i) {
+        const float av = alpha * arow[i];
+        if (av == 0.0f) continue;
+        float* orow = out.row(i);
+        for (std::size_t j = 0; j < n; ++j) {
+          orow[j] += av * b.at(j, p);  // b is n x k
+        }
+      }
+    }
+  }
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  Matrix out;
+  gemm(a, b, out, false, false);
+  return out;
+}
+
+}  // namespace gcnt

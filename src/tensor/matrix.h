@@ -1,0 +1,73 @@
+#pragma once
+// Dense row-major float32 matrix with the handful of BLAS-like operations
+// the GCN and the classical baselines need. Deliberately small: this is an
+// owning value type with explicit, allocation-free compute kernels.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gcnt {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  float& at(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  float at(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+  float* row(std::size_t r) noexcept { return data_.data() + r * cols_; }
+  const float* row(std::size_t r) const noexcept {
+    return data_.data() + r * cols_;
+  }
+  float* data() noexcept { return data_.data(); }
+  const float* data() const noexcept { return data_.data(); }
+
+  void fill(float value) noexcept {
+    std::fill(data_.begin(), data_.end(), value);
+  }
+  void resize(std::size_t rows, std::size_t cols, float fill = 0.0f) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill);
+  }
+
+  /// Xavier/Glorot uniform initialization (for layer weights).
+  void xavier_init(Rng& rng);
+
+  /// this += alpha * other (shapes must match).
+  void axpy(float alpha, const Matrix& other);
+  /// this *= alpha.
+  void scale(float alpha) noexcept;
+
+  /// Frobenius-style elementwise dot product: sum(this .* other).
+  float dot(const Matrix& other) const;
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// out = alpha * op(a) * op(b) + beta * out, with op = optional transpose.
+/// `out` is resized to the result shape when beta == 0.
+void gemm(const Matrix& a, const Matrix& b, Matrix& out, bool transpose_a,
+          bool transpose_b, float alpha = 1.0f, float beta = 0.0f);
+
+/// Convenience: a * b.
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+}  // namespace gcnt

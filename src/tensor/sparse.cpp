@@ -1,0 +1,103 @@
+#include "tensor/sparse.h"
+
+#include <stdexcept>
+
+namespace gcnt {
+
+CsrMatrix CsrMatrix::from_coo(const CooMatrix& coo) {
+  CsrMatrix csr;
+  csr.rows_ = coo.rows;
+  csr.cols_ = coo.cols;
+  csr.row_ptr_.assign(coo.rows + 1, 0);
+
+  for (std::uint32_t r : coo.row_index) ++csr.row_ptr_[r + 1];
+  for (std::size_t r = 0; r < coo.rows; ++r) {
+    csr.row_ptr_[r + 1] += csr.row_ptr_[r];
+  }
+
+  // Scatter entries into row buckets.
+  std::vector<std::uint32_t> cursor(csr.row_ptr_.begin(),
+                                    csr.row_ptr_.end() - 1);
+  csr.col_index_.assign(coo.nnz(), 0);
+  csr.values_.assign(coo.nnz(), 0.0f);
+  for (std::size_t k = 0; k < coo.nnz(); ++k) {
+    const std::uint32_t slot = cursor[coo.row_index[k]]++;
+    csr.col_index_[slot] = coo.col_index[k];
+    csr.values_[slot] = coo.values[k];
+  }
+
+  // Merge duplicate columns within each row (sorting by insertion-stable
+  // counting per row keeps this O(nnz + cols) without a comparator sort).
+  std::vector<std::uint32_t> merged_cols;
+  std::vector<float> merged_vals;
+  merged_cols.reserve(csr.col_index_.size());
+  merged_vals.reserve(csr.values_.size());
+  std::vector<std::uint32_t> new_row_ptr(csr.rows_ + 1, 0);
+  std::vector<std::int64_t> seen_at(csr.cols_, -1);
+  for (std::size_t r = 0; r < csr.rows_; ++r) {
+    const std::size_t begin = csr.row_ptr_[r];
+    const std::size_t end = csr.row_ptr_[r + 1];
+    const std::size_t out_begin = merged_cols.size();
+    for (std::size_t k = begin; k < end; ++k) {
+      const std::uint32_t c = csr.col_index_[k];
+      if (seen_at[c] >= static_cast<std::int64_t>(out_begin)) {
+        merged_vals[static_cast<std::size_t>(seen_at[c])] += csr.values_[k];
+      } else {
+        seen_at[c] = static_cast<std::int64_t>(merged_cols.size());
+        merged_cols.push_back(c);
+        merged_vals.push_back(csr.values_[k]);
+      }
+    }
+    new_row_ptr[r + 1] = static_cast<std::uint32_t>(merged_cols.size());
+  }
+  csr.col_index_ = std::move(merged_cols);
+  csr.values_ = std::move(merged_vals);
+  csr.row_ptr_ = std::move(new_row_ptr);
+  return csr;
+}
+
+void CsrMatrix::spmm(const Matrix& dense, Matrix& out, float alpha,
+                     float beta) const {
+  if (dense.rows() != cols_) {
+    throw std::invalid_argument("spmm: dimension mismatch");
+  }
+  const std::size_t n = dense.cols();
+  if (beta == 0.0f) {
+    out.resize(rows_, n, 0.0f);
+  } else {
+    if (out.rows() != rows_ || out.cols() != n) {
+      throw std::invalid_argument("spmm: output shape mismatch");
+    }
+    out.scale(beta);
+  }
+  for (std::size_t r = 0; r < rows_; ++r) {
+    float* orow = out.row(r);
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const float av = alpha * values_[k];
+      const float* drow = dense.row(col_index_[k]);
+      for (std::size_t j = 0; j < n; ++j) orow[j] += av * drow[j];
+    }
+  }
+}
+
+CsrMatrix CsrMatrix::transpose() const {
+  CsrMatrix t;
+  t.rows_ = cols_;
+  t.cols_ = rows_;
+  t.row_ptr_.assign(cols_ + 1, 0);
+  for (std::uint32_t c : col_index_) ++t.row_ptr_[c + 1];
+  for (std::size_t r = 0; r < cols_; ++r) t.row_ptr_[r + 1] += t.row_ptr_[r];
+  std::vector<std::uint32_t> cursor(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
+  t.col_index_.assign(nnz(), 0);
+  t.values_.assign(nnz(), 0.0f);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const std::uint32_t slot = cursor[col_index_[k]]++;
+      t.col_index_[slot] = static_cast<std::uint32_t>(r);
+      t.values_[slot] = values_[k];
+    }
+  }
+  return t;
+}
+
+}  // namespace gcnt

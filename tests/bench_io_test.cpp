@@ -1,0 +1,144 @@
+// .bench reader/writer: parsing, error reporting, round-trips.
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_io.h"
+
+namespace gcnt {
+namespace {
+
+constexpr const char* kC17 = R"(# ISCAS-85 c17
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+)";
+
+TEST(BenchIo, ParsesC17) {
+  const Netlist n = read_bench_string(kC17, "c17");
+  EXPECT_EQ(n.primary_inputs().size(), 5u);
+  EXPECT_EQ(n.primary_outputs().size(), 2u);
+  EXPECT_EQ(n.size(), 5u + 2u + 6u);
+  EXPECT_TRUE(n.validate().empty());
+}
+
+TEST(BenchIo, SignalNamesPreserved) {
+  const Netlist n = read_bench_string(kC17);
+  bool found = false;
+  for (NodeId v = 0; v < n.size(); ++v) {
+    if (n.node_name(v) == "G22") {
+      found = true;
+      EXPECT_EQ(n.type(v), CellType::kNand);
+      EXPECT_EQ(n.fanins(v).size(), 2u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BenchIo, RoundTripIsIsomorphic) {
+  const Netlist original = read_bench_string(kC17, "c17");
+  const Netlist reparsed =
+      read_bench_string(write_bench_string(original), "c17rt");
+  EXPECT_EQ(reparsed.size(), original.size());
+  EXPECT_EQ(reparsed.edge_count(), original.edge_count());
+  EXPECT_EQ(reparsed.primary_inputs().size(),
+            original.primary_inputs().size());
+  EXPECT_EQ(reparsed.primary_outputs().size(),
+            original.primary_outputs().size());
+  EXPECT_TRUE(reparsed.validate().empty());
+}
+
+TEST(BenchIo, DffSupported) {
+  const Netlist n = read_bench_string(R"(
+INPUT(a)
+OUTPUT(q)
+q = DFF(a)
+)");
+  EXPECT_EQ(n.flip_flops().size(), 1u);
+  EXPECT_TRUE(n.validate().empty());
+}
+
+TEST(BenchIo, ObserveExtensionRoundTrips) {
+  Netlist n = read_bench_string(kC17, "c17");
+  // Observe G10's output.
+  for (NodeId v = 0; v < n.size(); ++v) {
+    if (n.node_name(v) == "G10") {
+      n.insert_observe_point(v);
+      break;
+    }
+  }
+  const Netlist reparsed = read_bench_string(write_bench_string(n));
+  EXPECT_EQ(reparsed.observe_points().size(), 1u);
+  EXPECT_TRUE(reparsed.validate().empty());
+}
+
+TEST(BenchIo, CommentsAndBlanksIgnored) {
+  const Netlist n = read_bench_string(R"(
+# leading comment
+
+INPUT(a)   # trailing comment
+INPUT(b)
+OUTPUT(y)
+
+y = AND(a, b)
+)");
+  EXPECT_EQ(n.size(), 4u);
+}
+
+TEST(BenchIo, BuffAliasAccepted) {
+  const Netlist n = read_bench_string(R"(
+INPUT(a)
+OUTPUT(y)
+y = BUFF(a)
+)");
+  EXPECT_TRUE(n.validate().empty());
+}
+
+TEST(BenchIo, UndefinedSignalThrows) {
+  EXPECT_THROW(read_bench_string("INPUT(a)\ny = AND(a, ghost)\nOUTPUT(y)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, RedefinitionThrows) {
+  EXPECT_THROW(read_bench_string("INPUT(a)\nINPUT(a)\n"), std::runtime_error);
+  EXPECT_THROW(read_bench_string("INPUT(a)\na = NOT(a)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, UnknownGateThrows) {
+  EXPECT_THROW(read_bench_string("INPUT(a)\ny = MAJ3(a, a, a)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, BadArityThrows) {
+  EXPECT_THROW(read_bench_string("INPUT(a)\ny = AND(a)\n"),
+               std::runtime_error);
+  EXPECT_THROW(read_bench_string("INPUT(a)\nINPUT(b)\ny = NOT(a, b)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, MalformedLineThrows) {
+  EXPECT_THROW(read_bench_string("WIBBLE\n"), std::runtime_error);
+  EXPECT_THROW(read_bench_string("INPUT a\n"), std::runtime_error);
+}
+
+TEST(BenchIo, ErrorMessageCarriesLineNumber) {
+  try {
+    read_bench_string("INPUT(a)\n\ny = AND(a, ghost)\nOUTPUT(y)\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace gcnt

@@ -1,0 +1,219 @@
+// Utilities: RNG, thread pool, tables, metrics.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <sstream>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace gcnt {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a() == b() ? 1 : 0;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+  double mean = 0.0;
+  for (int i = 0; i < 20000; ++i) mean += rng.uniform();
+  EXPECT_NEAR(mean / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(9);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 7000; ++i) {
+    const auto x = rng.below(7);
+    ASSERT_LT(x, 7u);
+    ++counts[x];
+  }
+  for (int c : counts) EXPECT_GT(c, 700);  // roughly uniform
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = rng.range(-2, 2);
+    EXPECT_GE(x, -2);
+    EXPECT_LE(x, 2);
+    saw_lo |= x == -2;
+    saw_hi |= x == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, SampleIndicesDistinct) {
+  Rng rng(15);
+  const auto sample = rng.sample_indices(100, 30);
+  ASSERT_EQ(sample.size(), 30u);
+  std::vector<bool> seen(100, false);
+  for (std::size_t i : sample) {
+    ASSERT_LT(i, 100u);
+    EXPECT_FALSE(seen[i]);
+    seen[i] = true;
+  }
+}
+
+TEST(Rng, SampleIndicesAllWhenKTooLarge) {
+  Rng rng(15);
+  EXPECT_EQ(rng.sample_indices(5, 10).size(), 5u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v(20);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Rng rng(19);
+  Rng child = rng.split();
+  EXPECT_NE(rng(), child());
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SubmitAndWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&counter] { counter++; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, SingleWorkerStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  pool.parallel_for(10, [&](std::size_t) { counter++; });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(Table, AlignedOutputContainsCells) {
+  Table t("Demo", {"Design", "Value"});
+  t.add_row({"B1", "1.23"});
+  t.add_row({"LongDesignName", "4"});
+  std::ostringstream oss;
+  t.print(oss);
+  const std::string s = oss.str();
+  EXPECT_NE(s.find("Demo"), std::string::npos);
+  EXPECT_NE(s.find("LongDesignName"), std::string::npos);
+  EXPECT_NE(s.find("| B1"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t("Demo", {"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream oss;
+  t.print_csv(oss);
+  EXPECT_EQ(oss.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t("Demo", {"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_EQ(t.row(0).size(), 3u);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::percent(0.9931), "99.31%");
+}
+
+TEST(Metrics, PerfectPredictions) {
+  const std::vector<std::int32_t> labels{0, 1, 0, 1};
+  const auto cm = evaluate_binary(labels, labels);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.f1(), 1.0);
+}
+
+TEST(Metrics, KnownConfusion) {
+  const std::vector<std::int32_t> predictions{1, 1, 0, 0, 1};
+  const std::vector<std::int32_t> labels{1, 0, 0, 1, 1};
+  const auto cm = evaluate_binary(predictions, labels);
+  EXPECT_EQ(cm.true_positive, 2u);
+  EXPECT_EQ(cm.false_positive, 1u);
+  EXPECT_EQ(cm.false_negative, 1u);
+  EXPECT_EQ(cm.true_negative, 1u);
+  EXPECT_NEAR(cm.precision(), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(cm.recall(), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(cm.f1(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(Metrics, RowSubset) {
+  const std::vector<std::int32_t> predictions{1, 0, 1};
+  const std::vector<std::int32_t> labels{1, 1, 0};
+  const std::vector<std::uint32_t> rows{0};
+  const auto cm = evaluate_binary(predictions, labels, &rows);
+  EXPECT_EQ(cm.total(), 1u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+}
+
+TEST(Metrics, DegenerateEmpty) {
+  const auto cm = evaluate_binary({}, {});
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.f1(), 0.0);
+}
+
+TEST(Timer, MeasuresElapsed) {
+  Timer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(t.seconds(), 0.0);
+  t.reset();
+  EXPECT_LT(t.seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace gcnt

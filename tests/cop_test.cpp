@@ -1,0 +1,210 @@
+// COP probabilistic testability: gate rules and agreement with simulation
+// on tree (reconvergence-free) circuits, where COP is exact.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <string>
+
+#include "common/rng.h"
+#include "cop/cop.h"
+#include "netlist/bench_io.h"
+#include "sim/fault_sim.h"
+#include "sim/logic_sim.h"
+
+namespace gcnt {
+namespace {
+
+NodeId by_name(const Netlist& n, const std::string& name) {
+  for (NodeId v = 0; v < n.size(); ++v) {
+    if (n.node_name(v) == name) return v;
+  }
+  ADD_FAILURE() << "node not found: " << name;
+  return kInvalidNode;
+}
+
+TEST(Cop, GateSignalProbabilities) {
+  const Netlist n = read_bench_string(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(g_and)
+OUTPUT(g_or)
+OUTPUT(g_nand)
+OUTPUT(g_nor)
+OUTPUT(g_xor)
+OUTPUT(g_not)
+g_and = AND(a, b)
+g_or = OR(a, b)
+g_nand = NAND(a, b)
+g_nor = NOR(a, b)
+g_xor = XOR(a, b)
+g_not = NOT(a)
+)");
+  const auto m = compute_cop(n);
+  EXPECT_DOUBLE_EQ(m.prob_one[by_name(n, "a")], 0.5);
+  EXPECT_DOUBLE_EQ(m.prob_one[by_name(n, "g_and")], 0.25);
+  EXPECT_DOUBLE_EQ(m.prob_one[by_name(n, "g_or")], 0.75);
+  EXPECT_DOUBLE_EQ(m.prob_one[by_name(n, "g_nand")], 0.75);
+  EXPECT_DOUBLE_EQ(m.prob_one[by_name(n, "g_nor")], 0.25);
+  EXPECT_DOUBLE_EQ(m.prob_one[by_name(n, "g_xor")], 0.5);
+  EXPECT_DOUBLE_EQ(m.prob_one[by_name(n, "g_not")], 0.5);
+}
+
+TEST(Cop, WideAndIsRarelyOne) {
+  const Netlist n = read_bench_string(
+      "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(g)\ng = AND(a, b, c, "
+      "d)\n");
+  const auto m = compute_cop(n);
+  EXPECT_DOUBLE_EQ(m.prob_one[by_name(n, "g")], 1.0 / 16.0);
+}
+
+TEST(Cop, XorParityAnyWidthIsHalf) {
+  const Netlist n = read_bench_string(
+      "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(g)\ng = XOR(a, b, c)\n");
+  const auto m = compute_cop(n);
+  EXPECT_DOUBLE_EQ(m.prob_one[by_name(n, "g")], 0.5);
+}
+
+TEST(Cop, ObservabilityThroughAnd) {
+  const Netlist n =
+      read_bench_string("INPUT(a)\nINPUT(b)\nOUTPUT(g)\ng = AND(a, b)\n");
+  const auto m = compute_cop(n);
+  EXPECT_DOUBLE_EQ(m.observability[by_name(n, "g")], 1.0);
+  EXPECT_DOUBLE_EQ(m.observability[by_name(n, "a")], 0.5);  // needs b == 1
+}
+
+TEST(Cop, ObservabilityThroughXorIsFree) {
+  const Netlist n =
+      read_bench_string("INPUT(a)\nINPUT(b)\nOUTPUT(g)\ng = XOR(a, b)\n");
+  const auto m = compute_cop(n);
+  EXPECT_DOUBLE_EQ(m.observability[by_name(n, "a")], 1.0);
+}
+
+TEST(Cop, ObservabilityCombinesBranches) {
+  // a observed via two independent AND branches, each with prob 0.5.
+  const Netlist n = read_bench_string(R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(g)
+OUTPUT(h)
+g = AND(a, b)
+h = AND(a, c)
+)");
+  const auto m = compute_cop(n);
+  EXPECT_DOUBLE_EQ(m.observability[by_name(n, "a")], 0.75);  // 1-(1-.5)^2
+}
+
+TEST(Cop, ScanCellIsObserved) {
+  const Netlist n =
+      read_bench_string("INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n");
+  const auto m = compute_cop(n);
+  EXPECT_DOUBLE_EQ(m.observability[by_name(n, "a")], 1.0);
+}
+
+TEST(Cop, DeepAndChainDecays) {
+  const Netlist n = read_bench_string(R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+OUTPUT(g3)
+g1 = AND(a, b)
+g2 = AND(g1, c)
+g3 = AND(g2, d)
+)");
+  const auto m = compute_cop(n);
+  EXPECT_DOUBLE_EQ(m.observability[by_name(n, "a")], 0.5 * 0.5 * 0.5);
+}
+
+TEST(Cop, DetectionProbability) {
+  const Netlist n =
+      read_bench_string("INPUT(a)\nINPUT(b)\nOUTPUT(g)\ng = AND(a, b)\n");
+  const auto m = compute_cop(n);
+  const auto dp = detection_probability(m, by_name(n, "g"));
+  EXPECT_DOUBLE_EQ(dp.sa0, 0.25);  // need g == 1
+  EXPECT_DOUBLE_EQ(dp.sa1, 0.75);  // need g == 0
+}
+
+/// Random tree circuit: every signal drives exactly one gate, so COP's
+/// independence assumption holds exactly.
+Netlist random_tree(Rng& rng, int gates) {
+  Netlist n("tree");
+  std::vector<NodeId> available;
+  for (int i = 0; i < gates + 4; ++i) {
+    available.push_back(
+        n.add_node(CellType::kInput, "i" + std::to_string(i)));
+  }
+  for (int g = 0; g < gates; ++g) {
+    const double r = rng.uniform();
+    CellType type = r < 0.3   ? CellType::kAnd
+                    : r < 0.6 ? CellType::kOr
+                    : r < 0.8 ? CellType::kXor
+                              : CellType::kNand;
+    const NodeId gate = n.add_node(type);
+    for (int k = 0; k < 2; ++k) {
+      if (available.empty()) break;
+      const std::size_t pick = rng.below(available.size());
+      n.connect(available[pick], gate);
+      available.erase(available.begin() + static_cast<long>(pick));
+    }
+    available.push_back(gate);
+  }
+  for (NodeId v : available) {
+    const NodeId po = n.add_node(CellType::kOutput);
+    n.connect(v, po);
+  }
+  return n;
+}
+
+TEST(Cop, SignalProbabilityMatchesSimulationOnTrees) {
+  Rng rng(101);
+  const Netlist n = random_tree(rng, 60);
+  ASSERT_TRUE(n.validate().empty());
+  const auto m = compute_cop(n);
+
+  LogicSimulator sim(n);
+  std::vector<std::uint32_t> ones(n.size(), 0);
+  const std::size_t batches = 96;
+  std::vector<std::uint64_t> values;
+  for (std::size_t b = 0; b < batches; ++b) {
+    sim.simulate(sim.random_batch(rng), values);
+    for (NodeId v = 0; v < n.size(); ++v) {
+      ones[v] += static_cast<std::uint32_t>(std::popcount(values[v]));
+    }
+  }
+  const double total = 64.0 * static_cast<double>(batches);
+  for (NodeId v = 0; v < n.size(); ++v) {
+    const double measured = ones[v] / total;
+    EXPECT_NEAR(measured, m.prob_one[v], 0.05) << "node " << v;
+  }
+}
+
+TEST(Cop, ObservabilityMatchesSimulationOnTrees) {
+  Rng rng(103);
+  const Netlist n = random_tree(rng, 40);
+  const auto m = compute_cop(n);
+
+  LogicSimulator sim(n);
+  FaultSimulator probe(sim);
+  std::vector<std::uint32_t> observed(n.size(), 0);
+  const std::size_t batches = 96;
+  std::vector<std::uint64_t> values;
+  for (std::size_t b = 0; b < batches; ++b) {
+    sim.simulate(sim.random_batch(rng), values);
+    for (NodeId v = 0; v < n.size(); ++v) {
+      if (is_sink(n.type(v))) continue;
+      observed[v] += static_cast<std::uint32_t>(
+          std::popcount(probe.observe_word(v, values)));
+    }
+  }
+  const double total = 64.0 * static_cast<double>(batches);
+  for (NodeId v = 0; v < n.size(); ++v) {
+    if (is_sink(n.type(v))) continue;
+    EXPECT_NEAR(observed[v] / total, m.observability[v], 0.06)
+        << "node " << v;
+  }
+}
+
+}  // namespace
+}  // namespace gcnt

@@ -1,0 +1,196 @@
+// OPI flows: baseline COP-greedy and the iterative GCN flow with impact
+// evaluation. A small GCN is trained once and shared across tests.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "atpg/atpg.h"
+#include "common/metrics.h"
+#include "cop/cop.h"
+#include "data/dataset.h"
+#include "dft/baseline_opi.h"
+#include "dft/gcn_opi.h"
+#include "dft/impact.h"
+#include "gcn/trainer.h"
+#include "gen/generator.h"
+
+namespace gcnt {
+namespace {
+
+GeneratorConfig test_design(std::uint64_t seed) {
+  GeneratorConfig config;
+  config.seed = seed;
+  config.target_gates = 1200;
+  config.primary_inputs = 24;
+  config.primary_outputs = 12;
+  config.flip_flops = 48;
+  config.trap_fraction = 0.04;
+  config.trap_enable_width = 9;
+  return config;
+}
+
+GcnConfig small_model_config() {
+  GcnConfig config;
+  config.depth = 2;
+  config.embed_dims = {8, 16};
+  config.fc_dims = {16, 16};
+  config.seed = 4242;
+  return config;
+}
+
+/// Shared trained model + dataset (training once keeps the suite fast).
+class GcnOpiTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    LabelerOptions labeler;
+    labeler.batches = 8;
+    dataset_ = new Dataset(
+        make_dataset(generate_circuit(test_design(501)), labeler));
+    model_ = new GcnModel(small_model_config());
+    TrainerOptions options;
+    options.epochs = 150;
+    options.learning_rate = 1e-2f;
+    options.positive_class_weight = 8.0f;
+    options.eval_interval = 100;
+    Trainer trainer(*model_, options);
+    const TrainGraph data{&dataset_->tensors, {}};
+    trainer.train({data}, nullptr);
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete model_;
+    dataset_ = nullptr;
+    model_ = nullptr;
+  }
+
+  static Dataset* dataset_;
+  static GcnModel* model_;
+};
+
+Dataset* GcnOpiTest::dataset_ = nullptr;
+GcnModel* GcnOpiTest::model_ = nullptr;
+
+TEST(BaselineOpi, ClearsBelowThresholdNodes) {
+  Netlist n = generate_circuit(test_design(301));
+  BaselineOpiOptions options;
+  options.observability_threshold = 0.01;
+  const auto result = run_baseline_opi(n, options);
+  EXPECT_GT(result.inserted.size(), 0u);
+  EXPECT_EQ(result.remaining_below_threshold, 0u);
+
+  // Post-condition: nothing (insertable) is below the threshold anymore.
+  const auto cop = compute_cop(n);
+  for (NodeId v = 0; v < n.size(); ++v) {
+    if (is_sink(n.type(v)) || n.type(v) == CellType::kInput) continue;
+    bool has_op = false;
+    for (NodeId g : n.fanouts(v)) {
+      has_op |= n.type(g) == CellType::kObserve;
+    }
+    if (!has_op) {
+      EXPECT_GE(cop.observability[v], options.observability_threshold)
+          << "node " << v;
+    }
+  }
+}
+
+TEST(BaselineOpi, NoCandidatesMeansNoInsertions) {
+  // A shallow, fully observable circuit needs nothing.
+  GeneratorConfig config;
+  config.seed = 11;
+  config.target_gates = 150;
+  config.trap_fraction = 0.0;
+  config.target_depth = 6;
+  Netlist n = generate_circuit(config);
+  BaselineOpiOptions options;
+  options.observability_threshold = 1e-6;
+  const auto result = run_baseline_opi(n, options);
+  EXPECT_TRUE(result.inserted.empty());
+  EXPECT_EQ(result.rounds, 0u);
+}
+
+TEST(BaselineOpi, ImprovesFaultCoverage) {
+  Netlist n = generate_circuit(test_design(303));
+  AtpgOptions atpg;
+  atpg.max_random_batches = 8;
+  atpg.podem.backtrack_limit = 8;
+  atpg.podem.implication_limit = 64;
+  const auto before = run_atpg(n, atpg);
+  run_baseline_opi(n, BaselineOpiOptions{});
+  const auto after = run_atpg(n, atpg);
+  EXPECT_GE(after.fault_coverage(), before.fault_coverage());
+}
+
+TEST_F(GcnOpiTest, TrainedModelBeatsChanceOnItsDesign) {
+  const auto probabilities =
+      model_->predict_positive_probability(dataset_->tensors);
+  std::vector<std::int32_t> predictions(probabilities.size());
+  for (std::size_t i = 0; i < probabilities.size(); ++i) {
+    predictions[i] = probabilities[i] >= 0.5f ? 1 : 0;
+  }
+  const auto cm = evaluate_binary(predictions, dataset_->tensors.labels);
+  EXPECT_GT(cm.recall(), 0.5);
+  EXPECT_GT(cm.precision(), 0.2);
+}
+
+TEST_F(GcnOpiTest, ImpactEvaluatorRanksConeCoverage) {
+  const Netlist& n = dataset_->netlist;
+  const auto predictions_prob =
+      model_->predict_positive_probability(dataset_->tensors);
+  std::vector<std::int32_t> predictions(predictions_prob.size());
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    predictions[i] = predictions_prob[i] >= 0.5f ? 1 : 0;
+  }
+  ImpactEvaluator evaluator({model_}, n, dataset_->tensors, dataset_->scoap,
+                            dataset_->levels);
+  // Impact of a positive node is at least 0 in the common case and at
+  // most the cone positive count.
+  int evaluated = 0;
+  for (NodeId v = 0; v < n.size() && evaluated < 12; ++v) {
+    if (predictions[v] != 1 || is_sink(n.type(v))) continue;
+    const int impact = evaluator.impact_of(v, predictions, 64);
+    auto cone = n.fanin_cone(v, 64);
+    cone.push_back(v);
+    int cone_positives = 0;
+    for (NodeId u : cone) cone_positives += predictions[u];
+    EXPECT_LE(impact, cone_positives);
+    ++evaluated;
+  }
+  EXPECT_GT(evaluated, 0);
+}
+
+TEST_F(GcnOpiTest, IterativeFlowReducesPositivePredictions) {
+  Netlist working = dataset_->netlist;  // copy; flow mutates
+  GcnOpiOptions options;
+  options.max_iterations = 6;
+  options.insert_fraction = 0.4;
+  const auto result = run_gcn_opi(working, {model_}, options);
+  EXPECT_GT(result.inserted.size(), 0u);
+  EXPECT_GT(result.iterations, 0u);
+  EXPECT_EQ(working.observe_points().size(), result.inserted.size());
+  // The flow either converged (no positives) or at least shrank the
+  // positive population substantially versus the start.
+  const auto start_positives = dataset_->positives();
+  EXPECT_LT(result.final_positive_predictions, start_positives * 2);
+  EXPECT_TRUE(working.validate().empty());
+}
+
+TEST_F(GcnOpiTest, FlowImprovesObservabilityOfLabeledPositives) {
+  Netlist working = dataset_->netlist;
+  GcnOpiOptions options;
+  options.max_iterations = 6;
+  options.insert_fraction = 0.5;
+  run_gcn_opi(working, {model_}, options);
+
+  const auto cop_before = compute_cop(dataset_->netlist);
+  const auto cop_after = compute_cop(working);
+  double before = 0.0, after = 0.0;
+  for (std::uint32_t v : dataset_->positive_rows) {
+    before += cop_before.observability[v];
+    after += cop_after.observability[v];
+  }
+  EXPECT_GT(after, before);  // mean observability of true positives rose
+}
+
+}  // namespace
+}  // namespace gcnt

@@ -1,0 +1,689 @@
+// GCN core: tensors, model numerics (finite-difference gradients), the
+// sparse/recursive inference equivalence, training, and the cascade.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/metrics.h"
+#include "data/dataset.h"
+#include "gcn/model.h"
+#include "gcn/multistage.h"
+#include "gcn/graphsage_inference.h"
+#include "gcn/recursive_inference.h"
+#include "gcn/trainer.h"
+#include "gen/generator.h"
+#include "netlist/bench_io.h"
+#include "nn/optimizer.h"
+
+namespace gcnt {
+namespace {
+
+/// Small reconvergent circuit used across tests.
+Netlist tiny_circuit() {
+  return read_bench_string(R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+g1 = AND(a, b)
+g2 = OR(b, c)
+g3 = XOR(g1, g2)
+y = NAND(g3, a)
+)",
+                           "tiny");
+}
+
+GcnConfig tiny_config(int depth = 2) {
+  GcnConfig config;
+  config.depth = depth;
+  config.embed_dims = {8, 12, 16};
+  config.fc_dims = {10, 10};
+  config.seed = 99;
+  return config;
+}
+
+TEST(GraphTensors, FeatureContents) {
+  const Netlist n = tiny_circuit();
+  const auto scoap = compute_scoap(n);
+  const auto levels = n.logic_levels();
+  const auto tensors = build_graph_tensors(n, scoap, levels);
+  ASSERT_EQ(tensors.features.rows(), n.size());
+  ASSERT_EQ(tensors.features.cols(), kNodeFeatureDim);
+  for (NodeId v = 0; v < n.size(); ++v) {
+    EXPECT_FLOAT_EQ(tensors.features.at(v, 0), transform_feature(levels[v]));
+    EXPECT_FLOAT_EQ(tensors.features.at(v, 1), transform_feature(scoap.cc0[v]));
+    EXPECT_FLOAT_EQ(tensors.features.at(v, 2), transform_feature(scoap.cc1[v]));
+    EXPECT_FLOAT_EQ(tensors.features.at(v, 3), transform_feature(scoap.co[v]));
+  }
+}
+
+TEST(GraphTensors, AdjacencyMirrorsNetlist) {
+  const Netlist n = tiny_circuit();
+  const auto tensors = build_graph_tensors(n);
+  EXPECT_EQ(tensors.pred_coo.nnz(), n.edge_count());
+  EXPECT_EQ(tensors.succ_coo.nnz(), n.edge_count());
+  // (P * ones)[v] = fanin count.
+  Matrix ones(n.size(), 1, 1.0f);
+  Matrix fanin_counts;
+  tensors.pred.spmm(ones, fanin_counts);
+  for (NodeId v = 0; v < n.size(); ++v) {
+    EXPECT_FLOAT_EQ(fanin_counts.at(v, 0),
+                    static_cast<float>(n.fanins(v).size()));
+  }
+  Matrix fanout_counts;
+  tensors.succ.spmm(ones, fanout_counts);
+  for (NodeId v = 0; v < n.size(); ++v) {
+    EXPECT_FLOAT_EQ(fanout_counts.at(v, 0),
+                    static_cast<float>(n.fanouts(v).size()));
+  }
+}
+
+TEST(GraphTensors, SparsityIsHigh) {
+  const Netlist n = generate_benchmark_design(0, 2000);
+  const auto tensors = build_graph_tensors(n);
+  // The paper reports > 99.95% for its designs; ours are smaller but the
+  // merged adjacency must still be extremely sparse.
+  const auto merged = build_merged_adjacency(tensors, 0.5f, 0.5f);
+  EXPECT_GT(merged.sparsity(), 0.995);
+}
+
+TEST(GraphTensors, MergedAdjacencyMatchesDecomposedAggregation) {
+  const Netlist n = tiny_circuit();
+  const auto tensors = build_graph_tensors(n);
+  const float wp = 0.3f, ws = 0.7f;
+  // Decomposed: E + wp*P*E + ws*S*E.
+  Matrix want = tensors.features;
+  Matrix tmp;
+  tensors.pred.spmm(tensors.features, tmp);
+  want.axpy(wp, tmp);
+  tensors.succ.spmm(tensors.features, tmp);
+  want.axpy(ws, tmp);
+  // Merged (Eq. 2): A * E.
+  const CsrMatrix a = CsrMatrix::from_coo(build_merged_adjacency(tensors, wp, ws));
+  Matrix got;
+  a.spmm(tensors.features, got);
+  ASSERT_EQ(got.rows(), want.rows());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got.data()[i], want.data()[i], 1e-4f);
+  }
+}
+
+TEST(GraphTensors, IncrementalObservePointMatchesRebuild) {
+  GeneratorConfig config;
+  config.seed = 5;
+  config.target_gates = 400;
+  config.primary_inputs = 12;
+  config.primary_outputs = 8;
+  Netlist n = generate_circuit(config);
+  auto scoap = compute_scoap(n);
+  auto levels = n.logic_levels();
+  auto tensors = build_graph_tensors(n, scoap, levels);
+
+  // Insert three OPs through the incremental path.
+  std::size_t inserted = 0;
+  for (NodeId v = 40; v < n.size() && inserted < 3; v += 111) {
+    if (!is_logic(n.type(v))) continue;
+    const NodeId op = n.insert_observe_point(v);
+    update_observability_after_observe(n, v, scoap);
+    append_observe_point(tensors, n, v, op, scoap, n.fanin_cone(v));
+    ++inserted;
+  }
+  ASSERT_EQ(inserted, 3u);
+  tensors.rebuild_csr();
+
+  // Rebuild everything from scratch and compare.
+  const auto fresh = build_graph_tensors(n);
+  ASSERT_EQ(fresh.features.rows(), tensors.features.rows());
+  for (std::size_t i = 0; i < fresh.features.size(); ++i) {
+    EXPECT_NEAR(fresh.features.data()[i], tensors.features.data()[i], 1e-5f)
+        << "feature index " << i;
+  }
+  EXPECT_EQ(fresh.pred.nnz(), tensors.pred.nnz());
+  EXPECT_EQ(fresh.succ.nnz(), tensors.succ.nnz());
+}
+
+TEST(GcnModel, ForwardShapeAndDeterminism) {
+  const Netlist n = tiny_circuit();
+  const auto tensors = build_graph_tensors(n);
+  GcnModel model(tiny_config());
+  const Matrix logits = model.infer(tensors);
+  EXPECT_EQ(logits.rows(), n.size());
+  EXPECT_EQ(logits.cols(), 2u);
+
+  GcnModel model2(tiny_config());
+  const Matrix logits2 = model2.infer(tensors);
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    EXPECT_FLOAT_EQ(logits.data()[i], logits2.data()[i]);
+  }
+}
+
+TEST(GcnModel, DepthOutOfRangeThrows) {
+  GcnConfig config = tiny_config();
+  config.depth = 5;  // only 3 embed dims configured
+  EXPECT_THROW(GcnModel{config}, std::invalid_argument);
+}
+
+TEST(GcnModel, ForwardMatchesInfer) {
+  const Netlist n = tiny_circuit();
+  const auto tensors = build_graph_tensors(n);
+  GcnModel model(tiny_config(3));
+  const Matrix a = model.forward(tensors);
+  const Matrix b = model.infer(tensors);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+/// Loss of the model on the tiny graph (for finite differences).
+double model_loss(GcnModel& model, const GraphTensors& tensors,
+                  const std::vector<std::int32_t>& labels) {
+  const Matrix logits = model.infer(tensors);
+  Matrix scratch;
+  return softmax_cross_entropy(logits, labels, {1.0f, 2.0f}, nullptr,
+                               scratch);
+}
+
+TEST(GcnModel, GradientsMatchFiniteDifferences) {
+  const Netlist n = tiny_circuit();
+  const auto tensors = build_graph_tensors(n);
+  std::vector<std::int32_t> labels(n.size(), 0);
+  labels[3] = 1;
+  labels[5] = 1;
+
+  GcnModel model(tiny_config(2));
+  const Matrix logits = model.forward(tensors);
+  Matrix dlogits;
+  softmax_cross_entropy(logits, labels, {1.0f, 2.0f}, nullptr, dlogits);
+  model.backward(tensors, dlogits);
+
+  // Spot-check several parameters across every module type, including the
+  // aggregation scalars w_pr / w_su (params 0 and 1).
+  const auto params = model.params();
+  const double eps = 1e-3;
+  for (std::size_t p : {0u, 1u, 2u, 3u, 4u, 6u, 8u, 10u}) {
+    ASSERT_LT(p, params.size());
+    Param& param = *params[p];
+    const std::size_t checks = std::min<std::size_t>(3, param.value.size());
+    for (std::size_t k = 0; k < checks; ++k) {
+      const float saved = param.value.data()[k];
+      param.value.data()[k] = saved + static_cast<float>(eps);
+      const double up = model_loss(model, tensors, labels);
+      param.value.data()[k] = saved - static_cast<float>(eps);
+      const double down = model_loss(model, tensors, labels);
+      param.value.data()[k] = saved;
+      const double numeric = (up - down) / (2.0 * eps);
+      EXPECT_NEAR(param.grad.data()[k], numeric, 5e-3)
+          << "param " << p << " entry " << k;
+    }
+  }
+}
+
+TEST(GcnModel, RecursiveInferenceMatchesSparse) {
+  GeneratorConfig config;
+  config.seed = 21;
+  config.target_gates = 120;
+  config.primary_inputs = 8;
+  config.primary_outputs = 4;
+  const Netlist n = generate_circuit(config);
+  const auto tensors = build_graph_tensors(n);
+  GcnModel model(tiny_config(3));
+
+  const Matrix sparse_logits = model.infer(tensors);
+  RecursiveInference recursive(model, n, tensors.features);
+  const Matrix recursive_logits = recursive.infer_all();
+
+  ASSERT_EQ(recursive_logits.rows(), sparse_logits.rows());
+  for (std::size_t r = 0; r < sparse_logits.rows(); ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      EXPECT_NEAR(recursive_logits.at(r, c), sparse_logits.at(r, c), 2e-2f)
+          << "node " << r;
+    }
+  }
+}
+
+TEST(GcnModel, CopyParamsProducesIdenticalOutputs) {
+  const Netlist n = tiny_circuit();
+  const auto tensors = build_graph_tensors(n);
+  GcnModel a(tiny_config());
+  GcnConfig other = tiny_config();
+  other.seed = 1234567;
+  GcnModel b(other);
+  b.copy_params_from(a);
+  const Matrix la = a.infer(tensors);
+  const Matrix lb = b.infer(tensors);
+  for (std::size_t i = 0; i < la.size(); ++i) {
+    EXPECT_FLOAT_EQ(la.data()[i], lb.data()[i]);
+  }
+}
+
+/// Synthetic learnable task: label = (node observability feature is bad).
+GraphTensors labeled_tensors(const Netlist& n) {
+  GraphTensors tensors = build_graph_tensors(n);
+  tensors.labels.assign(n.size(), 0);
+  for (NodeId v = 0; v < n.size(); ++v) {
+    if (tensors.features.at(v, 3) > transform_feature(60.0)) {
+      tensors.labels[v] = 1;
+    }
+  }
+  return tensors;
+}
+
+TEST(Trainer, LearnsObservabilityRule) {
+  GeneratorConfig config;
+  config.seed = 61;
+  config.target_gates = 700;
+  config.primary_inputs = 16;
+  config.primary_outputs = 8;
+  config.trap_fraction = 0.06;
+  const Netlist n = generate_circuit(config);
+  const GraphTensors tensors = labeled_tensors(n);
+
+  std::size_t positives = 0;
+  for (auto l : tensors.labels) positives += l;
+  ASSERT_GT(positives, 10u);
+  ASSERT_LT(positives, n.size() / 2);
+
+  GcnModel model(tiny_config(2));
+  TrainerOptions options;
+  options.epochs = 200;
+  options.learning_rate = 1e-2f;
+  options.positive_class_weight = 2.0f;
+  options.eval_interval = 50;
+  Trainer trainer(model, options);
+  const TrainGraph data{&tensors, {}};
+  const auto history = trainer.train({data}, &data);
+
+  ASSERT_EQ(history.size(), options.epochs);
+  EXPECT_GT(history.back().train_accuracy, 0.93);
+  EXPECT_LT(history.back().loss, history.front().loss);
+}
+
+TEST(Trainer, SgdPathAlsoLearns) {
+  GeneratorConfig config;
+  config.seed = 63;
+  config.target_gates = 400;
+  config.primary_inputs = 12;
+  config.primary_outputs = 6;
+  config.trap_fraction = 0.06;
+  const Netlist n = generate_circuit(config);
+  const GraphTensors tensors = labeled_tensors(n);
+  GcnModel model(tiny_config(2));
+  TrainerOptions options;
+  options.epochs = 150;
+  options.use_adam = false;
+  options.learning_rate = 5e-3f;
+  options.eval_interval = 150;
+  Trainer trainer(model, options);
+  const TrainGraph data{&tensors, {}};
+  const auto history = trainer.train({data}, &data);
+  EXPECT_LT(history.back().loss, history.front().loss * 0.9);
+}
+
+TEST(Trainer, EvalIntervalCarriesLastAccuracy) {
+  const Netlist n = tiny_circuit();
+  GraphTensors tensors = build_graph_tensors(n);
+  tensors.labels.assign(n.size(), 0);
+  tensors.labels[2] = 1;
+  GcnModel model(tiny_config(1));
+  TrainerOptions options;
+  options.epochs = 10;
+  options.eval_interval = 5;
+  Trainer trainer(model, options);
+  const TrainGraph data{&tensors, {}};
+  const auto history = trainer.train({data}, &data);
+  ASSERT_EQ(history.size(), 10u);
+  // Non-eval epochs carry the previous measurement forward.
+  EXPECT_EQ(history[1].train_accuracy, history[0].train_accuracy);
+}
+
+TEST(Trainer, RecordsTestAccuracy) {
+  const Netlist n = tiny_circuit();
+  GraphTensors tensors = build_graph_tensors(n);
+  tensors.labels.assign(n.size(), 0);
+  tensors.labels[2] = 1;
+  GcnModel model(tiny_config(1));
+  TrainerOptions options;
+  options.epochs = 3;
+  Trainer trainer(model, options);
+  const TrainGraph data{&tensors, {}};
+  const auto history = trainer.train({data}, &data);
+  EXPECT_GT(history.back().test_accuracy, 0.0);
+}
+
+TEST(Trainer, UnlabeledGraphThrows) {
+  const Netlist n = tiny_circuit();
+  const GraphTensors tensors = build_graph_tensors(n);  // no labels
+  GcnModel model(tiny_config(1));
+  Trainer trainer(model, TrainerOptions{});
+  const TrainGraph data{&tensors, {}};
+  EXPECT_THROW(trainer.train({data}, nullptr), std::invalid_argument);
+}
+
+TEST(Trainer, MultiGraphReplicasMatchSingleGraphGradients) {
+  // Two identical graphs trained data-parallel must take exactly the step
+  // a single graph would (averaged gradients over identical replicas).
+  GeneratorConfig config;
+  config.seed = 81;
+  config.target_gates = 150;
+  config.primary_inputs = 8;
+  config.primary_outputs = 4;
+  const Netlist n = generate_circuit(config);
+  const GraphTensors tensors = labeled_tensors(n);
+
+  TrainerOptions options;
+  options.epochs = 2;
+  options.use_adam = false;
+  options.learning_rate = 1e-2f;
+  options.eval_interval = 100;
+
+  GcnModel single(tiny_config(2));
+  Trainer single_trainer(single, options);
+  const TrainGraph data{&tensors, {}};
+  single_trainer.train({data}, nullptr);
+
+  GcnModel dual(tiny_config(2));
+  Trainer dual_trainer(dual, options);
+  dual_trainer.train({data, data}, nullptr);  // one wave of two replicas
+
+  // After averaging two identical gradients the step matches... only if the
+  // single run also stepped once per epoch. It does (one wave per epoch).
+  const auto ps = single.params();
+  const auto pd = dual.params();
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    for (std::size_t k = 0; k < ps[i]->value.size(); ++k) {
+      EXPECT_NEAR(ps[i]->value.data()[k], pd[i]->value.data()[k], 1e-5f);
+    }
+  }
+}
+
+TEST(MultiStage, ImprovesF1OnImbalancedData) {
+  GeneratorConfig config;
+  config.seed = 71;
+  config.target_gates = 900;
+  config.primary_inputs = 16;
+  config.primary_outputs = 8;
+  config.trap_fraction = 0.05;
+  const Netlist n = generate_circuit(config);
+  const GraphTensors tensors = labeled_tensors(n);
+
+  MultiStageOptions options;
+  options.stages = 3;
+  options.model = tiny_config(2);
+  options.trainer.epochs = 40;
+  options.trainer.learning_rate = 5e-3f;
+  options.trainer.eval_interval = 100;
+
+  MultiStageClassifier cascade(options);
+  cascade.fit({&tensors});
+  const auto multi_predictions = cascade.predict(tensors);
+  const auto multi =
+      evaluate_binary(multi_predictions, tensors.labels);
+
+  // Single unweighted GCN on the same budget.
+  MultiStageOptions single_options = options;
+  single_options.stages = 1;
+  MultiStageClassifier single(single_options);
+  single.fit({&tensors});
+  const auto single_predictions = single.predict(tensors);
+  const auto single_cm =
+      evaluate_binary(single_predictions, tensors.labels);
+
+  EXPECT_GE(multi.f1(), single_cm.f1() - 0.02);
+  EXPECT_GT(multi.f1(), 0.5);
+  EXPECT_EQ(cascade.stage_models().size(), 3u);
+  EXPECT_EQ(cascade.survivors_per_stage().size(), 3u);
+}
+
+TEST(GcnModel, TiedAggregationSharesWeight) {
+  const Netlist n = tiny_circuit();
+  const auto tensors = build_graph_tensors(n);
+  GcnConfig config = tiny_config(2);
+  config.tied_aggregation = true;
+  GcnModel model(config);
+  EXPECT_FLOAT_EQ(model.w_pr(), model.w_su());
+  // One optimizer step keeps them equal.
+  std::vector<std::int32_t> labels(n.size(), 0);
+  labels[2] = 1;
+  const Matrix logits = model.forward(tensors);
+  Matrix dlogits;
+  softmax_cross_entropy(logits, labels, {1.0f, 1.0f}, nullptr, dlogits);
+  model.backward(tensors, dlogits);
+  SgdOptimizer sgd(0.1f);
+  sgd.step(model.params());
+  EXPECT_FLOAT_EQ(model.w_pr(), model.w_su());
+}
+
+TEST(GcnModel, FrozenAggregationWeightsDoNotTrain) {
+  const Netlist n = tiny_circuit();
+  const auto tensors = build_graph_tensors(n);
+  GcnConfig config = tiny_config(2);
+  config.frozen_aggregation = true;
+  config.initial_w_pr = 0.25f;
+  config.initial_w_su = 0.75f;
+  GcnModel model(config);
+  std::vector<std::int32_t> labels(n.size(), 0);
+  labels[2] = 1;
+  const Matrix logits = model.forward(tensors);
+  Matrix dlogits;
+  softmax_cross_entropy(logits, labels, {1.0f, 1.0f}, nullptr, dlogits);
+  model.backward(tensors, dlogits);
+  SgdOptimizer sgd(0.5f);
+  sgd.step(model.params());
+  EXPECT_FLOAT_EQ(model.w_pr(), 0.25f);
+  EXPECT_FLOAT_EQ(model.w_su(), 0.75f);
+}
+
+TEST(GcnModel, ZeroFrozenAggregationIgnoresNeighbors) {
+  // With w_pr = w_su = 0 frozen, predictions depend only on a node's own
+  // features: two nodes with identical features must get identical logits.
+  const Netlist n = tiny_circuit();
+  auto tensors = build_graph_tensors(n);
+  // Force identical features everywhere.
+  tensors.features.fill(0.3f);
+  GcnConfig config = tiny_config(2);
+  config.frozen_aggregation = true;
+  config.initial_w_pr = 0.0f;
+  config.initial_w_su = 0.0f;
+  GcnModel model(config);
+  const Matrix logits = model.infer(tensors);
+  for (std::size_t r = 1; r < logits.rows(); ++r) {
+    EXPECT_FLOAT_EQ(logits.at(r, 0), logits.at(0, 0));
+    EXPECT_FLOAT_EQ(logits.at(r, 1), logits.at(0, 1));
+  }
+}
+
+TEST(GraphTensors, StandardizeFeaturesZeroMeanUnitVariance) {
+  const Netlist n = generate_benchmark_design(0, 800);
+  GraphTensors tensors = build_graph_tensors(n);
+  tensors.standardize_features();
+  for (std::size_t c = 0; c < kNodeFeatureDim; ++c) {
+    double mean = 0.0, var = 0.0;
+    for (std::size_t r = 0; r < tensors.features.rows(); ++r) {
+      mean += tensors.features.at(r, c);
+    }
+    mean /= tensors.features.rows();
+    for (std::size_t r = 0; r < tensors.features.rows(); ++r) {
+      const double d = tensors.features.at(r, c) - mean;
+      var += d * d;
+    }
+    var /= tensors.features.rows();
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(GraphTensors, EncodeConsistentAfterStandardize) {
+  const Netlist n = generate_benchmark_design(1, 600);
+  const auto scoap = compute_scoap(n);
+  const auto levels = n.logic_levels();
+  GraphTensors tensors = build_graph_tensors(n, scoap, levels);
+  tensors.standardize_features();
+  // encode(raw) must match the standardized stored rows.
+  for (NodeId v = 0; v < n.size(); v += 37) {
+    if (n.type(v) == CellType::kObserve) continue;
+    EXPECT_NEAR(tensors.encode(0, levels[v]), tensors.features.at(v, 0), 1e-4f);
+    EXPECT_NEAR(tensors.encode(3, scoap.co[v]), tensors.features.at(v, 3), 1e-4f);
+  }
+}
+
+TEST(GraphTensors, IncrementalUpdateConsistentUnderStandardization) {
+  GeneratorConfig config;
+  config.seed = 15;
+  config.target_gates = 300;
+  Netlist n = generate_circuit(config);
+  auto scoap = compute_scoap(n);
+  auto levels = n.logic_levels();
+  GraphTensors tensors = build_graph_tensors(n, scoap, levels);
+  tensors.standardize_features();
+  const auto mean = tensors.feature_mean;
+  const auto scale = tensors.feature_scale;
+
+  NodeId target = kInvalidNode;
+  for (NodeId v = 50; v < n.size(); ++v) {
+    if (is_logic(n.type(v))) {
+      target = v;
+      break;
+    }
+  }
+  const NodeId op = n.insert_observe_point(target);
+  update_observability_after_observe(n, target, scoap);
+  append_observe_point(tensors, n, target, op, scoap, n.fanin_cone(target));
+  // The affine must be unchanged, and the new rows must be expressed in it.
+  EXPECT_EQ(tensors.feature_mean, mean);
+  EXPECT_EQ(tensors.feature_scale, scale);
+  EXPECT_FLOAT_EQ(tensors.features.at(op, 3), tensors.encode(3, 0.0));
+  EXPECT_FLOAT_EQ(tensors.features.at(target, 3),
+                  tensors.encode(3, scoap.co[target]));
+}
+
+TEST(GraphSage, ExactOnChainGraphs) {
+  // On a pure chain every node has at most one predecessor/successor, so
+  // fixed-fanout sampling with replacement always picks that neighbor and
+  // the importance scale collapses to w — the sampled estimate must equal
+  // the exact sparse inference.
+  Netlist n("chain");
+  NodeId prev = n.add_node(CellType::kInput, "a");
+  for (int i = 0; i < 6; ++i) {
+    const NodeId g = n.add_node(i % 2 ? CellType::kNot : CellType::kBuf);
+    n.connect(prev, g);
+    prev = g;
+  }
+  const NodeId po = n.add_node(CellType::kOutput, "po");
+  n.connect(prev, po);
+
+  const auto tensors = build_graph_tensors(n);
+  GcnModel model(tiny_config(3));
+  const Matrix exact = model.infer(tensors);
+  GraphSageInference sage(model, n, tensors.features);
+  const Matrix sampled = sage.infer_all();
+  ASSERT_EQ(sampled.rows(), exact.rows());
+  for (std::size_t r = 0; r < exact.rows(); ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      EXPECT_NEAR(sampled.at(r, c), exact.at(r, c), 2e-2f) << "node " << r;
+    }
+  }
+}
+
+TEST(GraphSage, DeterministicForSeed) {
+  GeneratorConfig config;
+  config.seed = 23;
+  config.target_gates = 60;
+  config.primary_inputs = 6;
+  config.primary_outputs = 3;
+  const Netlist n = generate_circuit(config);
+  const auto tensors = build_graph_tensors(n);
+  GcnModel model(tiny_config(2));
+  SampleFanouts fanouts;
+  fanouts.per_hop = {6, 4};
+  GraphSageInference a(model, n, tensors.features, fanouts, 5);
+  GraphSageInference b(model, n, tensors.features, fanouts, 5);
+  const Matrix la = a.infer_all();
+  const Matrix lb = b.infer_all();
+  for (std::size_t i = 0; i < la.size(); ++i) {
+    EXPECT_FLOAT_EQ(la.data()[i], lb.data()[i]);
+  }
+}
+
+TEST(GraphSage, SampledEstimateIsUnbiasedPreNonlinearity) {
+  // A depth-1 model on a star graph: average many sampled runs and the
+  // mean aggregation must approach the exact weighted sum.
+  Netlist n("star");
+  std::vector<NodeId> leaves;
+  for (int i = 0; i < 5; ++i) {
+    leaves.push_back(n.add_node(CellType::kInput));
+  }
+  const NodeId hub = n.add_node(CellType::kOr);
+  for (NodeId leaf : leaves) n.connect(leaf, hub);
+  const NodeId po = n.add_node(CellType::kOutput);
+  n.connect(hub, po);
+
+  auto tensors = build_graph_tensors(n);
+  GcnConfig config = tiny_config(1);
+  GcnModel model(config);
+  const Matrix exact = model.infer(tensors);
+
+  double mean0 = 0.0;
+  const int runs = 400;
+  for (int run = 0; run < runs; ++run) {
+    SampleFanouts fanouts;
+    fanouts.per_hop = {4};
+    GraphSageInference sage(model, n, tensors.features, fanouts,
+                            static_cast<std::uint64_t>(run + 1));
+    mean0 += sage.infer_node(hub)[0];
+  }
+  mean0 /= runs;
+  // ReLU introduces some bias; the estimate must still be close.
+  EXPECT_NEAR(mean0, exact.at(hub, 0), 0.25);
+}
+
+TEST(MultiStage, ZeroStagesThrows) {
+  MultiStageOptions options;
+  options.stages = 0;
+  EXPECT_THROW(MultiStageClassifier{options}, std::invalid_argument);
+}
+
+TEST(MultiStage, AllNegativeGraphDoesNotCrash) {
+  // A graph with no positive labels: stages must still train and predict
+  // (everything filtered out early).
+  const Netlist n = tiny_circuit();
+  GraphTensors tensors = build_graph_tensors(n);
+  tensors.labels.assign(n.size(), 0);
+  MultiStageOptions options;
+  options.stages = 2;
+  options.model = tiny_config(1);
+  options.trainer.epochs = 5;
+  options.trainer.eval_interval = 5;
+  MultiStageClassifier cascade(options);
+  cascade.fit({&tensors});
+  const auto predictions = cascade.predict(tensors);
+  std::size_t positives = 0;
+  for (auto p : predictions) positives += p;
+  EXPECT_LE(positives, n.size());  // well-defined output
+}
+
+TEST(MultiStage, SurvivorsShrinkAcrossStages) {
+  GeneratorConfig config;
+  config.seed = 73;
+  config.target_gates = 500;
+  config.primary_inputs = 12;
+  config.primary_outputs = 6;
+  config.trap_fraction = 0.05;
+  const Netlist n = generate_circuit(config);
+  const GraphTensors tensors = labeled_tensors(n);
+
+  MultiStageOptions options;
+  options.stages = 2;
+  options.model = tiny_config(2);
+  options.trainer.epochs = 30;
+  options.trainer.eval_interval = 100;
+  MultiStageClassifier cascade(options);
+  cascade.fit({&tensors});
+  const auto& survivors = cascade.survivors_per_stage();
+  ASSERT_EQ(survivors.size(), 2u);
+  EXPECT_LT(survivors[0], n.size());  // stage 1 filtered something
+  EXPECT_LE(survivors[1], survivors[0]);
+}
+
+}  // namespace
+}  // namespace gcnt

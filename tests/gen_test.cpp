@@ -1,0 +1,142 @@
+// Synthetic circuit generator: determinism, structural validity, Table-1
+// style statistics, and the presence of observability traps.
+
+#include <gtest/gtest.h>
+
+#include "cop/cop.h"
+#include "gen/generator.h"
+#include "netlist/bench_io.h"
+#include "scoap/scoap.h"
+
+namespace gcnt {
+namespace {
+
+GeneratorConfig small_config(std::uint64_t seed) {
+  GeneratorConfig config;
+  config.seed = seed;
+  config.target_gates = 800;
+  config.primary_inputs = 24;
+  config.primary_outputs = 12;
+  config.flip_flops = 16;
+  return config;
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  const Netlist a = generate_circuit(small_config(42));
+  const Netlist b = generate_circuit(small_config(42));
+  EXPECT_EQ(write_bench_string(a), write_bench_string(b));
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const Netlist a = generate_circuit(small_config(1));
+  const Netlist b = generate_circuit(small_config(2));
+  EXPECT_NE(write_bench_string(a), write_bench_string(b));
+}
+
+TEST(Generator, StructurallyValid) {
+  const Netlist n = generate_circuit(small_config(7));
+  const auto problems = n.validate();
+  EXPECT_TRUE(problems.empty()) << (problems.empty() ? "" : problems[0]);
+}
+
+TEST(Generator, RespectsInterfaceCounts) {
+  const auto config = small_config(9);
+  const Netlist n = generate_circuit(config);
+  EXPECT_EQ(n.primary_inputs().size(), config.primary_inputs);
+  EXPECT_EQ(n.flip_flops().size(), config.flip_flops);
+  EXPECT_LE(n.primary_outputs().size(), config.primary_outputs);
+  EXPECT_GE(n.primary_outputs().size(), 1u);
+}
+
+TEST(Generator, GateBudgetApproximatelyMet) {
+  const auto config = small_config(11);
+  const Netlist n = generate_circuit(config);
+  std::size_t logic = 0;
+  for (NodeId v = 0; v < n.size(); ++v) {
+    logic += is_logic(n.type(v)) ? 1 : 0;
+  }
+  EXPECT_GE(logic, config.target_gates);
+  EXPECT_LE(logic, config.target_gates + config.target_gates / 2);
+}
+
+TEST(Generator, NoDanglingLogic) {
+  const Netlist n = generate_circuit(small_config(13));
+  for (NodeId v = 0; v < n.size(); ++v) {
+    if (is_logic(n.type(v)) || n.type(v) == CellType::kInput) {
+      EXPECT_FALSE(n.fanouts(v).empty()) << "dangling " << n.node_name(v);
+    }
+  }
+}
+
+TEST(Generator, DffsHaveDrivers) {
+  const Netlist n = generate_circuit(small_config(15));
+  for (NodeId ff : n.flip_flops()) {
+    EXPECT_EQ(n.fanins(ff).size(), 1u);
+  }
+}
+
+TEST(Generator, ProducesObservabilityTraps) {
+  auto config = small_config(17);
+  config.target_gates = 2000;
+  config.trap_fraction = 0.05;
+  const Netlist n = generate_circuit(config);
+  const auto cop = compute_cop(n);
+  std::size_t hard = 0;
+  for (NodeId v = 0; v < n.size(); ++v) {
+    if (is_sink(n.type(v)) || n.type(v) == CellType::kInput) continue;
+    if (cop.observability[v] < 0.01) ++hard;
+  }
+  // Traps produce a meaningful difficult-to-observe population.
+  EXPECT_GT(hard, 20u);
+  EXPECT_LT(static_cast<double>(hard) / static_cast<double>(n.size()), 0.2);
+}
+
+TEST(Generator, TrapFreeCircuitIsMostlyObservable) {
+  auto config = small_config(19);
+  config.trap_fraction = 0.0;
+  const Netlist n = generate_circuit(config);
+  const auto cop = compute_cop(n);
+  std::size_t hard = 0, total = 0;
+  for (NodeId v = 0; v < n.size(); ++v) {
+    if (is_sink(n.type(v)) || n.type(v) == CellType::kInput) continue;
+    ++total;
+    if (cop.observability[v] < 0.01) ++hard;
+  }
+  EXPECT_LT(static_cast<double>(hard) / static_cast<double>(total), 0.05);
+}
+
+class GeneratorSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GeneratorSizes, ValidAcrossSizes) {
+  GeneratorConfig config;
+  config.seed = 0xABC;
+  config.target_gates = GetParam();
+  const Netlist n = generate_circuit(config);
+  EXPECT_TRUE(n.validate().empty());
+  EXPECT_GT(n.edge_count(), n.size());  // average fanin > 1
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GeneratorSizes,
+                         ::testing::Values(200, 1000, 5000, 20000));
+
+TEST(BenchmarkDesigns, FourDistinctDesigns) {
+  const Netlist b1 = generate_benchmark_design(0, 2000);
+  const Netlist b2 = generate_benchmark_design(1, 2000);
+  EXPECT_EQ(b1.name(), "B1");
+  EXPECT_EQ(b2.name(), "B2");
+  EXPECT_NE(write_bench_string(b1), write_bench_string(b2));
+  EXPECT_TRUE(b1.validate().empty());
+  EXPECT_TRUE(b2.validate().empty());
+}
+
+TEST(BenchmarkDesigns, EdgeToNodeRatioMatchesPaperShape) {
+  // Table 1 reports roughly 1.5 edges per node.
+  const Netlist b1 = generate_benchmark_design(0, 4000);
+  const double ratio = static_cast<double>(b1.edge_count()) /
+                       static_cast<double>(b1.size());
+  EXPECT_GT(ratio, 1.2);
+  EXPECT_LT(ratio, 2.5);
+}
+
+}  // namespace
+}  // namespace gcnt

@@ -1,0 +1,178 @@
+// End-to-end pipeline at miniature scale: generate -> label -> train
+// (leave-one-design-out) -> classify -> insert observation points -> ATPG.
+// This mirrors the paper's full experimental flow in one run.
+
+#include <gtest/gtest.h>
+
+#include "atpg/atpg.h"
+#include "data/dataset.h"
+#include "dft/baseline_opi.h"
+#include "dft/gcn_opi.h"
+#include "gcn/trainer.h"
+#include "ml/features.h"
+#include "ml/linear_models.h"
+
+namespace gcnt {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    LabelerOptions labeler;
+    labeler.batches = 6;
+    suite_ = new std::vector<Dataset>(make_benchmark_suite(900, labeler));
+  }
+  static void TearDownTestSuite() {
+    delete suite_;
+    suite_ = nullptr;
+  }
+  static std::vector<Dataset>* suite_;
+};
+
+std::vector<Dataset>* PipelineTest::suite_ = nullptr;
+
+GcnConfig mini_config() {
+  GcnConfig config;
+  config.depth = 3;
+  config.embed_dims = {8, 16, 32};
+  config.fc_dims = {16, 16};
+  config.seed = 777;
+  return config;
+}
+
+TEST_F(PipelineTest, SuiteHasImbalancedLabels) {
+  for (const Dataset& d : *suite_) {
+    EXPECT_GT(d.positives(), 5u) << d.name();
+    EXPECT_GT(d.negatives(), d.positives() * 5) << d.name();
+  }
+}
+
+TEST_F(PipelineTest, LeaveOneOutGcnBeatsChanceOnUnseenDesign) {
+  // Train on B2..B4 balanced, test on B1 balanced — the inductive claim.
+  GcnModel model(mini_config());
+  TrainerOptions options;
+  options.epochs = 300;
+  options.learning_rate = 1e-2f;
+  options.eval_interval = 50;
+  Trainer trainer(model, options);
+
+  std::vector<TrainGraph> train_set;
+  for (std::size_t i = 1; i < suite_->size(); ++i) {
+    train_set.push_back(TrainGraph{&(*suite_)[i].tensors,
+                                   balanced_rows((*suite_)[i], 1000 + i)});
+  }
+  const TrainGraph test{&(*suite_)[0].tensors,
+                        balanced_rows((*suite_)[0], 999)};
+  const auto history = trainer.train(train_set, &test);
+  EXPECT_GT(history.back().test_accuracy, 0.80);
+  EXPECT_GT(history.back().train_accuracy, 0.80);
+}
+
+TEST_F(PipelineTest, GcnGeneralizesBetterThanLinearBaseline) {
+  // A quick Table-2-shaped check: leave-one-out accuracy of LR vs GCN.
+  const Dataset& test_design = (*suite_)[0];
+  const auto test_rows = balanced_rows(test_design, 5);
+
+  // Logistic regression on cone features.
+  ConeFeatureOptions cone;
+  cone.fanin_nodes = 20;
+  cone.fanout_nodes = 20;
+  Matrix train_x;
+  std::vector<std::int32_t> train_y;
+  {
+    std::vector<Matrix> blocks;
+    for (std::size_t i = 1; i < suite_->size(); ++i) {
+      const Dataset& d = (*suite_)[i];
+      const auto rows = balanced_rows(d, 100 + i);
+      blocks.push_back(
+          extract_cone_features(d.netlist, d.tensors.features, rows, cone));
+      for (std::uint32_t r : rows) train_y.push_back(d.tensors.labels[r]);
+    }
+    std::size_t total = 0;
+    for (const auto& b : blocks) total += b.rows();
+    train_x.resize(total, cone_feature_dim(cone));
+    std::size_t at = 0;
+    for (const auto& b : blocks) {
+      for (std::size_t r = 0; r < b.rows(); ++r, ++at) {
+        for (std::size_t c = 0; c < b.cols(); ++c) {
+          train_x.at(at, c) = b.at(r, c);
+        }
+      }
+    }
+  }
+  LogisticRegression lr;
+  lr.fit(train_x, train_y);
+  const Matrix test_x = extract_cone_features(
+      test_design.netlist, test_design.tensors.features, test_rows, cone);
+  const auto lr_pred_rows = lr.predict(test_x);
+  std::size_t lr_correct = 0;
+  for (std::size_t k = 0; k < test_rows.size(); ++k) {
+    lr_correct += lr_pred_rows[k] == test_design.tensors.labels[test_rows[k]];
+  }
+  const double lr_accuracy =
+      static_cast<double>(lr_correct) / static_cast<double>(test_rows.size());
+
+  // GCN, same split.
+  GcnModel model(mini_config());
+  TrainerOptions options;
+  options.epochs = 200;
+  options.learning_rate = 1e-2f;
+  options.eval_interval = 50;
+  Trainer trainer(model, options);
+  std::vector<TrainGraph> train_set;
+  for (std::size_t i = 1; i < suite_->size(); ++i) {
+    train_set.push_back(TrainGraph{&(*suite_)[i].tensors,
+                                   balanced_rows((*suite_)[i], 100 + i)});
+  }
+  const TrainGraph test{&test_design.tensors, test_rows};
+  const auto history = trainer.train(train_set, &test);
+
+  EXPECT_GT(history.back().test_accuracy, lr_accuracy - 0.05)
+      << "GCN should not trail the linear baseline";
+}
+
+TEST_F(PipelineTest, OpiFlowsReachComparableCoverageShape) {
+  // Miniature Table 3: both flows evaluated by the same ATPG engine.
+  const Dataset& design = (*suite_)[1];
+
+  // Train the classifier on the other designs (inductive use).
+  GcnModel model(mini_config());
+  TrainerOptions options;
+  options.epochs = 200;
+  options.learning_rate = 1e-2f;
+  options.positive_class_weight = 6.0f;
+  options.eval_interval = 100;
+  Trainer trainer(model, options);
+  std::vector<TrainGraph> train_set;
+  for (std::size_t i = 0; i < suite_->size(); ++i) {
+    if (i == 1) continue;
+    train_set.push_back(TrainGraph{&(*suite_)[i].tensors, {}});
+  }
+  trainer.train(train_set, nullptr);
+
+  AtpgOptions atpg;
+  atpg.max_random_batches = 10;
+  atpg.podem.backtrack_limit = 32;
+
+  Netlist baseline_netlist = design.netlist;
+  const auto baseline = run_baseline_opi(baseline_netlist, BaselineOpiOptions{});
+  const auto baseline_atpg = run_atpg(baseline_netlist, atpg);
+
+  Netlist gcn_netlist = design.netlist;
+  GcnOpiOptions gcn_options;
+  gcn_options.max_iterations = 8;
+  const auto gcn = run_gcn_opi(gcn_netlist, {&model}, gcn_options);
+  const auto gcn_atpg = run_atpg(gcn_netlist, atpg);
+
+  EXPECT_GT(baseline.inserted.size(), 0u);
+  EXPECT_GT(gcn.inserted.size(), 0u);
+  // Shape of Table 3: comparable coverage (within 2%), and the GCN flow
+  // must not need wildly more OPs than the baseline.
+  EXPECT_NEAR(gcn_atpg.fault_coverage(), baseline_atpg.fault_coverage(),
+              0.03);
+  EXPECT_LT(static_cast<double>(gcn.inserted.size()),
+            1.5 * static_cast<double>(baseline.inserted.size()));
+}
+
+}  // namespace
+}  // namespace gcnt

@@ -1,0 +1,202 @@
+// Classical baselines: cone features and the four Table-2 models.
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "gcn/graph_tensors.h"
+#include "ml/features.h"
+#include "ml/linear_models.h"
+#include "ml/mlp.h"
+#include "ml/random_forest.h"
+#include "netlist/bench_io.h"
+
+namespace gcnt {
+namespace {
+
+TEST(ConeFeatures, DimensionFormula) {
+  ConeFeatureOptions options;
+  options.fanin_nodes = 500;
+  options.fanout_nodes = 500;
+  EXPECT_EQ(cone_feature_dim(options), 4004u);  // the paper's dimension
+}
+
+TEST(ConeFeatures, SelfFeaturesFirstAndPadding) {
+  const Netlist n = read_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(g)\ng = AND(a, b)\n");
+  const auto tensors = build_graph_tensors(n);
+  NodeId g = kInvalidNode;
+  for (NodeId v = 0; v < n.size(); ++v) {
+    if (n.node_name(v) == "g") g = v;
+  }
+  ConeFeatureOptions options;
+  options.fanin_nodes = 5;
+  options.fanout_nodes = 5;
+  const Matrix features =
+      extract_cone_features(n, tensors.features, {g}, options);
+  ASSERT_EQ(features.rows(), 1u);
+  ASSERT_EQ(features.cols(), 44u);
+  // Target's own attributes lead.
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_FLOAT_EQ(features.at(0, c), tensors.features.at(g, c));
+  }
+  // Fan-in block holds a and b (2 nodes), rest zero-padded.
+  float fanin_block_sum = 0.0f;
+  for (std::size_t c = 4 + 8; c < 4 + 20; ++c) {
+    fanin_block_sum += std::abs(features.at(0, c));
+  }
+  EXPECT_FLOAT_EQ(fanin_block_sum, 0.0f);  // only 2 of 5 slots used
+}
+
+TEST(ConeFeatures, FanoutBlockAtFixedOffset) {
+  const Netlist n = read_bench_string(
+      "INPUT(a)\nOUTPUT(g)\ng = NOT(a)\n");
+  const auto tensors = build_graph_tensors(n);
+  ConeFeatureOptions options;
+  options.fanin_nodes = 3;
+  options.fanout_nodes = 3;
+  NodeId a = 0;
+  const Matrix f = extract_cone_features(n, tensors.features, {a}, options);
+  // a's fanout cone = {g, po}; block starts at (1 + 3) * 4 = 16.
+  float fanout_sum = 0.0f;
+  for (std::size_t c = 16; c < 28; ++c) fanout_sum += std::abs(f.at(0, c));
+  EXPECT_GT(fanout_sum, 0.0f);
+}
+
+/// Linearly separable blobs.
+void make_blobs(Matrix& x, std::vector<std::int32_t>& y, std::size_t n,
+                Rng& rng) {
+  x.resize(n, 3);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool positive = i % 2 == 0;
+    const double center = positive ? 2.0 : -2.0;
+    for (std::size_t c = 0; c < 3; ++c) {
+      x.at(i, c) = static_cast<float>(center + rng.normal() * 0.5);
+    }
+    y[i] = positive ? 1 : 0;
+  }
+}
+
+/// XOR-pattern data: not linearly separable.
+void make_xor(Matrix& x, std::vector<std::int32_t>& y, std::size_t n,
+              Rng& rng) {
+  x.resize(n, 2);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool q1 = rng.chance(0.5);
+    const bool q2 = rng.chance(0.5);
+    x.at(i, 0) = static_cast<float>((q1 ? 1.0 : -1.0) + rng.normal() * 0.2);
+    x.at(i, 1) = static_cast<float>((q2 ? 1.0 : -1.0) + rng.normal() * 0.2);
+    y[i] = q1 != q2 ? 1 : 0;
+  }
+}
+
+double fit_and_score(BinaryClassifier& model, const Matrix& x,
+                     const std::vector<std::int32_t>& y) {
+  model.fit(x, y);
+  return evaluate_binary(model.predict(x), y).accuracy();
+}
+
+TEST(LogisticRegression, SeparatesBlobs) {
+  Rng rng(1);
+  Matrix x;
+  std::vector<std::int32_t> y;
+  make_blobs(x, y, 200, rng);
+  LogisticRegression model;
+  EXPECT_GT(fit_and_score(model, x, y), 0.97);
+}
+
+TEST(LinearSvm, SeparatesBlobs) {
+  Rng rng(2);
+  Matrix x;
+  std::vector<std::int32_t> y;
+  make_blobs(x, y, 200, rng);
+  LinearSvm model;
+  EXPECT_GT(fit_and_score(model, x, y), 0.97);
+}
+
+TEST(LinearModels, CannotSolveXor) {
+  Rng rng(3);
+  Matrix x;
+  std::vector<std::int32_t> y;
+  make_xor(x, y, 400, rng);
+  LogisticRegression model;
+  EXPECT_LT(fit_and_score(model, x, y), 0.75);  // structurally limited
+}
+
+TEST(RandomForest, SolvesXor) {
+  Rng rng(4);
+  Matrix x;
+  std::vector<std::int32_t> y;
+  make_xor(x, y, 400, rng);
+  RandomForest model;
+  EXPECT_GT(fit_and_score(model, x, y), 0.95);
+}
+
+TEST(Mlp, SolvesXor) {
+  Rng rng(5);
+  Matrix x;
+  std::vector<std::int32_t> y;
+  make_xor(x, y, 400, rng);
+  MlpOptions options;
+  options.epochs = 120;
+  MlpClassifier model(options);
+  EXPECT_GT(fit_and_score(model, x, y), 0.95);
+}
+
+TEST(RandomForest, ProbabilitiesBounded) {
+  Rng rng(6);
+  Matrix x;
+  std::vector<std::int32_t> y;
+  make_blobs(x, y, 100, rng);
+  RandomForest model;
+  model.fit(x, y);
+  for (float p : model.predict_probability(x)) {
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LE(p, 1.0f);
+  }
+}
+
+TEST(Classifiers, LabelSizeMismatchThrows) {
+  Matrix x(4, 2);
+  const std::vector<std::int32_t> y{0, 1};
+  LogisticRegression lr;
+  EXPECT_THROW(lr.fit(x, y), std::invalid_argument);
+  RandomForest rf;
+  EXPECT_THROW(rf.fit(x, y), std::invalid_argument);
+  MlpClassifier mlp;
+  EXPECT_THROW(mlp.fit(x, y), std::invalid_argument);
+}
+
+TEST(Classifiers, DeterministicAcrossRuns) {
+  Rng rng(7);
+  Matrix x;
+  std::vector<std::int32_t> y;
+  make_blobs(x, y, 120, rng);
+  LogisticRegression a, b;
+  a.fit(x, y);
+  b.fit(x, y);
+  EXPECT_EQ(a.predict(x), b.predict(x));
+  RandomForest fa, fb;
+  fa.fit(x, y);
+  fb.fit(x, y);
+  EXPECT_EQ(fa.predict(x), fb.predict(x));
+}
+
+TEST(LinearModels, DecisionFunctionSignMatchesPrediction) {
+  Rng rng(8);
+  Matrix x;
+  std::vector<std::int32_t> y;
+  make_blobs(x, y, 80, rng);
+  LinearSvm model;
+  model.fit(x, y);
+  const auto scores = model.decision_function(x);
+  const auto predictions = model.predict(x);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    EXPECT_EQ(predictions[i], scores[i] >= 0.0f ? 1 : 0);
+  }
+}
+
+}  // namespace
+}  // namespace gcnt

@@ -1,0 +1,196 @@
+// Netlist graph structure: construction, ordering, cones, validation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "netlist/netlist.h"
+
+namespace gcnt {
+namespace {
+
+/// a, b -> AND g1 -> NOT g2 -> PO.
+Netlist small_chain() {
+  Netlist n("chain");
+  const NodeId a = n.add_node(CellType::kInput, "a");
+  const NodeId b = n.add_node(CellType::kInput, "b");
+  const NodeId g1 = n.add_node(CellType::kAnd, "g1");
+  const NodeId g2 = n.add_node(CellType::kNot, "g2");
+  const NodeId po = n.add_node(CellType::kOutput, "po");
+  n.connect(a, g1);
+  n.connect(b, g1);
+  n.connect(g1, g2);
+  n.connect(g2, po);
+  return n;
+}
+
+TEST(Netlist, AddNodeAssignsSequentialIds) {
+  Netlist n;
+  EXPECT_EQ(n.add_node(CellType::kInput), 0u);
+  EXPECT_EQ(n.add_node(CellType::kAnd), 1u);
+  EXPECT_EQ(n.size(), 2u);
+}
+
+TEST(Netlist, AutoNamesAreUnique) {
+  Netlist n;
+  const NodeId a = n.add_node(CellType::kInput);
+  const NodeId b = n.add_node(CellType::kInput);
+  EXPECT_NE(n.node_name(a), n.node_name(b));
+}
+
+TEST(Netlist, ConnectTracksBothDirections) {
+  Netlist n = small_chain();
+  EXPECT_EQ(n.fanins(2).size(), 2u);
+  EXPECT_EQ(n.fanouts(0).size(), 1u);
+  EXPECT_EQ(n.edge_count(), 4u);
+}
+
+TEST(Netlist, RoleListsPopulated) {
+  Netlist n = small_chain();
+  EXPECT_EQ(n.primary_inputs().size(), 2u);
+  EXPECT_EQ(n.primary_outputs().size(), 1u);
+  EXPECT_TRUE(n.flip_flops().empty());
+}
+
+TEST(Netlist, TopologicalOrderRespectsEdges) {
+  Netlist n = small_chain();
+  const auto order = n.topological_order();
+  ASSERT_EQ(order.size(), n.size());
+  std::vector<std::size_t> position(n.size());
+  for (std::size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (NodeId v = 0; v < n.size(); ++v) {
+    for (NodeId u : n.fanins(v)) {
+      EXPECT_LT(position[u], position[v]);
+    }
+  }
+}
+
+TEST(Netlist, CombinationalCycleThrows) {
+  Netlist n;
+  const NodeId g1 = n.add_node(CellType::kAnd, "g1");
+  const NodeId g2 = n.add_node(CellType::kAnd, "g2");
+  n.connect(g1, g2);
+  n.connect(g2, g1);
+  EXPECT_THROW(n.topological_order(), std::runtime_error);
+}
+
+TEST(Netlist, DffBreaksCycle) {
+  // ff -> inc (NOT) -> ff : legal sequential loop.
+  Netlist n;
+  const NodeId ff = n.add_node(CellType::kDff, "ff");
+  const NodeId inv = n.add_node(CellType::kNot, "inv");
+  n.connect(ff, inv);
+  n.connect(inv, ff);
+  EXPECT_NO_THROW(n.topological_order());
+  const auto levels = n.logic_levels();
+  EXPECT_EQ(levels[ff], 0u);
+  EXPECT_EQ(levels[inv], 1u);
+}
+
+TEST(Netlist, LogicLevels) {
+  Netlist n = small_chain();
+  const auto levels = n.logic_levels();
+  EXPECT_EQ(levels[0], 0u);  // a
+  EXPECT_EQ(levels[2], 1u);  // g1
+  EXPECT_EQ(levels[3], 2u);  // g2
+  EXPECT_EQ(levels[4], 3u);  // po
+}
+
+TEST(Netlist, FaninCone) {
+  Netlist n = small_chain();
+  auto cone = n.fanin_cone(3);  // g2
+  std::sort(cone.begin(), cone.end());
+  EXPECT_EQ(cone, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(Netlist, FaninConeRespectsLimit) {
+  Netlist n = small_chain();
+  EXPECT_EQ(n.fanin_cone(3, 1).size(), 1u);
+  EXPECT_TRUE(n.fanin_cone(3, 0).empty());
+}
+
+TEST(Netlist, FanoutCone) {
+  Netlist n = small_chain();
+  auto cone = n.fanout_cone(0);  // a
+  std::sort(cone.begin(), cone.end());
+  EXPECT_EQ(cone, (std::vector<NodeId>{2, 3, 4}));
+}
+
+TEST(Netlist, ConesStopAtSequentialBoundaries) {
+  Netlist n;
+  const NodeId a = n.add_node(CellType::kInput, "a");
+  const NodeId ff = n.add_node(CellType::kDff, "ff");
+  const NodeId g = n.add_node(CellType::kBuf, "g");
+  const NodeId po = n.add_node(CellType::kOutput, "po");
+  n.connect(a, ff);
+  n.connect(ff, g);
+  n.connect(g, po);
+  // Fanout of a reaches the DFF but not through it.
+  auto fwd = n.fanout_cone(a);
+  EXPECT_EQ(fwd, std::vector<NodeId>{ff});
+  // Fanin of g reaches the DFF but not its driver a.
+  auto back = n.fanin_cone(g);
+  EXPECT_EQ(back, std::vector<NodeId>{ff});
+}
+
+TEST(Netlist, InsertObservePoint) {
+  Netlist n = small_chain();
+  const std::size_t before = n.size();
+  const NodeId op = n.insert_observe_point(2);
+  EXPECT_EQ(n.size(), before + 1);
+  EXPECT_EQ(n.type(op), CellType::kObserve);
+  EXPECT_EQ(n.fanins(op), std::vector<NodeId>{2});
+  EXPECT_EQ(n.observe_points(), std::vector<NodeId>{op});
+}
+
+TEST(Netlist, ValidateAcceptsWellFormed) {
+  EXPECT_TRUE(small_chain().validate().empty());
+}
+
+TEST(Netlist, ValidateFlagsBadArity) {
+  Netlist n;
+  n.add_node(CellType::kAnd, "lonely");  // 0 fanins, needs >= 2
+  EXPECT_FALSE(n.validate().empty());
+}
+
+TEST(Netlist, ValidateFlagsSinkWithFanout) {
+  Netlist n;
+  const NodeId a = n.add_node(CellType::kInput, "a");
+  const NodeId po = n.add_node(CellType::kOutput, "po");
+  const NodeId g = n.add_node(CellType::kBuf, "g");
+  n.connect(a, po);
+  n.connect(po, g);
+  EXPECT_FALSE(n.validate().empty());
+}
+
+TEST(CellTypes, ParseRoundTrip) {
+  for (int i = 0; i < kCellTypeCount; ++i) {
+    const auto type = static_cast<CellType>(i);
+    CellType parsed;
+    ASSERT_TRUE(parse_cell_type(cell_type_name(type), parsed));
+    EXPECT_EQ(parsed, type);
+  }
+}
+
+TEST(CellTypes, ParseAliasesAndCase) {
+  CellType t;
+  EXPECT_TRUE(parse_cell_type("buff", t));
+  EXPECT_EQ(t, CellType::kBuf);
+  EXPECT_TRUE(parse_cell_type("nand", t));
+  EXPECT_EQ(t, CellType::kNand);
+  EXPECT_FALSE(parse_cell_type("FROB", t));
+}
+
+TEST(CellTypes, RoleHelpers) {
+  EXPECT_TRUE(is_source(CellType::kInput));
+  EXPECT_TRUE(is_source(CellType::kDff));
+  EXPECT_FALSE(is_source(CellType::kAnd));
+  EXPECT_TRUE(is_sink(CellType::kOutput));
+  EXPECT_TRUE(is_sink(CellType::kDff));
+  EXPECT_TRUE(is_sink(CellType::kObserve));
+  EXPECT_TRUE(is_logic(CellType::kXnor));
+  EXPECT_FALSE(is_logic(CellType::kDff));
+}
+
+}  // namespace
+}  // namespace gcnt

@@ -1,0 +1,108 @@
+// Parser robustness: randomly mutated netlist text must never crash or
+// corrupt — every malformed input surfaces as std::runtime_error, and
+// anything accepted must be structurally valid.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "common/rng.h"
+#include "gen/generator.h"
+#include "netlist/bench_io.h"
+#include "netlist/verilog_io.h"
+
+namespace gcnt {
+namespace {
+
+std::string base_bench() {
+  GeneratorConfig config;
+  config.seed = 1234;
+  config.target_gates = 120;
+  config.primary_inputs = 8;
+  config.primary_outputs = 4;
+  config.flip_flops = 4;
+  return write_bench_string(generate_circuit(config));
+}
+
+std::string base_verilog() {
+  GeneratorConfig config;
+  config.seed = 1234;
+  config.target_gates = 120;
+  config.primary_inputs = 8;
+  config.primary_outputs = 4;
+  config.flip_flops = 4;
+  return write_verilog_string(generate_circuit(config));
+}
+
+/// Applies one random text mutation (delete / duplicate / corrupt a span).
+std::string mutate(const std::string& text, Rng& rng) {
+  if (text.empty()) return text;
+  std::string out = text;
+  const std::size_t pos = rng.below(out.size());
+  const std::size_t span = 1 + rng.below(24);
+  switch (rng.below(4)) {
+    case 0:  // delete span
+      out.erase(pos, span);
+      break;
+    case 1:  // duplicate span
+      out.insert(pos, out.substr(pos, span));
+      break;
+    case 2: {  // overwrite with noise
+      static const char noise[] = "(),=# \nXYZ09";
+      for (std::size_t i = pos; i < std::min(out.size(), pos + span); ++i) {
+        out[i] = noise[rng.below(sizeof(noise) - 1)];
+      }
+      break;
+    }
+    default:  // swap two characters
+      if (out.size() > 1) {
+        std::swap(out[pos], out[rng.below(out.size())]);
+      }
+      break;
+  }
+  return out;
+}
+
+class ParserFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserFuzz, BenchNeverCrashes) {
+  Rng rng(GetParam());
+  std::string text = base_bench();
+  for (int round = 0; round < 40; ++round) {
+    text = mutate(text, rng);
+    try {
+      const Netlist parsed = read_bench_string(text, "fuzz");
+      // Accepted input must produce an internally consistent graph (no
+      // out-of-range edges; cones and orders must not crash).
+      for (NodeId v = 0; v < parsed.size(); ++v) {
+        for (NodeId u : parsed.fanins(v)) ASSERT_LT(u, parsed.size());
+      }
+      (void)parsed.validate();
+    } catch (const std::runtime_error&) {
+      // Expected for malformed text.
+    }
+  }
+}
+
+TEST_P(ParserFuzz, VerilogNeverCrashes) {
+  Rng rng(GetParam() * 77 + 5);
+  std::string text = base_verilog();
+  for (int round = 0; round < 40; ++round) {
+    text = mutate(text, rng);
+    try {
+      const Netlist parsed = read_verilog_string(text, "fuzz");
+      for (NodeId v = 0; v < parsed.size(); ++v) {
+        for (NodeId u : parsed.fanins(v)) ASSERT_LT(u, parsed.size());
+      }
+      (void)parsed.validate();
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace gcnt

@@ -1,0 +1,88 @@
+// Model persistence round-trips.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gcn/serialize.h"
+#include "gen/generator.h"
+
+namespace gcnt {
+namespace {
+
+GcnConfig small_config() {
+  GcnConfig config;
+  config.depth = 2;
+  config.embed_dims = {8, 12};
+  config.fc_dims = {10};
+  config.seed = 31;
+  return config;
+}
+
+TEST(Serialize, RoundTripPreservesOutputs) {
+  GeneratorConfig gen;
+  gen.seed = 3;
+  gen.target_gates = 120;
+  const Netlist netlist = generate_circuit(gen);
+  const GraphTensors tensors = build_graph_tensors(netlist);
+
+  GcnModel model(small_config());
+  std::stringstream buffer;
+  save_model(model, buffer);
+  GcnModel loaded = load_model(buffer);
+
+  const Matrix a = model.infer(tensors);
+  const Matrix b = loaded.infer(tensors);
+  ASSERT_EQ(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+TEST(Serialize, ConfigRestored) {
+  GcnModel model(small_config());
+  std::stringstream buffer;
+  save_model(model, buffer);
+  const GcnModel loaded = load_model(buffer);
+  EXPECT_EQ(loaded.config().depth, 2);
+  EXPECT_EQ(loaded.config().embed_dims, (std::vector<std::size_t>{8, 12}));
+  EXPECT_EQ(loaded.config().fc_dims, (std::vector<std::size_t>{10}));
+  EXPECT_EQ(loaded.config().num_classes, 2u);
+}
+
+TEST(Serialize, BadMagicThrows) {
+  std::stringstream buffer("not-a-model v1\n");
+  EXPECT_THROW(load_model(buffer), std::runtime_error);
+}
+
+TEST(Serialize, TruncatedThrows) {
+  GcnModel model(small_config());
+  std::stringstream buffer;
+  save_model(model, buffer);
+  std::string text = buffer.str();
+  text.resize(text.size() / 2);
+  std::stringstream truncated(text);
+  EXPECT_THROW(load_model(truncated), std::runtime_error);
+}
+
+TEST(Serialize, VersionMismatchThrows) {
+  std::stringstream buffer("gcnt-model v9\ndepth 1\n");
+  EXPECT_THROW(load_model(buffer), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  GcnModel model(small_config());
+  const std::string path = "serialize_test_model.txt";
+  save_model_file(model, path);
+  const GcnModel loaded = load_model_file(path);
+  EXPECT_EQ(loaded.config().depth, model.config().depth);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_model_file("/nonexistent/path/model.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gcnt

@@ -1,0 +1,254 @@
+// Dense and sparse tensor kernels, checked against naive references.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/matrix.h"
+#include "tensor/sparse.h"
+
+namespace gcnt {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m.at(r, c) = static_cast<float>(rng.uniform(-2.0, 2.0));
+    }
+  }
+  return m;
+}
+
+/// Naive O(mnk) reference for all transpose combinations.
+Matrix naive_gemm(const Matrix& a, const Matrix& b, bool ta, bool tb,
+                  float alpha) {
+  const std::size_t m = ta ? a.cols() : a.rows();
+  const std::size_t k = ta ? a.rows() : a.cols();
+  const std::size_t n = tb ? b.rows() : b.cols();
+  Matrix out(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = ta ? a.at(p, i) : a.at(i, p);
+        const float bv = tb ? b.at(j, p) : b.at(p, j);
+        acc += static_cast<double>(av) * bv;
+      }
+      out.at(i, j) = alpha * static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+void expect_near(const Matrix& got, const Matrix& want, float tol = 1e-4f) {
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  for (std::size_t r = 0; r < got.rows(); ++r) {
+    for (std::size_t c = 0; c < got.cols(); ++c) {
+      EXPECT_NEAR(got.at(r, c), want.at(r, c), tol)
+          << "at (" << r << ", " << c << ")";
+    }
+  }
+}
+
+TEST(Matrix, ConstructAndAccess) {
+  Matrix m(3, 4, 1.5f);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_FLOAT_EQ(m.at(2, 3), 1.5f);
+  m.at(1, 2) = -2.0f;
+  EXPECT_FLOAT_EQ(m.at(1, 2), -2.0f);
+  EXPECT_FLOAT_EQ(m.row(1)[2], -2.0f);
+}
+
+TEST(Matrix, FillAndScale) {
+  Matrix m(2, 2, 3.0f);
+  m.scale(0.5f);
+  EXPECT_FLOAT_EQ(m.at(0, 0), 1.5f);
+  m.fill(-1.0f);
+  EXPECT_FLOAT_EQ(m.at(1, 1), -1.0f);
+}
+
+TEST(Matrix, Axpy) {
+  Matrix a(2, 2, 1.0f);
+  Matrix b(2, 2, 2.0f);
+  a.axpy(0.5f, b);
+  EXPECT_FLOAT_EQ(a.at(0, 0), 2.0f);
+  Matrix wrong(3, 2);
+  EXPECT_THROW(a.axpy(1.0f, wrong), std::invalid_argument);
+}
+
+TEST(Matrix, Dot) {
+  Matrix a(2, 2);
+  Matrix b(2, 2);
+  a.at(0, 0) = 1.0f;
+  a.at(1, 1) = 2.0f;
+  b.at(0, 0) = 3.0f;
+  b.at(1, 1) = 4.0f;
+  EXPECT_FLOAT_EQ(a.dot(b), 11.0f);
+}
+
+TEST(Matrix, XavierInitBounded) {
+  Rng rng(5);
+  Matrix m(30, 20);
+  m.xavier_init(rng);
+  const double bound = std::sqrt(6.0 / (30 + 20 + 1));
+  bool any_nonzero = false;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_LE(std::abs(m.data()[i]), bound);
+    any_nonzero |= m.data()[i] != 0.0f;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+struct GemmCase {
+  bool ta, tb;
+};
+class GemmTransposes : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmTransposes, MatchesNaive) {
+  const auto [ta, tb] = GetParam();
+  Rng rng(42);
+  // Shapes chosen so op(a) is 5x7 and op(b) is 7x3.
+  const Matrix a = ta ? random_matrix(7, 5, rng) : random_matrix(5, 7, rng);
+  const Matrix b = tb ? random_matrix(3, 7, rng) : random_matrix(7, 3, rng);
+  Matrix out;
+  gemm(a, b, out, ta, tb, 1.25f);
+  expect_near(out, naive_gemm(a, b, ta, tb, 1.25f));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, GemmTransposes,
+                         ::testing::Values(GemmCase{false, false},
+                                           GemmCase{true, false},
+                                           GemmCase{false, true},
+                                           GemmCase{true, true}));
+
+TEST(Gemm, BetaAccumulates) {
+  Rng rng(7);
+  const Matrix a = random_matrix(4, 4, rng);
+  const Matrix b = random_matrix(4, 4, rng);
+  Matrix out(4, 4, 1.0f);
+  gemm(a, b, out, false, false, 1.0f, 2.0f);
+  Matrix want = naive_gemm(a, b, false, false, 1.0f);
+  for (std::size_t i = 0; i < want.size(); ++i) want.data()[i] += 2.0f;
+  expect_near(out, want);
+}
+
+TEST(Gemm, InnerDimensionMismatchThrows) {
+  Matrix a(2, 3), b(4, 2), out;
+  EXPECT_THROW(gemm(a, b, out, false, false), std::invalid_argument);
+}
+
+TEST(Coo, AppendGrowsShape) {
+  CooMatrix coo;
+  coo.add(2, 5, 1.0f);
+  EXPECT_EQ(coo.rows, 3u);
+  EXPECT_EQ(coo.cols, 6u);
+  EXPECT_EQ(coo.nnz(), 1u);
+}
+
+TEST(Coo, SparsityReported) {
+  CooMatrix coo(100, 100);
+  for (std::uint32_t i = 0; i < 100; ++i) coo.add(i, i, 1.0f);
+  EXPECT_DOUBLE_EQ(coo.sparsity(), 0.99);
+}
+
+TEST(Csr, FromCooBasic) {
+  CooMatrix coo(3, 3);
+  coo.add(0, 1, 2.0f);
+  coo.add(2, 0, 3.0f);
+  coo.add(1, 1, -1.0f);
+  const CsrMatrix csr = CsrMatrix::from_coo(coo);
+  EXPECT_EQ(csr.nnz(), 3u);
+  EXPECT_EQ(csr.row_ptr()[1] - csr.row_ptr()[0], 1u);
+  EXPECT_EQ(csr.col_index()[csr.row_ptr()[2]], 0u);
+}
+
+TEST(Csr, DuplicatesSummed) {
+  CooMatrix coo(2, 2);
+  coo.add(0, 0, 1.0f);
+  coo.add(0, 0, 2.5f);
+  coo.add(1, 1, 1.0f);
+  const CsrMatrix csr = CsrMatrix::from_coo(coo);
+  EXPECT_EQ(csr.nnz(), 2u);
+  EXPECT_FLOAT_EQ(csr.values()[0], 3.5f);
+}
+
+TEST(Csr, SpmmMatchesDense) {
+  Rng rng(11);
+  CooMatrix coo(6, 5);
+  Matrix dense_a(6, 5);
+  for (int k = 0; k < 12; ++k) {
+    const auto r = static_cast<std::uint32_t>(rng.below(6));
+    const auto c = static_cast<std::uint32_t>(rng.below(5));
+    const float v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    coo.add(r, c, v);
+    dense_a.at(r, c) += v;  // duplicates accumulate in both forms
+  }
+  const Matrix x = random_matrix(5, 4, rng);
+  Matrix got;
+  CsrMatrix::from_coo(coo).spmm(x, got);
+  expect_near(got, naive_gemm(dense_a, x, false, false, 1.0f));
+}
+
+TEST(Csr, SpmmAlphaBeta) {
+  CooMatrix coo(2, 2);
+  coo.add(0, 0, 1.0f);
+  coo.add(1, 1, 1.0f);
+  const CsrMatrix identity = CsrMatrix::from_coo(coo);
+  Matrix x(2, 2, 1.0f);
+  Matrix out(2, 2, 10.0f);
+  identity.spmm(x, out, 2.0f, 1.0f);  // out = 2*I*x + out
+  EXPECT_FLOAT_EQ(out.at(0, 0), 12.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 1), 12.0f);
+}
+
+TEST(Csr, SpmmDimensionMismatchThrows) {
+  CooMatrix coo(2, 3);
+  coo.add(0, 0, 1.0f);
+  const CsrMatrix csr = CsrMatrix::from_coo(coo);
+  Matrix x(2, 2);  // needs 3 rows
+  Matrix out;
+  EXPECT_THROW(csr.spmm(x, out), std::invalid_argument);
+}
+
+TEST(Csr, TransposeRoundTrip) {
+  Rng rng(13);
+  CooMatrix coo(7, 4);
+  for (int k = 0; k < 10; ++k) {
+    coo.add(static_cast<std::uint32_t>(rng.below(7)),
+            static_cast<std::uint32_t>(rng.below(4)),
+            static_cast<float>(rng.uniform(-1.0, 1.0)));
+  }
+  const CsrMatrix csr = CsrMatrix::from_coo(coo);
+  const CsrMatrix tt = csr.transpose().transpose();
+  ASSERT_EQ(tt.rows(), csr.rows());
+  ASSERT_EQ(tt.nnz(), csr.nnz());
+  // Compare as dense.
+  Matrix eye(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) eye.at(i, i) = 1.0f;
+  Matrix a, b;
+  csr.spmm(eye, a);
+  tt.spmm(eye, b);
+  expect_near(a, b);
+}
+
+TEST(Csr, TransposeMatchesManual) {
+  CooMatrix coo(2, 3);
+  coo.add(0, 2, 5.0f);
+  coo.add(1, 0, 7.0f);
+  const CsrMatrix t = CsrMatrix::from_coo(coo).transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  Matrix x(2, 1);
+  x.at(0, 0) = 1.0f;
+  x.at(1, 0) = 1.0f;
+  Matrix out;
+  t.spmm(x, out);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 7.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(out.at(2, 0), 5.0f);
+}
+
+}  // namespace
+}  // namespace gcnt

@@ -1,0 +1,287 @@
+// gcnt — command-line front end for the library.
+//
+//   gcnt generate --gates N --seed S --out design.bench [--verilog]
+//   gcnt stats    design.bench
+//   gcnt scoap    design.bench [--worst K]
+//   gcnt label    design.bench [--batches B] [--rate R]
+//   gcnt atpg     design.bench [--sample N] [--patterns out.txt]
+//   gcnt train    design.bench --model model.txt [--epochs E]
+//   gcnt opi      design.bench --model model.txt --out modified.bench
+//
+// Netlist files ending in .v are read/written as structural Verilog,
+// anything else as ISCAS .bench.
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "atpg/atpg.h"
+#include "sim/logic_sim.h"
+#include "common/metrics.h"
+#include "common/table.h"
+#include "data/dataset.h"
+#include "dft/gcn_opi.h"
+#include "gcn/serialize.h"
+#include "gcn/trainer.h"
+#include "gen/generator.h"
+#include "netlist/bench_io.h"
+#include "netlist/verilog_io.h"
+
+namespace {
+
+using namespace gcnt;
+
+struct Args {
+  std::string command;
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  std::size_t get_size(const std::string& key, std::size_t fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::stoull(it->second);
+  }
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::stod(it->second);
+  }
+  bool has(const std::string& key) const { return options.count(key) > 0; }
+};
+
+bool is_verilog_path(const std::string& path) {
+  return path.size() >= 2 && path.substr(path.size() - 2) == ".v";
+}
+
+Netlist read_netlist_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return is_verilog_path(path) ? read_verilog(in, path) : read_bench(in, path);
+}
+
+void write_netlist_file(const Netlist& netlist, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  if (is_verilog_path(path)) {
+    write_verilog(netlist, out);
+  } else {
+    write_bench(netlist, out);
+  }
+}
+
+int cmd_generate(const Args& args) {
+  GeneratorConfig config;
+  config.target_gates = args.get_size("gates", 10000);
+  config.seed = args.get_size("seed", 1);
+  config.primary_inputs = args.get_size("inputs", 64);
+  config.primary_outputs = args.get_size("outputs", 32);
+  config.flip_flops = args.get_size("flops", config.target_gates / 24);
+  config.trap_fraction = args.get_double("traps", 0.02);
+  const Netlist netlist = generate_circuit(config);
+  const std::string out = args.get("out", "design.bench");
+  write_netlist_file(netlist, out);
+  std::cout << "wrote " << netlist.size() << " nodes / "
+            << netlist.edge_count() << " edges to " << out << "\n";
+  return 0;
+}
+
+int cmd_stats(const Args& args) {
+  const Netlist netlist = read_netlist_file(args.positional.at(0));
+  const auto problems = netlist.validate();
+  Table table("Netlist statistics", {"Quantity", "Value"});
+  table.add_row({"Name", netlist.name()});
+  table.add_row({"Nodes", std::to_string(netlist.size())});
+  table.add_row({"Edges", std::to_string(netlist.edge_count())});
+  table.add_row({"Primary inputs",
+                 std::to_string(netlist.primary_inputs().size())});
+  table.add_row({"Primary outputs",
+                 std::to_string(netlist.primary_outputs().size())});
+  table.add_row({"Flip-flops", std::to_string(netlist.flip_flops().size())});
+  table.add_row({"Observe points",
+                 std::to_string(netlist.observe_points().size())});
+  std::uint32_t max_level = 0;
+  for (std::uint32_t level : netlist.logic_levels()) {
+    max_level = std::max(max_level, level);
+  }
+  table.add_row({"Logic depth", std::to_string(max_level)});
+  table.add_row({"Well-formed", problems.empty() ? "yes" : problems.front()});
+  table.print(std::cout);
+  return problems.empty() ? 0 : 1;
+}
+
+int cmd_scoap(const Args& args) {
+  const Netlist netlist = read_netlist_file(args.positional.at(0));
+  const auto measures = compute_scoap(netlist);
+  const std::size_t worst = args.get_size("worst", 10);
+  std::vector<NodeId> nodes;
+  for (NodeId v = 0; v < netlist.size(); ++v) {
+    if (is_logic(netlist.type(v))) nodes.push_back(v);
+  }
+  std::sort(nodes.begin(), nodes.end(), [&](NodeId a, NodeId b) {
+    return measures.co[a] > measures.co[b];
+  });
+  if (nodes.size() > worst) nodes.resize(worst);
+  Table table("Least observable nodes (SCOAP)",
+              {"Node", "Type", "CC0", "CC1", "CO"});
+  for (NodeId v : nodes) {
+    table.add_row({netlist.node_name(v),
+                   std::string(cell_type_name(netlist.type(v))),
+                   std::to_string(measures.cc0[v]),
+                   std::to_string(measures.cc1[v]),
+                   std::to_string(measures.co[v])});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_label(const Args& args) {
+  const Netlist netlist = read_netlist_file(args.positional.at(0));
+  LabelerOptions options;
+  options.batches = args.get_size("batches", 16);
+  options.min_observed_rate = args.get_double("rate", 0.01);
+  const auto labels = label_difficult_to_observe(netlist, options);
+  std::size_t positives = 0;
+  for (NodeId v = 0; v < netlist.size(); ++v) {
+    if (labels[v] == 1) {
+      ++positives;
+      if (positives <= 20) {
+        std::cout << netlist.node_name(v) << "\n";
+      }
+    }
+  }
+  if (positives > 20) std::cout << "... (" << positives - 20 << " more)\n";
+  std::cout << positives << " difficult-to-observe nodes of "
+            << netlist.size() << "\n";
+  return 0;
+}
+
+int cmd_atpg(const Args& args) {
+  const Netlist netlist = read_netlist_file(args.positional.at(0));
+  AtpgOptions options;
+  options.fault_sample = args.get_size("sample", 0);
+  options.collect_patterns = args.has("patterns");
+  const AtpgResult result = run_atpg(netlist, options);
+  if (options.collect_patterns) {
+    const std::string path = args.get("patterns", "patterns.txt");
+    std::ofstream out(path);
+    // Header: source signal order, then one 0/1 line per pattern.
+    LogicSimulator sim(netlist);
+    out << "#";
+    for (NodeId s : sim.sources()) out << " " << netlist.node_name(s);
+    out << "\n";
+    for (const auto& pattern : result.patterns) {
+      for (bool bit : pattern) out << (bit ? '1' : '0');
+      out << "\n";
+    }
+    std::cout << "wrote " << result.patterns.size() << " patterns to "
+              << path << "\n";
+  }
+  Table table("ATPG results", {"Metric", "Value"});
+  table.add_row({"Total faults", std::to_string(result.total_faults)});
+  table.add_row({"Detected", std::to_string(result.detected_faults)});
+  table.add_row({"Untestable", std::to_string(result.untestable_faults)});
+  table.add_row({"Aborted", std::to_string(result.aborted_faults)});
+  table.add_row({"Patterns", std::to_string(result.pattern_count)});
+  table.add_row({"Fault coverage", Table::percent(result.fault_coverage())});
+  table.add_row({"Test coverage", Table::percent(result.test_coverage())});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  Netlist netlist = read_netlist_file(args.positional.at(0));
+  LabelerOptions labeler;
+  labeler.batches = args.get_size("batches", 16);
+  Dataset dataset = make_dataset(std::move(netlist), labeler);
+  dataset.tensors.standardize_features();
+  std::cout << "labeled " << dataset.positives() << " positives\n";
+
+  GcnConfig config;
+  config.embed_dims = {32, 64, 128};
+  config.fc_dims = {64, 64, 128};
+  GcnModel model(config);
+  TrainerOptions options;
+  options.epochs = args.get_size("epochs", 200);
+  options.learning_rate = 1e-2f;
+  options.positive_class_weight =
+      static_cast<float>(args.get_double("weight", 8.0));
+  options.eval_interval = std::max<std::size_t>(1, options.epochs / 10);
+  Trainer trainer(model, options);
+  const TrainGraph data{&dataset.tensors, {}};
+  const auto history = trainer.train({data}, &data);
+  std::cout << "final loss " << Table::num(history.back().loss, 4) << "\n";
+
+  const std::string path = args.get("model", "model.txt");
+  save_model_file(model, path);
+  std::cout << "saved model to " << path << "\n";
+  return 0;
+}
+
+int cmd_opi(const Args& args) {
+  Netlist netlist = read_netlist_file(args.positional.at(0));
+  GcnModel model = load_model_file(args.get("model", "model.txt"));
+  GcnOpiOptions options;
+  options.max_iterations = args.get_size("iterations", 12);
+  const auto result = run_gcn_opi(netlist, {&model}, options);
+  std::cout << "inserted " << result.inserted.size() << " observation points"
+            << " in " << result.iterations << " iterations ("
+            << result.final_positive_predictions
+            << " residual positive predictions)\n";
+  const std::string out = args.get("out", "modified.bench");
+  write_netlist_file(netlist, out);
+  std::cout << "wrote modified netlist to " << out << "\n";
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage: gcnt <command> [args]\n"
+            << "  generate --gates N --seed S --out design.bench\n"
+            << "  stats    <netlist>\n"
+            << "  scoap    <netlist> [--worst K]\n"
+            << "  label    <netlist> [--batches B] [--rate R]\n"
+            << "  atpg     <netlist> [--sample N]\n"
+            << "  train    <netlist> --model model.txt [--epochs E]\n"
+            << "  opi      <netlist> --model model.txt --out out.bench\n"
+            << "netlists ending in .v are treated as structural Verilog\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      const std::string key = argv[i] + 2;
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        args.options[key] = argv[++i];
+      } else {
+        args.options[key] = "1";
+      }
+    } else {
+      args.positional.push_back(argv[i]);
+    }
+  }
+
+  try {
+    if (args.command == "generate") return cmd_generate(args);
+    if (args.command == "stats") return cmd_stats(args);
+    if (args.command == "scoap") return cmd_scoap(args);
+    if (args.command == "label") return cmd_label(args);
+    if (args.command == "atpg") return cmd_atpg(args);
+    if (args.command == "train") return cmd_train(args);
+    if (args.command == "opi") return cmd_opi(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
