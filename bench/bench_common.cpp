@@ -114,6 +114,20 @@ std::vector<Dataset> load_suite() {
   return suite;
 }
 
+bool write_bench_json(
+    const std::string& path,
+    const std::vector<std::pair<std::string, double>>& entries) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    out << "  \"" << entries[i].first << "\": " << entries[i].second
+        << (i + 1 < entries.size() ? ",\n" : "\n");
+  }
+  out << "}\n";
+  return out.good();
+}
+
 std::vector<TrainGraph> balanced_training_set(
     const std::vector<Dataset>& suite, std::size_t held_out) {
   std::vector<TrainGraph> training;

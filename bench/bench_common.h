@@ -10,6 +10,8 @@
 // budget, so consecutive bench binaries don't re-run the labeling oracle.
 
 #include <cstddef>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "data/dataset.h"
@@ -31,5 +33,12 @@ std::vector<Dataset> load_suite();
 /// Leave-one-design-out balanced training set excluding `held_out`.
 std::vector<TrainGraph> balanced_training_set(
     const std::vector<Dataset>& suite, std::size_t held_out);
+
+/// Writes a flat {"name": value, ...} JSON object — the format the
+/// tools/bench_gate regression checker consumes (e.g. BENCH_ci.json in the
+/// CI bench smoke gate). Returns false on I/O failure.
+bool write_bench_json(
+    const std::string& path,
+    const std::vector<std::pair<std::string, double>>& entries);
 
 }  // namespace gcnt::bench

@@ -11,9 +11,12 @@
 // The per-node baselines are timed on a node sample and extrapolated
 // (marked with *) once a full run would exceed the time budget.
 
+#include <algorithm>
 #include <iostream>
+#include <thread>
 
 #include "bench_common.h"
+#include "common/parallel.h"
 #include "common/table.h"
 #include "common/timer.h"
 #include "gcn/graphsage_inference.h"
@@ -39,6 +42,64 @@ double extrapolated_seconds(Engine&& engine, std::size_t node_count,
          static_cast<double>(measured);
 }
 
+/// Thread-count sweep over the parallel kernels at the largest swept size:
+/// times SpMM aggregation and full sparse inference at 1/2/4/N kernel
+/// threads and checks the outputs stay bitwise identical (the determinism
+/// guarantee of common/parallel.h). Speedups are relative to 1 thread.
+void thread_sweep(const GcnModel& model, const GraphTensors& tensors,
+                  std::size_t node_count) {
+  std::vector<std::size_t> counts{1, 2, 4, 8};
+  const std::size_t hardware = std::max<std::size_t>(
+      1, std::thread::hardware_concurrency());
+  if (hardware > counts.back()) counts.push_back(hardware);
+
+  std::cout << "\n# SpMM/inference thread sweep at " << node_count
+            << " nodes\nthreads,spmm_s,spmm_speedup,infer_s,infer_speedup,"
+               "identical\n";
+  Table table("Thread sweep at " + std::to_string(node_count) + " nodes",
+              {"Threads", "SpMM (s)", "SpMM x", "Inference (s)",
+               "Inference x", "Identical"});
+
+  const Matrix embedding(tensors.node_count(), 64, 0.5f);
+  Matrix spmm_reference;
+  Matrix infer_reference;
+  double spmm_base = 0.0;
+  double infer_base = 0.0;
+  for (const std::size_t threads : counts) {
+    set_kernel_threads(threads);
+    Matrix spmm_out;
+    Timer spmm_timer;
+    tensors.pred.spmm(embedding, spmm_out);
+    const double spmm_seconds = spmm_timer.seconds();
+    Timer infer_timer;
+    const Matrix logits = model.infer(tensors);
+    const double infer_seconds = infer_timer.seconds();
+
+    bool identical = true;
+    if (threads == counts.front()) {
+      spmm_reference = std::move(spmm_out);
+      infer_reference = logits;
+      spmm_base = spmm_seconds;
+      infer_base = infer_seconds;
+    } else {
+      identical = spmm_out == spmm_reference && logits == infer_reference;
+    }
+    const double spmm_speedup = spmm_base / std::max(spmm_seconds, 1e-12);
+    const double infer_speedup = infer_base / std::max(infer_seconds, 1e-12);
+    std::cout << threads << "," << Table::num(spmm_seconds, 4) << ","
+              << Table::num(spmm_speedup, 2) << ","
+              << Table::num(infer_seconds, 4) << ","
+              << Table::num(infer_speedup, 2) << ","
+              << (identical ? "yes" : "NO") << "\n";
+    table.add_row({std::to_string(threads), Table::num(spmm_seconds, 4),
+                   Table::num(spmm_speedup, 2), Table::num(infer_seconds, 4),
+                   Table::num(infer_speedup, 2), identical ? "yes" : "NO"});
+  }
+  set_kernel_threads(0);
+  std::cout << "\n";
+  table.print(std::cout);
+}
+
 }  // namespace
 
 int main() {
@@ -53,6 +114,9 @@ int main() {
               {"#Nodes", "Ours (sparse)", "Recursion (exact)",
                "Recursion ([12]-style sampled)"});
 
+  GraphTensors last_tensors;
+  std::size_t last_nodes = 0;
+
   for (std::size_t gates :
        {1000ul, 3000ul, 10000ul, 30000ul, 100000ul, 300000ul, 1000000ul}) {
     if (gates > cap) break;
@@ -64,7 +128,7 @@ int main() {
     config.flip_flops = gates / 24;
     config.trap_fraction = 0.0;  // timing only
     const Netlist netlist = generate_circuit(config);
-    const GraphTensors tensors = build_graph_tensors(netlist);
+    GraphTensors tensors = build_graph_tensors(netlist);
     const std::size_t n = netlist.size();
 
     Timer ours_timer;
@@ -95,11 +159,15 @@ int main() {
     table.add_row({std::to_string(n), Table::num(ours, 4),
                    Table::num(exact_seconds, 3) + (exact_sampled ? "*" : ""),
                    Table::num(sampled_seconds, 2) + "*"});
+    last_tensors = std::move(tensors);
+    last_nodes = n;
   }
 
   std::cout << "\n";
   table.print(std::cout);
   std::cout << "\nPaper reference: sparse engine ~1.5 s at 10^6 nodes; "
                "recursion-based [12] > 1 hour (3 orders of magnitude)\n";
+
+  if (last_nodes > 0) thread_sweep(model, last_tensors, last_nodes);
   return 0;
 }

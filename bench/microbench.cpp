@@ -2,11 +2,24 @@
 // the paper's "high performance" claim rests on — SpMM aggregation, dense
 // encoding GEMM, whole-graph GCN inference, bit-parallel logic/fault
 // simulation, and SCOAP/COP analysis passes.
+//
+// The parallel kernels (SpMM, GEMM, full inference, fault sim, COO->CSR)
+// sweep the kernel-pool thread count (the trailing `threads` argument) so
+// scaling is measured alongside absolute throughput. With GCNT_BENCH_JSON
+// set, every result is also written as a flat JSON object (via
+// bench_common) for the CI bench-regression gate (tools/bench_gate).
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <iostream>
 #include <map>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "bench_common.h"
+#include "common/parallel.h"
 #include "cop/cop.h"
 #include "gcn/model.h"
 #include "gen/generator.h"
@@ -18,6 +31,8 @@
 namespace {
 
 using namespace gcnt;
+
+const std::vector<std::int64_t> kThreadSweep{1, 2, 4, 8};
 
 const Netlist& shared_netlist(std::size_t gates) {
   static std::map<std::size_t, Netlist> cache;
@@ -36,6 +51,7 @@ const Netlist& shared_netlist(std::size_t gates) {
 
 void BM_SpmmAggregation(benchmark::State& state) {
   const auto gates = static_cast<std::size_t>(state.range(0));
+  set_kernel_threads(static_cast<std::size_t>(state.range(1)));
   const Netlist& netlist = shared_netlist(gates);
   const GraphTensors tensors = build_graph_tensors(netlist);
   Matrix embedding(tensors.node_count(), 64, 0.5f);
@@ -47,10 +63,13 @@ void BM_SpmmAggregation(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(tensors.pred.nnz()));
 }
-BENCHMARK(BM_SpmmAggregation)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_SpmmAggregation)
+    ->ArgsProduct({{10000, 100000}, kThreadSweep})
+    ->ArgNames({"gates", "threads"});
 
 void BM_EncoderGemm(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
+  set_kernel_threads(static_cast<std::size_t>(state.range(1)));
   Rng rng(3);
   Matrix x(n, 64);
   Matrix w(64, 128);
@@ -61,10 +80,13 @@ void BM_EncoderGemm(benchmark::State& state) {
     benchmark::DoNotOptimize(out.data());
   }
 }
-BENCHMARK(BM_EncoderGemm)->Arg(10000)->Arg(50000);
+BENCHMARK(BM_EncoderGemm)
+    ->ArgsProduct({{10000, 50000}, kThreadSweep})
+    ->ArgNames({"rows", "threads"});
 
 void BM_GcnFullInference(benchmark::State& state) {
   const auto gates = static_cast<std::size_t>(state.range(0));
+  set_kernel_threads(static_cast<std::size_t>(state.range(1)));
   const Netlist& netlist = shared_netlist(gates);
   const GraphTensors tensors = build_graph_tensors(netlist);
   GcnConfig config;
@@ -77,7 +99,9 @@ void BM_GcnFullInference(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(netlist.size()));
 }
-BENCHMARK(BM_GcnFullInference)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_GcnFullInference)
+    ->ArgsProduct({{10000, 100000}, {1, 8}})
+    ->ArgNames({"gates", "threads"});
 
 void BM_LogicSimBatch(benchmark::State& state) {
   const Netlist& netlist = shared_netlist(50000);
@@ -95,9 +119,10 @@ void BM_LogicSimBatch(benchmark::State& state) {
 BENCHMARK(BM_LogicSimBatch);
 
 void BM_FaultSimBatch(benchmark::State& state) {
+  set_kernel_threads(static_cast<std::size_t>(state.range(0)));
   const Netlist& netlist = shared_netlist(10000);
   LogicSimulator sim(netlist);
-  FaultSimulator fault_sim(sim);
+  ParallelFaultSimulator fault_sim(sim);
   Rng rng(7);
   const auto faults = sample_faults(netlist, 512, 9);
   for (auto _ : state) {
@@ -110,7 +135,7 @@ void BM_FaultSimBatch(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(faults.size()));
 }
-BENCHMARK(BM_FaultSimBatch);
+BENCHMARK(BM_FaultSimBatch)->ArgsProduct({kThreadSweep})->ArgNames({"threads"});
 
 void BM_ScoapFull(benchmark::State& state) {
   const Netlist& netlist = shared_netlist(100000);
@@ -149,14 +174,57 @@ void BM_CopFull(benchmark::State& state) {
 BENCHMARK(BM_CopFull);
 
 void BM_CooToCsr(benchmark::State& state) {
+  set_kernel_threads(static_cast<std::size_t>(state.range(0)));
   const Netlist& netlist = shared_netlist(100000);
   const GraphTensors tensors = build_graph_tensors(netlist);
   for (auto _ : state) {
     benchmark::DoNotOptimize(CsrMatrix::from_coo(tensors.pred_coo));
   }
 }
-BENCHMARK(BM_CooToCsr);
+BENCHMARK(BM_CooToCsr)->ArgsProduct({{1, 8}})->ArgNames({"threads"});
+
+/// Console output as usual, plus a flat (name, value) record per run for
+/// the CI regression gate: items/s when the benchmark reports it,
+/// adjusted real time otherwise.
+class JsonRecorder : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) {
+        entries_.emplace_back(run.benchmark_name() + ".items_per_second",
+                              static_cast<double>(it->second));
+      } else {
+        entries_.emplace_back(run.benchmark_name() + ".real_time_ns",
+                              run.GetAdjustedRealTime());
+      }
+    }
+  }
+  const std::vector<std::pair<std::string, double>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> entries_;
+};
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonRecorder reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  set_kernel_threads(0);
+  if (const char* path = std::getenv("GCNT_BENCH_JSON")) {
+    if (!bench::write_bench_json(path, reporter.entries())) {
+      std::cerr << "microbench: failed to write GCNT_BENCH_JSON to " << path
+                << "\n";
+      return 1;
+    }
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -12,7 +12,7 @@ namespace gcnt {
 
 AtpgResult run_atpg(const Netlist& netlist, const AtpgOptions& options) {
   LogicSimulator sim(netlist);
-  FaultSimulator fault_sim(sim);
+  ParallelFaultSimulator fault_sim(sim);
   Rng rng(options.seed);
 
   std::vector<Fault> faults =

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <exception>
 
 namespace gcnt {
 
@@ -39,18 +40,59 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
+  parallel_blocks(n, worker_count(),
+                  [&fn](std::size_t, std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i) fn(i);
+                  });
+}
+
+void ThreadPool::parallel_blocks(
+    std::size_t n, std::size_t blocks,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
-  const std::size_t chunks = std::min(n, worker_count());
-  const std::size_t per_chunk = (n + chunks - 1) / chunks;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t begin = c * per_chunk;
-    const std::size_t end = std::min(n, begin + per_chunk);
-    if (begin >= end) break;
-    submit([&fn, begin, end] {
-      for (std::size_t i = begin; i < end; ++i) fn(i);
+  blocks = std::clamp<std::size_t>(blocks, 1, n);
+  const std::size_t per_block = (n + blocks - 1) / blocks;
+  const std::size_t used = (n + per_block - 1) / per_block;
+  if (used == 1) {
+    fn(0, 0, n);
+    return;
+  }
+
+  // Per-call completion state: concurrent parallel_blocks calls must not
+  // wait on each other's tasks, and the first exception must reach the
+  // caller. Blocks [1, used) go to the pool; the caller runs block 0.
+  struct Sync {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining;
+    std::exception_ptr error;
+  } sync;
+  sync.remaining = used - 1;
+
+  for (std::size_t b = 1; b < used; ++b) {
+    const std::size_t begin = b * per_block;
+    const std::size_t end = std::min(n, begin + per_block);
+    submit([&sync, &fn, b, begin, end] {
+      try {
+        fn(b, begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(sync.mutex);
+        if (!sync.error) sync.error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(sync.mutex);
+      --sync.remaining;
+      if (sync.remaining == 0) sync.done.notify_one();
     });
   }
-  wait_idle();
+  try {
+    fn(0, 0, std::min(n, per_block));
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(sync.mutex);
+    if (!sync.error) sync.error = std::current_exception();
+  }
+  std::unique_lock<std::mutex> lock(sync.mutex);
+  sync.done.wait(lock, [&sync] { return sync.remaining == 0; });
+  if (sync.error) std::rethrow_exception(sync.error);
 }
 
 void ThreadPool::worker_loop() {

@@ -1,10 +1,15 @@
 #pragma once
-// Fixed-size worker pool with a parallel_for helper.
+// Fixed-size worker pool with parallel_for / parallel_blocks helpers.
 //
-// This is the stand-in for the paper's multi-GPU data parallelism: the
-// trainer assigns one graph per worker and averages gradients, exactly as
-// the paper assigns one graph per GPU. On a single-core host the pool
+// Two roles: the trainer assigns one graph per worker and averages
+// gradients (the stand-in for the paper's multi-GPU data parallelism), and
+// the shared kernel pool (common/parallel.h) schedules row blocks of the
+// SpMM/GEMM/fault-sim hot paths across it. On a single-core host the pool
 // degrades gracefully to serial execution.
+//
+// parallel_for/parallel_blocks use per-call completion tracking, so
+// concurrent calls from different threads are safe, and the first
+// exception thrown by the body is rethrown on the calling thread.
 
 #include <condition_variable>
 #include <cstddef>
@@ -27,15 +32,25 @@ class ThreadPool {
 
   std::size_t worker_count() const noexcept { return threads_.size(); }
 
-  /// Enqueues a task. Tasks must not throw.
+  /// Enqueues a task. Tasks must not throw (use parallel_for/parallel_blocks
+  /// for bodies that may).
   void submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished.
   void wait_idle();
 
   /// Runs fn(i) for i in [0, n), partitioned into contiguous chunks across
-  /// the pool, and blocks until all chunks complete.
+  /// the pool, and blocks until all chunks complete. The first exception
+  /// thrown by fn is rethrown here once every chunk has finished.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Runs fn(block, begin, end) over `blocks` contiguous equal slices of
+  /// [0, n) (static deterministic partition: per_block = ceil(n / blocks)).
+  /// The calling thread executes block 0 itself; the first exception thrown
+  /// by fn is rethrown here once every block has finished.
+  void parallel_blocks(
+      std::size_t n, std::size_t blocks,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
 
  private:
   void worker_loop();

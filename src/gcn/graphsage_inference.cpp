@@ -2,9 +2,15 @@
 
 #include <algorithm>
 
+#include "common/parallel.h"
 #include "gcn/vec_ops.h"
 
 namespace gcnt {
+
+namespace {
+// Each node is thousands of matvecs; parallelize all but trivial graphs.
+constexpr std::size_t kMinParallelNodes = 16;
+}  // namespace
 
 GraphSageInference::GraphSageInference(const GcnModel& model,
                                        const Netlist& netlist,
@@ -15,9 +21,10 @@ GraphSageInference::GraphSageInference(const GcnModel& model,
       netlist_(&netlist),
       features_(&features),
       fanouts_(std::move(fanouts)),
+      seed_(seed),
       rng_(seed) {}
 
-std::vector<float> GraphSageInference::embed(NodeId v, int depth) {
+std::vector<float> GraphSageInference::embed(NodeId v, int depth, Rng& rng) {
   if (depth == 0) {
     const float* row = features_->row(v);
     return std::vector<float>(row, row + features_->cols());
@@ -26,7 +33,7 @@ std::vector<float> GraphSageInference::embed(NodeId v, int depth) {
   const std::size_t fanout =
       fanouts_.per_hop[std::min(hop, fanouts_.per_hop.size() - 1)];
 
-  std::vector<float> aggregated = embed(v, depth - 1);
+  std::vector<float> aggregated = embed(v, depth - 1, rng);
 
   // Fixed-size sampling with replacement per GraphSAGE: the estimator of
   // Eq. 1's weighted sum is degree/|samples| * sum(sampled embeddings).
@@ -39,7 +46,7 @@ std::vector<float> GraphSageInference::embed(NodeId v, int depth) {
                         static_cast<float>(pred_samples);
     for (std::size_t s = 0; s < pred_samples; ++s) {
       axpy_row(aggregated, scale,
-               embed(preds[rng_.below(preds.size())], depth - 1));
+               embed(preds[rng.below(preds.size())], depth - 1, rng));
     }
   }
   if (!succs.empty() && succ_samples > 0) {
@@ -47,7 +54,7 @@ std::vector<float> GraphSageInference::embed(NodeId v, int depth) {
                         static_cast<float>(succ_samples);
     for (std::size_t s = 0; s < succ_samples; ++s) {
       axpy_row(aggregated, scale,
-               embed(succs[rng_.below(succs.size())], depth - 1));
+               embed(succs[rng.below(succs.size())], depth - 1, rng));
     }
   }
   auto out = apply_linear_row(
@@ -58,15 +65,24 @@ std::vector<float> GraphSageInference::embed(NodeId v, int depth) {
 
 std::vector<float> GraphSageInference::infer_node(NodeId v) {
   return fc_head_row(model_->fc_layers(),
-                     embed(v, model_->config().depth));
+                     embed(v, model_->config().depth, rng_));
 }
 
 Matrix GraphSageInference::infer_all() {
   Matrix logits(netlist_->size(), model_->config().num_classes);
-  for (NodeId v = 0; v < netlist_->size(); ++v) {
-    const auto row = infer_node(v);
-    for (std::size_t c = 0; c < row.size(); ++c) logits.at(v, c) = row[c];
-  }
+  parallel_blocks(
+      netlist_->size(), kMinParallelNodes,
+      [&](std::size_t begin, std::size_t end) {
+        for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
+          // Per-node stream: independent of scheduling, so infer_all is
+          // reproducible regardless of thread count.
+          Rng node_rng(seed_ ^ ((static_cast<std::uint64_t>(v) + 1) *
+                                0x9e3779b97f4a7c15ULL));
+          const auto row = fc_head_row(
+              model_->fc_layers(), embed(v, model_->config().depth, node_rng));
+          for (std::size_t c = 0; c < row.size(); ++c) logits.at(v, c) = row[c];
+        }
+      });
   return logits;
 }
 

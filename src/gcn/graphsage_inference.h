@@ -35,19 +35,24 @@ class GraphSageInference {
                      std::uint64_t seed = 1);
 
   /// Logits for one node from its sampled, recursively expanded
-  /// neighborhood.
+  /// neighborhood. Draws from the engine's sequential stream, so repeated
+  /// calls produce different samples.
   std::vector<float> infer_node(NodeId v);
 
-  /// Logits for every node (independent per-node recursions).
+  /// Logits for every node (independent per-node recursions), computed in
+  /// parallel on the kernel pool. Each node samples from its own stream
+  /// derived from (seed, node id), so the result is deterministic for the
+  /// seed and bitwise identical for any thread count.
   Matrix infer_all();
 
  private:
-  std::vector<float> embed(NodeId v, int depth);
+  std::vector<float> embed(NodeId v, int depth, Rng& rng);
 
   const GcnModel* model_;
   const Netlist* netlist_;
   const Matrix* features_;
   SampleFanouts fanouts_;
+  std::uint64_t seed_;
   Rng rng_;
 };
 

@@ -1,8 +1,15 @@
 #include "gcn/recursive_inference.h"
 
+#include "common/parallel.h"
 #include "gcn/vec_ops.h"
 
 namespace gcnt {
+
+namespace {
+// Each node re-expands its whole D-hop neighborhood; parallelize all but
+// trivial graphs.
+constexpr std::size_t kMinParallelNodes = 16;
+}  // namespace
 
 RecursiveInference::RecursiveInference(const GcnModel& model,
                                        const Netlist& netlist,
@@ -37,10 +44,17 @@ std::vector<float> RecursiveInference::infer_node(NodeId v) const {
 
 Matrix RecursiveInference::infer_all() const {
   Matrix logits(netlist_->size(), model_->config().num_classes);
-  for (NodeId v = 0; v < netlist_->size(); ++v) {
-    const auto row = infer_node(v);
-    for (std::size_t c = 0; c < row.size(); ++c) logits.at(v, c) = row[c];
-  }
+  // Per-node recursions are independent const reads; rows are disjoint, so
+  // the result is bitwise identical for any thread count.
+  parallel_blocks(netlist_->size(), kMinParallelNodes,
+                  [&](std::size_t begin, std::size_t end) {
+                    for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
+                      const auto row = infer_node(v);
+                      for (std::size_t c = 0; c < row.size(); ++c) {
+                        logits.at(v, c) = row[c];
+                      }
+                    }
+                  });
   return logits;
 }
 

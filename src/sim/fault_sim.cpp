@@ -4,6 +4,7 @@
 #include <limits>
 #include <queue>
 
+#include "common/parallel.h"
 #include "sim/gate_eval.h"
 
 namespace gcnt {
@@ -88,6 +89,44 @@ std::size_t FaultSimulator::run_batch(const PatternBatch& batch,
     const std::uint64_t word = detect_word(faults[i], scratch_values_);
     words[i] = word;
     if (word != 0) {
+      detected[i] = true;
+      ++newly;
+    }
+  }
+  return newly;
+}
+
+namespace {
+// Fault propagation is hundreds of events per fault; small lists run on one
+// lane to skip the dispatch cost.
+constexpr std::size_t kMinParallelFaults = 64;
+}  // namespace
+
+ParallelFaultSimulator::ParallelFaultSimulator(const LogicSimulator& sim)
+    : sim_(&sim) {}
+
+std::size_t ParallelFaultSimulator::run_batch(
+    const PatternBatch& batch, const std::vector<Fault>& faults,
+    std::vector<bool>& detected, std::vector<std::uint64_t>& words) {
+  sim_->simulate(batch, good_);
+  words.assign(faults.size(), 0);
+
+  const BlockPlan plan = plan_blocks(faults.size(), kMinParallelFaults);
+  while (lanes_.size() < plan.count) lanes_.emplace_back(*sim_);
+  // Parallel phase: reads `detected` (no writer), writes disjoint `words`
+  // slices; each lane keeps its own epoch-stamped scratch.
+  run_blocks(plan, [&](std::size_t block, std::size_t begin, std::size_t end) {
+    FaultSimulator& lane = lanes_[block];
+    for (std::size_t i = begin; i < end; ++i) {
+      if (detected[i]) continue;
+      words[i] = lane.detect_word(faults[i], good_);
+    }
+  });
+  // Fixed-order reduce: update drop flags and count new detections
+  // serially (vector<bool> packs bits, so flag writes must not race).
+  std::size_t newly = 0;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (!detected[i] && words[i] != 0) {
       detected[i] = true;
       ++newly;
     }

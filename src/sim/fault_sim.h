@@ -70,4 +70,28 @@ class FaultSimulator {
   std::vector<std::uint64_t> scratch_values_;
 };
 
+/// Fault-partition parallel PPSFP: the good machine is simulated once per
+/// batch, then the fault list is split into contiguous static blocks, each
+/// propagated by a private FaultSimulator lane on the shared kernel pool
+/// (common/parallel.h). Every fault's detection word depends only on the
+/// shared good-machine values, so results are bitwise identical to the
+/// serial FaultSimulator for any thread count; the detected/newly update
+/// is a fixed-order serial reduce. Lanes persist across batches so the
+/// per-lane scratch arrays are allocated once.
+class ParallelFaultSimulator {
+ public:
+  explicit ParallelFaultSimulator(const LogicSimulator& sim);
+
+  /// Drop-in replacement for FaultSimulator::run_batch.
+  std::size_t run_batch(const PatternBatch& batch,
+                        const std::vector<Fault>& faults,
+                        std::vector<bool>& detected,
+                        std::vector<std::uint64_t>& words);
+
+ private:
+  const LogicSimulator* sim_;
+  std::vector<FaultSimulator> lanes_;  // one per partition, grown on demand
+  std::vector<std::uint64_t> good_;
+};
+
 }  // namespace gcnt

@@ -4,7 +4,15 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/parallel.h"
+
 namespace gcnt {
+
+namespace {
+// Minimum size of the partitioned dimension before GEMM fans out to the
+// kernel pool; below it the dispatch overhead dominates.
+constexpr std::size_t kMinParallelDim = 64;
+}  // namespace
 
 void Matrix::xavier_init(Rng& rng) {
   const double bound =
@@ -56,54 +64,66 @@ void gemm(const Matrix& a, const Matrix& b, Matrix& out, bool transpose_a,
   }
 
   // Loop orders chosen so the innermost loop is always contiguous in the
-  // matrix being streamed.
+  // matrix being streamed. The no-transpose-a variants partition output
+  // rows across the kernel pool, the transpose-a variants output columns;
+  // either way each output element is accumulated by one block in fixed
+  // ascending-p order, so results are bitwise identical for any thread
+  // count (see common/parallel.h).
   if (!transpose_a && !transpose_b) {
-    for (std::size_t i = 0; i < m; ++i) {
-      const float* arow = a.row(i);
-      float* orow = out.row(i);
-      for (std::size_t p = 0; p < k; ++p) {
-        const float av = alpha * arow[p];
-        if (av == 0.0f) continue;
-        const float* brow = b.row(p);
-        for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-      }
-    }
-  } else if (transpose_a && !transpose_b) {
-    for (std::size_t p = 0; p < k; ++p) {
-      const float* arow = a.row(p);  // a is k x m
-      const float* brow = b.row(p);
-      for (std::size_t i = 0; i < m; ++i) {
-        const float av = alpha * arow[i];
-        if (av == 0.0f) continue;
+    parallel_blocks(m, kMinParallelDim, [&](std::size_t i0, std::size_t i1) {
+      for (std::size_t i = i0; i < i1; ++i) {
+        const float* arow = a.row(i);
         float* orow = out.row(i);
-        for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-      }
-    }
-  } else if (!transpose_a && transpose_b) {
-    for (std::size_t i = 0; i < m; ++i) {
-      const float* arow = a.row(i);
-      float* orow = out.row(i);
-      for (std::size_t j = 0; j < n; ++j) {
-        const float* brow = b.row(j);  // b is n x k
-        double acc = 0.0;
         for (std::size_t p = 0; p < k; ++p) {
-          acc += static_cast<double>(arow[p]) * brow[p];
+          const float av = alpha * arow[p];
+          if (av == 0.0f) continue;
+          const float* brow = b.row(p);
+          for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
         }
-        orow[j] += alpha * static_cast<float>(acc);
       }
-    }
-  } else {
-    for (std::size_t p = 0; p < k; ++p) {
-      const float* arow = a.row(p);  // a is k x m
-      for (std::size_t i = 0; i < m; ++i) {
-        const float av = alpha * arow[i];
-        if (av == 0.0f) continue;
+    });
+  } else if (transpose_a && !transpose_b) {
+    parallel_blocks(n, kMinParallelDim, [&](std::size_t j0, std::size_t j1) {
+      for (std::size_t p = 0; p < k; ++p) {
+        const float* arow = a.row(p);  // a is k x m
+        const float* brow = b.row(p);
+        for (std::size_t i = 0; i < m; ++i) {
+          const float av = alpha * arow[i];
+          if (av == 0.0f) continue;
+          float* orow = out.row(i);
+          for (std::size_t j = j0; j < j1; ++j) orow[j] += av * brow[j];
+        }
+      }
+    });
+  } else if (!transpose_a && transpose_b) {
+    parallel_blocks(m, kMinParallelDim, [&](std::size_t i0, std::size_t i1) {
+      for (std::size_t i = i0; i < i1; ++i) {
+        const float* arow = a.row(i);
         float* orow = out.row(i);
         for (std::size_t j = 0; j < n; ++j) {
-          orow[j] += av * b.at(j, p);  // b is n x k
+          const float* brow = b.row(j);  // b is n x k
+          double acc = 0.0;
+          for (std::size_t p = 0; p < k; ++p) {
+            acc += static_cast<double>(arow[p]) * brow[p];
+          }
+          orow[j] += alpha * static_cast<float>(acc);
         }
       }
-    }
+    });
+  } else {
+    parallel_blocks(n, kMinParallelDim, [&](std::size_t j0, std::size_t j1) {
+      for (std::size_t p = 0; p < k; ++p) {
+        const float* arow = a.row(p);  // a is k x m
+        for (std::size_t i = 0; i < m; ++i) {
+          const float av = alpha * arow[i];
+          if (av == 0.0f) continue;
+          float* orow = out.row(i);
+          for (std::size_t j = j0; j < j1; ++j) {
+            orow[j] += av * b.at(j, p);  // b is n x k
+          }
+        }
+      }
+    });
   }
 }
 

@@ -2,7 +2,44 @@
 
 #include <stdexcept>
 
+#include "common/parallel.h"
+
 namespace gcnt {
+
+namespace {
+
+// Below these sizes the pool dispatch overhead exceeds the kernel cost and
+// the work runs inline on the calling thread.
+constexpr std::size_t kMinParallelRows = 128;
+constexpr std::size_t kMinParallelNnz = 1 << 15;
+
+/// Parallel occurrence count: counts[i + 1] = #occurrences of i in `index`.
+/// Per-block histograms reduced in fixed block order keep the result (and
+/// integer sums make it trivially) identical for any thread count.
+void count_occurrences(const std::vector<std::uint32_t>& index,
+                       std::vector<std::uint32_t>& counts) {
+  const BlockPlan plan = plan_blocks(index.size(), kMinParallelNnz);
+  if (plan.count <= 1) {
+    for (std::uint32_t i : index) ++counts[i + 1];
+    return;
+  }
+  std::vector<std::vector<std::uint32_t>> local(plan.count);
+  run_blocks(plan, [&](std::size_t block, std::size_t begin, std::size_t end) {
+    auto& histogram = local[block];
+    histogram.assign(counts.size(), 0);
+    for (std::size_t k = begin; k < end; ++k) ++histogram[index[k] + 1];
+  });
+  parallel_blocks(counts.size(), kMinParallelRows,
+                  [&](std::size_t begin, std::size_t end) {
+                    for (const auto& histogram : local) {
+                      for (std::size_t i = begin; i < end; ++i) {
+                        counts[i] += histogram[i];
+                      }
+                    }
+                  });
+}
+
+}  // namespace
 
 CsrMatrix CsrMatrix::from_coo(const CooMatrix& coo) {
   CsrMatrix csr;
@@ -10,12 +47,13 @@ CsrMatrix CsrMatrix::from_coo(const CooMatrix& coo) {
   csr.cols_ = coo.cols;
   csr.row_ptr_.assign(coo.rows + 1, 0);
 
-  for (std::uint32_t r : coo.row_index) ++csr.row_ptr_[r + 1];
+  count_occurrences(coo.row_index, csr.row_ptr_);
   for (std::size_t r = 0; r < coo.rows; ++r) {
     csr.row_ptr_[r + 1] += csr.row_ptr_[r];
   }
 
-  // Scatter entries into row buckets.
+  // Scatter entries into row buckets (serial: the per-row cursors make the
+  // insertion order part of the duplicate-merge contract below).
   std::vector<std::uint32_t> cursor(csr.row_ptr_.begin(),
                                     csr.row_ptr_.end() - 1);
   csr.col_index_.assign(coo.nnz(), 0);
@@ -63,21 +101,36 @@ void CsrMatrix::spmm(const Matrix& dense, Matrix& out, float alpha,
   }
   const std::size_t n = dense.cols();
   if (beta == 0.0f) {
-    out.resize(rows_, n, 0.0f);
+    if (out.empty()) {
+      out.resize(rows_, n, 0.0f);
+    } else if (out.rows() != rows_ || out.cols() != n) {
+      throw std::invalid_argument("spmm: output shape mismatch");
+    } else {
+      out.fill(0.0f);
+    }
   } else {
     if (out.rows() != rows_ || out.cols() != n) {
       throw std::invalid_argument("spmm: output shape mismatch");
     }
     out.scale(beta);
   }
-  for (std::size_t r = 0; r < rows_; ++r) {
-    float* orow = out.row(r);
-    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      const float av = alpha * values_[k];
-      const float* drow = dense.row(col_index_[k]);
-      for (std::size_t j = 0; j < n; ++j) orow[j] += av * drow[j];
-    }
-  }
+  // Row-blocked: each output row is produced by exactly one block with a
+  // fixed nnz-order inner loop, so results are bitwise identical for any
+  // thread count.
+  parallel_blocks(rows_, kMinParallelRows,
+                  [&](std::size_t row_begin, std::size_t row_end) {
+                    for (std::size_t r = row_begin; r < row_end; ++r) {
+                      float* orow = out.row(r);
+                      for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1];
+                           ++k) {
+                        const float av = alpha * values_[k];
+                        const float* drow = dense.row(col_index_[k]);
+                        for (std::size_t j = 0; j < n; ++j) {
+                          orow[j] += av * drow[j];
+                        }
+                      }
+                    }
+                  });
 }
 
 CsrMatrix CsrMatrix::transpose() const {
@@ -85,7 +138,7 @@ CsrMatrix CsrMatrix::transpose() const {
   t.rows_ = cols_;
   t.cols_ = rows_;
   t.row_ptr_.assign(cols_ + 1, 0);
-  for (std::uint32_t c : col_index_) ++t.row_ptr_[c + 1];
+  count_occurrences(col_index_, t.row_ptr_);
   for (std::size_t r = 0; r < cols_; ++r) t.row_ptr_[r + 1] += t.row_ptr_[r];
   std::vector<std::uint32_t> cursor(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
   t.col_index_.assign(nnz(), 0);

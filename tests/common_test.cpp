@@ -5,8 +5,11 @@
 #include <atomic>
 #include <numeric>
 #include <sstream>
+#include <stdexcept>
+#include <vector>
 
 #include "common/metrics.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
@@ -138,6 +141,93 @@ TEST(ThreadPool, SingleWorkerStillWorks) {
   std::atomic<int> counter{0};
   pool.parallel_for(10, [&](std::size_t) { counter++; });
   EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 37) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool must stay usable after a failed call.
+  std::atomic<int> counter{0};
+  pool.parallel_for(50, [&](std::size_t) { counter++; });
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ParallelBlocksPartitionsExactly) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  std::atomic<int> blocks_seen{0};
+  pool.parallel_blocks(100, 3,
+                       [&](std::size_t, std::size_t begin, std::size_t end) {
+                         blocks_seen++;
+                         for (std::size_t i = begin; i < end; ++i) hits[i]++;
+                       });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(blocks_seen.load(), 3);
+}
+
+TEST(ThreadPool, ParallelBlocksMoreBlocksThanWork) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_blocks(3, 8,
+                       [&](std::size_t, std::size_t begin, std::size_t end) {
+                         total += static_cast<int>(end - begin);
+                       });
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(KernelPool, OverrideControlsThreadCount) {
+  set_kernel_threads(3);
+  EXPECT_EQ(kernel_threads(), 3u);
+  EXPECT_EQ(kernel_pool().worker_count(), 3u);
+  set_kernel_threads(0);
+  EXPECT_GE(kernel_threads(), 1u);
+}
+
+TEST(KernelPool, PlanCollapsesBelowMinParallel) {
+  set_kernel_threads(4);
+  EXPECT_EQ(plan_blocks(10, 100).count, 1u);
+  const BlockPlan plan = plan_blocks(1000, 100);
+  EXPECT_EQ(plan.count, 4u);
+  EXPECT_EQ(plan.begin(0), 0u);
+  EXPECT_EQ(plan.end(plan.count - 1), 1000u);
+  set_kernel_threads(0);
+}
+
+TEST(KernelPool, ParallelBlocksCoversAndPropagates) {
+  set_kernel_threads(4);
+  std::vector<std::atomic<int>> hits(512);
+  parallel_blocks(512, 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_THROW(
+      parallel_blocks(512, 1,
+                      [](std::size_t begin, std::size_t) {
+                        if (begin == 0) throw std::runtime_error("boom");
+                      }),
+      std::runtime_error);
+  set_kernel_threads(0);
+}
+
+TEST(KernelPool, NestedKernelRunsInline) {
+  set_kernel_threads(4);
+  std::atomic<int> inner_total{0};
+  // A kernel body issuing another kernel must not re-enter the pool (the
+  // nested plan collapses to one inline block) — this would otherwise be
+  // able to deadlock a saturated pool.
+  parallel_blocks(256, 1, [&](std::size_t begin, std::size_t end) {
+    parallel_blocks(end - begin, 1, [&](std::size_t b, std::size_t e) {
+      inner_total += static_cast<int>(e - b);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 256);
+  set_kernel_threads(0);
 }
 
 TEST(Table, AlignedOutputContainsCells) {

@@ -5,6 +5,7 @@
 
 #include <bit>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "gen/generator.h"
 #include "netlist/bench_io.h"
@@ -231,6 +232,41 @@ TEST(FaultSim, RunBatchDropsDetectedFaults) {
   EXPECT_EQ(newly, faults.size());  // all four patterns present: everything falls
   // Second batch: nothing new.
   EXPECT_EQ(fsim.run_batch(batch, faults, detected, words), 0u);
+}
+
+TEST(FaultSim, ParallelMatchesSerialRunBatch) {
+  GeneratorConfig config;
+  config.seed = 61;
+  config.target_gates = 400;
+  config.primary_inputs = 16;
+  config.primary_outputs = 8;
+  config.flip_flops = 10;
+  const Netlist n = generate_circuit(config);
+  ASSERT_TRUE(n.validate().empty());
+
+  LogicSimulator sim(n);
+  FaultSimulator serial(sim);
+  ParallelFaultSimulator parallel(sim);
+  const auto faults = enumerate_faults(n);
+  Rng rng(5);
+
+  std::vector<bool> det_serial(faults.size(), false);
+  std::vector<bool> det_parallel(faults.size(), false);
+  std::vector<std::uint64_t> words_serial, words_parallel;
+  set_kernel_threads(4);
+  for (int trial = 0; trial < 3; ++trial) {
+    Rng rng_copy = rng;  // same patterns for both engines
+    const PatternBatch batch = sim.random_batch(rng);
+    const PatternBatch batch_copy = sim.random_batch(rng_copy);
+    const std::size_t newly_serial =
+        serial.run_batch(batch, faults, det_serial, words_serial);
+    const std::size_t newly_parallel =
+        parallel.run_batch(batch_copy, faults, det_parallel, words_parallel);
+    EXPECT_EQ(newly_serial, newly_parallel);
+    EXPECT_EQ(words_serial, words_parallel);
+  }
+  EXPECT_EQ(det_serial, det_parallel);
+  set_kernel_threads(0);
 }
 
 TEST(LogicSim, DuplicateFaninSemantics) {

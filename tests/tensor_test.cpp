@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "tensor/matrix.h"
 #include "tensor/sparse.h"
@@ -210,6 +211,72 @@ TEST(Csr, SpmmDimensionMismatchThrows) {
   Matrix x(2, 2);  // needs 3 rows
   Matrix out;
   EXPECT_THROW(csr.spmm(x, out), std::invalid_argument);
+}
+
+TEST(Csr, SpmmBetaZeroValidatesAllocatedOutput) {
+  CooMatrix coo(2, 2);
+  coo.add(0, 0, 1.0f);
+  coo.add(1, 1, 1.0f);
+  const CsrMatrix identity = CsrMatrix::from_coo(coo);
+  Matrix x(2, 3, 1.0f);
+  // A wrongly-shaped, already-allocated output must throw rather than be
+  // silently resized.
+  Matrix wrong(4, 7, 0.0f);
+  EXPECT_THROW(identity.spmm(x, wrong), std::invalid_argument);
+  // A correctly-shaped output is reused: stale contents are overwritten.
+  Matrix reused(2, 3, 99.0f);
+  identity.spmm(x, reused);
+  expect_near(reused, x);
+  // An empty output is allocated to the result shape.
+  Matrix fresh;
+  identity.spmm(x, fresh);
+  expect_near(fresh, x);
+}
+
+/// Builds a pseudo-random sparse matrix with ~nnz entries.
+CsrMatrix random_csr(std::size_t rows, std::size_t cols, std::size_t nnz,
+                     Rng& rng) {
+  CooMatrix coo(rows, cols);
+  for (std::size_t k = 0; k < nnz; ++k) {
+    coo.add(static_cast<std::uint32_t>(rng.below(rows)),
+            static_cast<std::uint32_t>(rng.below(cols)),
+            static_cast<float>(rng.uniform(-1.0, 1.0)));
+  }
+  return CsrMatrix::from_coo(coo);
+}
+
+TEST(Csr, SpmmBitwiseIdenticalAcrossThreadCounts) {
+  Rng rng(31);
+  const CsrMatrix csr = random_csr(700, 500, 4000, rng);
+  const Matrix x = random_matrix(500, 8, rng);
+  set_kernel_threads(1);
+  Matrix serial;
+  csr.spmm(x, serial);
+  set_kernel_threads(8);
+  Matrix parallel;
+  csr.spmm(x, parallel);
+  set_kernel_threads(0);
+  EXPECT_EQ(serial, parallel);  // bitwise, not approximate
+}
+
+TEST(Matrix, GemmBitwiseIdenticalAcrossThreadCounts) {
+  Rng rng(37);
+  for (const bool ta : {false, true}) {
+    for (const bool tb : {false, true}) {
+      const Matrix a = ta ? random_matrix(90, 130, rng)
+                          : random_matrix(130, 90, rng);
+      const Matrix b = tb ? random_matrix(110, 90, rng)
+                          : random_matrix(90, 110, rng);
+      set_kernel_threads(1);
+      Matrix serial;
+      gemm(a, b, serial, ta, tb);
+      set_kernel_threads(8);
+      Matrix parallel;
+      gemm(a, b, parallel, ta, tb);
+      set_kernel_threads(0);
+      EXPECT_EQ(serial, parallel) << "ta=" << ta << " tb=" << tb;
+    }
+  }
 }
 
 TEST(Csr, TransposeRoundTrip) {
