@@ -120,6 +120,7 @@ bool write_bench_json(
   std::ofstream out(path);
   if (!out) return false;
   out << "{\n";
+  out << "  \"schema.version\": 2" << (entries.empty() ? "\n" : ",\n");
   for (std::size_t i = 0; i < entries.size(); ++i) {
     out << "  \"" << entries[i].first << "\": " << entries[i].second
         << (i + 1 < entries.size() ? ",\n" : "\n");

@@ -17,8 +17,10 @@
 
 #include "bench_common.h"
 #include "common/parallel.h"
+#include "common/stats.h"
 #include "common/table.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "gcn/graphsage_inference.h"
 #include "gcn/recursive_inference.h"
 #include "gen/generator.h"
@@ -103,6 +105,7 @@ void thread_sweep(const GcnModel& model, const GraphTensors& tensors,
 }  // namespace
 
 int main() {
+  trace_set_thread_name("main");
   const std::size_t cap = bench::bench_max_nodes();
   GcnModel model(bench::paper_model_config());
 
@@ -130,6 +133,9 @@ int main() {
     const Netlist netlist = generate_circuit(config);
     GraphTensors tensors = build_graph_tensors(netlist);
     const std::size_t n = netlist.size();
+    TraceSpan size_span("fig10.size");
+    size_span.arg("nodes", static_cast<double>(n));
+    size_span.arg("edges", static_cast<double>(netlist.edge_count()));
 
     Timer ours_timer;
     (void)model.infer(tensors);
@@ -169,5 +175,7 @@ int main() {
                "recursion-based [12] > 1 hour (3 orders of magnitude)\n";
 
   if (last_nodes > 0) thread_sweep(model, last_tensors, last_nodes);
+  publish_kernel_pool_stats();
+  if (stats_enabled()) StatsRegistry::instance().write_text(std::cerr);
   return 0;
 }

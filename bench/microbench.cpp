@@ -20,6 +20,8 @@
 
 #include "bench_common.h"
 #include "common/parallel.h"
+#include "common/stats.h"
+#include "common/trace.h"
 #include "cop/cop.h"
 #include "gcn/model.h"
 #include "gen/generator.h"
@@ -215,8 +217,10 @@ class JsonRecorder : public benchmark::ConsoleReporter {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  gcnt::trace_set_thread_name("main");
   JsonRecorder reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
+  publish_kernel_pool_stats();
   set_kernel_threads(0);
   if (const char* path = std::getenv("GCNT_BENCH_JSON")) {
     if (!bench::write_bench_json(path, reporter.entries())) {
@@ -225,6 +229,9 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  // With GCNT_STATS=1 the per-kernel calls/latency registry narrates where
+  // the benchmark time went (spans go to GCNT_TRACE's atexit writer).
+  if (stats_enabled()) StatsRegistry::instance().write_text(std::cerr);
   benchmark::Shutdown();
   return 0;
 }

@@ -5,6 +5,7 @@
 
 #include "common/log.h"
 #include "common/rng.h"
+#include "common/trace.h"
 #include "sim/fault_sim.h"
 #include "sim/logic_sim.h"
 
@@ -37,27 +38,36 @@ AtpgResult run_atpg(const Netlist& netlist, const AtpgOptions& options) {
   // --- Stage 1: random patterns with fault dropping. A pattern is counted
   // only if it is the first detector of at least one fault (greedy
   // compaction, applied identically to every netlist we compare).
+  static Counter& random_batches_counter =
+      StatsRegistry::instance().counter("atpg.random_batches");
   std::unordered_set<std::uint64_t> used_patterns;
-  std::size_t stall = 0;
-  for (std::size_t batch_index = 0;
-       batch_index < options.max_random_batches && stall < options.stall_batches;
-       ++batch_index) {
-    const PatternBatch batch = sim.random_batch(rng);
-    // Snapshot to attribute each new detection to a concrete pattern.
-    std::vector<bool> before = detected;
-    const std::size_t newly = fault_sim.run_batch(batch, faults, detected, words);
-    if (newly == 0) {
-      ++stall;
-      continue;
-    }
-    stall = 0;
-    for (std::size_t i = 0; i < faults.size(); ++i) {
-      if (before[i] || !detected[i]) continue;
-      const int first_bit = std::countr_zero(words[i]);
-      const std::size_t pattern_id =
-          batch_index * 64 + static_cast<std::size_t>(first_bit);
-      if (used_patterns.insert(pattern_id).second) {
-        record_pattern(batch, first_bit);
+  {
+    TraceSpan random_span("atpg.random");
+    random_span.arg("faults", static_cast<double>(faults.size()));
+    std::size_t stall = 0;
+    for (std::size_t batch_index = 0;
+         batch_index < options.max_random_batches &&
+         stall < options.stall_batches;
+         ++batch_index) {
+      random_batches_counter.add();
+      const PatternBatch batch = sim.random_batch(rng);
+      // Snapshot to attribute each new detection to a concrete pattern.
+      std::vector<bool> before = detected;
+      const std::size_t newly =
+          fault_sim.run_batch(batch, faults, detected, words);
+      if (newly == 0) {
+        ++stall;
+        continue;
+      }
+      stall = 0;
+      for (std::size_t i = 0; i < faults.size(); ++i) {
+        if (before[i] || !detected[i]) continue;
+        const int first_bit = std::countr_zero(words[i]);
+        const std::size_t pattern_id =
+            batch_index * 64 + static_cast<std::size_t>(first_bit);
+        if (used_patterns.insert(pattern_id).second) {
+          record_pattern(batch, first_bit);
+        }
       }
     }
   }
@@ -67,11 +77,15 @@ AtpgResult run_atpg(const Netlist& netlist, const AtpgOptions& options) {
   // fault-simulated against all remaining faults so one pattern can drop
   // many.
   if (options.deterministic_topoff) {
+    TraceSpan podem_span("atpg.podem");
+    static Counter& podem_targets_counter =
+        StatsRegistry::instance().counter("atpg.podem_targets");
     const ScoapMeasures scoap = compute_scoap(netlist);
     Podem podem(sim, scoap, options.podem);
     std::vector<std::uint64_t> good_values;
     for (std::size_t i = 0; i < faults.size(); ++i) {
       if (detected[i]) continue;
+      podem_targets_counter.add();
       const PodemResult test = podem.generate(faults[i]);
       if (test.status == PodemResult::Status::kUntestable) {
         ++result.untestable_faults;

@@ -1,9 +1,32 @@
 #include "common/log.h"
 
+#include <cctype>
+#include <cstdlib>
+#include <mutex>
+
 namespace gcnt {
 
+LogLevel parse_log_level(const char* text, LogLevel fallback) noexcept {
+  if (text == nullptr || *text == '\0') return fallback;
+  std::string lowered;
+  for (const char* p = text; *p != '\0'; ++p) {
+    lowered += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  }
+  if (lowered == "debug" || lowered == "0") return LogLevel::kDebug;
+  if (lowered == "info" || lowered == "1") return LogLevel::kInfo;
+  if (lowered == "warn" || lowered == "warning" || lowered == "2") {
+    return LogLevel::kWarn;
+  }
+  if (lowered == "error" || lowered == "3") return LogLevel::kError;
+  if (lowered == "off" || lowered == "none" || lowered == "4") {
+    return LogLevel::kOff;
+  }
+  return fallback;
+}
+
 LogLevel& log_level() noexcept {
-  static LogLevel level = LogLevel::kWarn;
+  static LogLevel level =
+      parse_log_level(std::getenv("GCNT_LOG_LEVEL"), LogLevel::kWarn);
   return level;
 }
 
@@ -25,10 +48,26 @@ const char* level_tag(LogLevel level) {
   }
   return "?";
 }
+
+std::mutex& log_mutex() {
+  // Leaked: kernel-pool workers may log during static destruction.
+  static std::mutex* mutex = new std::mutex();
+  return *mutex;
+}
 }  // namespace
 
 void log_line(LogLevel level, const std::string& message) {
-  std::cerr << "[" << level_tag(level) << "] " << message << "\n";
+  // One pre-built string, one insertion under the lock: concurrent callers
+  // (e.g. pool workers) cannot interleave within a line.
+  std::string line;
+  line.reserve(message.size() + 10);
+  line += "[";
+  line += level_tag(level);
+  line += "] ";
+  line += message;
+  line += "\n";
+  std::lock_guard<std::mutex> lock(log_mutex());
+  std::cerr << line;
 }
 
 }  // namespace detail

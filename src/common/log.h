@@ -2,8 +2,11 @@
 // Minimal leveled logging to stderr.
 //
 // The library itself is quiet by default; benches and examples raise the
-// level to Info to narrate progress. Not thread-safe beyond the atomicity
-// of single stream insertions, which is sufficient for progress messages.
+// level to Info to narrate progress, and GCNT_LOG_LEVEL (debug / info /
+// warn / error / off, or 0-4) overrides the default without code changes.
+// Thread-safe: each message is formatted into one string first and then
+// emitted as a single write under a mutex, so lines from kernel-pool
+// workers never shear.
 
 #include <iostream>
 #include <sstream>
@@ -13,8 +16,13 @@ namespace gcnt {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Global log threshold; messages below it are discarded.
+/// Global log threshold; messages below it are discarded. Initialized from
+/// GCNT_LOG_LEVEL when set, else kWarn.
 LogLevel& log_level() noexcept;
+
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-insensitive)
+/// or a numeric level 0-4; anything else returns `fallback`.
+LogLevel parse_log_level(const char* text, LogLevel fallback) noexcept;
 
 namespace detail {
 void log_line(LogLevel level, const std::string& message);

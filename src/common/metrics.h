@@ -18,6 +18,9 @@ struct ConfusionMatrix {
   std::size_t total() const noexcept {
     return true_positive + true_negative + false_positive + false_negative;
   }
+  /// Degenerate-matrix convention: every metric below returns 0.0 (never
+  /// NaN) when its denominator is zero — empty matrix, no predicted
+  /// positives (precision), no actual positives (recall), or both (f1).
   double accuracy() const noexcept;
   double precision() const noexcept;
   double recall() const noexcept;

@@ -4,6 +4,9 @@
 #include <cstdlib>
 #include <memory>
 #include <mutex>
+#include <string>
+
+#include "common/stats.h"
 
 namespace gcnt {
 
@@ -108,6 +111,19 @@ void parallel_blocks(std::size_t n, std::size_t min_parallel,
              [&fn](std::size_t, std::size_t begin, std::size_t end) {
                fn(begin, end);
              });
+}
+
+void publish_kernel_pool_stats() {
+  if (!stats_enabled()) return;
+  std::lock_guard<std::mutex> lock(pool_mutex);
+  if (!pool) return;
+  StatsRegistry& registry = StatsRegistry::instance();
+  registry.gauge("pool.workers")
+      .set(static_cast<std::int64_t>(pool->worker_count()));
+  for (std::size_t i = 0; i < pool->worker_count(); ++i) {
+    registry.gauge("pool.worker" + std::to_string(i) + ".busy_ns")
+        .set(static_cast<std::int64_t>(pool->worker_busy_ns(i)));
+  }
 }
 
 }  // namespace gcnt

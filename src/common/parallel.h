@@ -66,4 +66,9 @@ void run_blocks(
 void parallel_blocks(std::size_t n, std::size_t min_parallel,
                      const std::function<void(std::size_t, std::size_t)>& fn);
 
+/// Copies kernel-pool utilization into the stats registry: a
+/// "pool.workers" gauge plus one "pool.worker<i>.busy_ns" gauge per
+/// worker. No-op when stats are disabled or the pool was never created.
+void publish_kernel_pool_stats();
+
 }  // namespace gcnt

@@ -1,0 +1,208 @@
+#include "common/stats.h"
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+namespace gcnt {
+
+namespace stats_detail {
+
+std::atomic<bool> enabled{false};
+
+namespace {
+/// Applies GCNT_STATS before main() so library users need no code change.
+struct EnvInit {
+  EnvInit() {
+    const char* raw = std::getenv("GCNT_STATS");
+    if (raw != nullptr && *raw != '\0' && *raw != '0') {
+      enabled.store(true, std::memory_order_relaxed);
+    }
+  }
+} env_init;
+}  // namespace
+
+}  // namespace stats_detail
+
+void set_stats_enabled(bool on) noexcept {
+  stats_detail::enabled.store(on, std::memory_order_relaxed);
+}
+
+void Histogram::record(std::uint64_t value) noexcept {
+  if (!stats_enabled()) return;
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::min() const noexcept {
+  const std::uint64_t raw = min_.load(std::memory_order_relaxed);
+  return raw == ~std::uint64_t{0} ? 0 : raw;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// std::map keeps names sorted, so snapshots/export are deterministic, and
+// node-based storage keeps returned references stable across inserts.
+struct StatsRegistry::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+StatsRegistry& StatsRegistry::instance() {
+  // Leaked: stats may be touched from atexit handlers and worker threads
+  // that outlive static destruction.
+  static StatsRegistry* registry = new StatsRegistry();
+  return *registry;
+}
+
+StatsRegistry::Impl& StatsRegistry::impl() const {
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+Counter& StatsRegistry::counter(const std::string& name) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  auto& slot = state.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& StatsRegistry::gauge(const std::string& name) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  auto& slot = state.gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& StatsRegistry::histogram(const std::string& name) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  auto& slot = state.histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+StatsSnapshot StatsRegistry::snapshot() const {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  StatsSnapshot snap;
+  snap.counters.reserve(state.counters.size());
+  for (const auto& [name, counter] : state.counters) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(state.gauges.size());
+  for (const auto& [name, gauge] : state.gauges) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
+  snap.histograms.reserve(state.histograms.size());
+  for (const auto& [name, histogram] : state.histograms) {
+    StatsSnapshot::HistogramValue value;
+    value.name = name;
+    value.count = histogram->count();
+    value.sum = histogram->sum();
+    value.min = histogram->min();
+    value.max = histogram->max();
+    for (std::size_t b = 0; b < Histogram::kBucketCount; ++b) {
+      const std::uint64_t n = histogram->bucket_count(b);
+      if (n != 0) {
+        value.buckets.emplace_back(Histogram::bucket_lower_bound(b), n);
+      }
+    }
+    snap.histograms.push_back(std::move(value));
+  }
+  return snap;
+}
+
+void StatsRegistry::reset() {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (auto& [name, counter] : state.counters) counter->reset();
+  for (auto& [name, gauge] : state.gauges) gauge->reset();
+  for (auto& [name, histogram] : state.histograms) histogram->reset();
+}
+
+void StatsRegistry::write_text(std::ostream& out) const {
+  const StatsSnapshot snap = snapshot();
+  out << "== gcnt stats ==\n";
+  for (const auto& [name, value] : snap.counters) {
+    out << "counter " << name << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    out << "gauge   " << name << " " << value << "\n";
+  }
+  for (const auto& h : snap.histograms) {
+    out << "hist    " << h.name << " count=" << h.count << " sum=" << h.sum
+        << " min=" << h.min << " max=" << h.max;
+    for (const auto& [lower, n] : h.buckets) {
+      out << " " << lower << ":" << n;
+    }
+    out << "\n";
+  }
+}
+
+void StatsRegistry::write_json(std::ostream& out) const {
+  const StatsSnapshot snap = snapshot();
+  out << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << snap.counters[i].first
+        << "\": " << snap.counters[i].second;
+  }
+  out << (snap.counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << snap.gauges[i].first
+        << "\": " << snap.gauges[i].second;
+  }
+  out << (snap.gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& h = snap.histograms[i];
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << h.name
+        << "\": {\"count\": " << h.count << ", \"sum\": " << h.sum
+        << ", \"min\": " << h.min << ", \"max\": " << h.max
+        << ", \"buckets\": {";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      out << (b == 0 ? "" : ", ") << "\"" << h.buckets[b].first
+          << "\": " << h.buckets[b].second;
+    }
+    out << "}}";
+  }
+  out << (snap.histograms.empty() ? "" : "\n  ") << "}\n}\n";
+}
+
+KernelStats& kernel_stats(const char* name) {
+  static std::mutex mutex;
+  static std::map<std::string, std::unique_ptr<KernelStats>>* cache =
+      new std::map<std::string, std::unique_ptr<KernelStats>>();
+  std::lock_guard<std::mutex> lock(mutex);
+  auto& slot = (*cache)[name];
+  if (!slot) {
+    StatsRegistry& registry = StatsRegistry::instance();
+    const std::string base = std::string("kernel.") + name;
+    slot = std::make_unique<KernelStats>(
+        KernelStats{registry.counter(base + ".calls"),
+                    registry.histogram(base + ".ns")});
+  }
+  return *slot;
+}
+
+}  // namespace gcnt

@@ -1,0 +1,166 @@
+#pragma once
+// Process-wide stats registry: named counters, gauges, and log-scale
+// latency histograms with snapshot/reset and plain-text + JSON export.
+//
+// Collection is off by default and enabled by GCNT_STATS=1 (read once at
+// startup) or set_stats_enabled(true). Every mutation is guarded by one
+// relaxed atomic flag load, so the instrumented hot paths are effectively
+// free when stats are disabled; when enabled, mutations are relaxed
+// atomic adds (safe from any thread, including kernel-pool workers).
+//
+// Named objects are registered once and live for the whole process, so
+// call sites can cache references in function-local statics:
+//
+//   static Counter& calls = StatsRegistry::instance().counter("spmm.calls");
+//   calls.add();
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gcnt {
+
+namespace stats_detail {
+extern std::atomic<bool> enabled;
+}  // namespace stats_detail
+
+/// True when the registry is collecting (GCNT_STATS=1 or programmatic).
+inline bool stats_enabled() noexcept {
+  return stats_detail::enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns collection on/off process-wide (overrides the GCNT_STATS env).
+void set_stats_enabled(bool on) noexcept;
+
+/// Monotonically increasing event count. Wraps modulo 2^64 on overflow.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    if (stats_enabled()) value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-set instantaneous value (e.g. per-worker busy nanoseconds).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    if (stats_enabled()) value_.store(v, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Log-scale (power-of-two bucket) histogram for latency-like values.
+/// Bucket 0 holds exact zeros; bucket i >= 1 holds [2^(i-1), 2^i).
+class Histogram {
+ public:
+  /// 40 buckets cover 0 and [1, 2^39) — ~9 minutes at nanosecond
+  /// resolution; larger values clamp into the last bucket.
+  static constexpr std::size_t kBucketCount = 40;
+
+  static std::size_t bucket_index(std::uint64_t value) noexcept {
+    if (value == 0) return 0;
+    const std::size_t width = static_cast<std::size_t>(std::bit_width(value));
+    return width < kBucketCount ? width : kBucketCount - 1;
+  }
+  /// Smallest value that lands in bucket `index` (0, 1, 2, 4, 8, ...).
+  static std::uint64_t bucket_lower_bound(std::size_t index) noexcept {
+    return index == 0 ? 0 : std::uint64_t{1} << (index - 1);
+  }
+
+  void record(std::uint64_t value) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// 0 when the histogram is empty.
+  std::uint64_t min() const noexcept;
+  std::uint64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bucket_count(std::size_t index) const noexcept {
+    return buckets_[index].load(std::memory_order_relaxed);
+  }
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBucketCount]{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Point-in-time copy of every registered stat, sorted by name — two
+/// snapshots of identical workloads compare equal field-by-field (modulo
+/// wall-clock-derived sums).
+struct StatsSnapshot {
+  struct HistogramValue {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    /// (bucket lower bound, count) for non-empty buckets only.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<HistogramValue> histograms;
+};
+
+class StatsRegistry {
+ public:
+  static StatsRegistry& instance();
+
+  /// Returns the named stat, creating it on first use. References stay
+  /// valid for the process lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  StatsSnapshot snapshot() const;
+  /// Zeroes every registered stat (registrations are kept).
+  void reset();
+
+  /// "name value" lines grouped by kind, sorted by name.
+  void write_text(std::ostream& out) const;
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  void write_json(std::ostream& out) const;
+
+ private:
+  StatsRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// Cached per-kernel instrumentation pair: "kernel.<name>.calls" counter
+/// and "kernel.<name>.ns" latency histogram (see GCNT_KERNEL_SCOPE in
+/// common/trace.h).
+struct KernelStats {
+  Counter& calls;
+  Histogram& latency_ns;
+};
+
+/// Registers (once) and returns the stats pair for kernel `name`.
+KernelStats& kernel_stats(const char* name);
+
+}  // namespace gcnt

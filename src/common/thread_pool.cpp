@@ -2,16 +2,46 @@
 
 #include <algorithm>
 #include <exception>
+#include <string>
+
+#include "common/stats.h"
+#include "common/trace.h"
 
 namespace gcnt {
+
+namespace {
+
+// Pool-wide utilization stats, shared by every ThreadPool in the process.
+Counter& pool_tasks_counter() {
+  static Counter& counter = StatsRegistry::instance().counter("pool.tasks");
+  return counter;
+}
+
+Histogram& pool_queue_wait_histogram() {
+  static Histogram& histogram =
+      StatsRegistry::instance().histogram("pool.queue_wait_ns");
+  return histogram;
+}
+
+Histogram& pool_task_histogram() {
+  static Histogram& histogram =
+      StatsRegistry::instance().histogram("pool.task_ns");
+  return histogram;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t workers) {
   if (workers == 0) {
     workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  busy_ns_ = std::make_unique<std::atomic<std::uint64_t>[]>(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    busy_ns_[i].store(0, std::memory_order_relaxed);
+  }
   threads_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -25,9 +55,13 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  QueuedTask entry{std::move(task), 0};
+  if (trace_enabled() || stats_enabled()) {
+    entry.enqueue_ns = trace_detail::now_ns();
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(entry));
     ++in_flight_;
   }
   task_ready_.notify_one();
@@ -95,9 +129,15 @@ void ThreadPool::parallel_blocks(
   if (sync.error) std::rethrow_exception(sync.error);
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t index) {
+  // Globally unique worker names: the trainer and the shared kernel pool
+  // may both own pools within one process.
+  static std::atomic<std::uint64_t> next_worker{1};
+  trace_set_thread_name(
+      "worker-" +
+      std::to_string(next_worker.fetch_add(1, std::memory_order_relaxed)));
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -108,7 +148,23 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    if (trace_enabled() || stats_enabled()) {
+      const std::uint64_t start = trace_detail::now_ns();
+      if (task.enqueue_ns != 0 && start > task.enqueue_ns) {
+        pool_queue_wait_histogram().record(start - task.enqueue_ns);
+      }
+      task.fn();
+      const std::uint64_t end = trace_detail::now_ns();
+      busy_ns_[index].fetch_add(end - start, std::memory_order_relaxed);
+      pool_tasks_counter().add();
+      pool_task_histogram().record(end - start);
+      if (trace_enabled()) {
+        trace_detail::record("pool.task", start, end, nullptr, 0.0, nullptr,
+                             0.0);
+      }
+    } else {
+      task.fn();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;

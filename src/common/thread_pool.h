@@ -11,10 +11,13 @@
 // concurrent calls from different threads are safe, and the first
 // exception thrown by the body is rethrown on the calling thread.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -52,11 +55,23 @@ class ThreadPool {
       std::size_t n, std::size_t blocks,
       const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
 
+  /// Nanoseconds worker `index` has spent running tasks. Only accumulated
+  /// while tracing or stats collection is enabled (zero otherwise).
+  std::uint64_t worker_busy_ns(std::size_t index) const noexcept {
+    return busy_ns_[index].load(std::memory_order_relaxed);
+  }
+
  private:
-  void worker_loop();
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::uint64_t enqueue_ns = 0;  // 0 when instrumentation was off at submit
+  };
+
+  void worker_loop(std::size_t index);
 
   std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> queue_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> busy_ns_;
+  std::deque<QueuedTask> queue_;
   std::mutex mutex_;
   std::condition_variable task_ready_;
   std::condition_variable all_done_;

@@ -1,0 +1,571 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace gcnt {
+
+namespace trace_detail {
+
+std::atomic<bool> enabled{false};
+
+namespace {
+
+constexpr std::size_t kDefaultRingCapacity = 1 << 16;
+
+struct Event {
+  const char* name;
+  std::uint64_t begin_ns;
+  std::uint64_t end_ns;
+  const char* key0;
+  const char* key1;
+  double value0;
+  double value1;
+};
+
+/// Fixed-capacity flight recorder owned by one thread; the mutex is only
+/// contended when the writer drains it (record() holds it for an append).
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<Event> ring;
+  std::size_t capacity = kDefaultRingCapacity;
+  std::uint64_t total = 0;    // appends ever; ring slot = total % capacity
+  std::uint64_t dropped = 0;  // overwritten (oldest-first) spans
+  std::uint32_t tid = 0;
+  std::string name;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::uint32_t next_tid = 1;
+  std::string exit_path;  // GCNT_TRACE target for the atexit writer
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+};
+
+Registry& registry() {
+  // Leaked: worker threads and atexit handlers may record/flush after
+  // static destruction has begun.
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+std::size_t ring_capacity_from_env() {
+  static const std::size_t value = [] {
+    const char* raw = std::getenv("GCNT_TRACE_BUFFER");
+    if (raw == nullptr || *raw == '\0') return kDefaultRingCapacity;
+    const unsigned long long parsed = std::strtoull(raw, nullptr, 10);
+    return parsed == 0 ? kDefaultRingCapacity
+                       : static_cast<std::size_t>(parsed);
+  }();
+  return value;
+}
+
+thread_local std::shared_ptr<ThreadBuffer> tl_buffer;
+thread_local std::string tl_pending_name;
+
+ThreadBuffer& this_thread_buffer() {
+  if (!tl_buffer) {
+    auto buffer = std::make_shared<ThreadBuffer>();
+    buffer->capacity = ring_capacity_from_env();
+    buffer->ring.reserve(std::min<std::size_t>(buffer->capacity, 1024));
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    buffer->tid = reg.next_tid++;
+    buffer->name = tl_pending_name.empty()
+                       ? "thread-" + std::to_string(buffer->tid)
+                       : tl_pending_name;
+    reg.buffers.push_back(buffer);
+    tl_buffer = std::move(buffer);
+  }
+  return *tl_buffer;
+}
+
+void write_json_escaped(std::ostream& out, const std::string& text) {
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out << buf;
+    } else {
+      out << c;
+    }
+  }
+}
+
+void write_event(std::ostream& out, const Event& event, std::uint32_t tid,
+                 bool& first) {
+  char ts[48];
+  char dur[48];
+  std::snprintf(ts, sizeof(ts), "%.3f",
+                static_cast<double>(event.begin_ns) / 1000.0);
+  std::snprintf(dur, sizeof(dur), "%.3f",
+                static_cast<double>(event.end_ns - event.begin_ns) / 1000.0);
+  out << (first ? "\n" : ",\n") << "{\"name\":\"";
+  first = false;
+  write_json_escaped(out, event.name);
+  out << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << tid << ",\"ts\":" << ts
+      << ",\"dur\":" << dur;
+  if (event.key0 != nullptr) {
+    out << ",\"args\":{\"";
+    write_json_escaped(out, event.key0);
+    char value[48];
+    std::snprintf(value, sizeof(value), "%.17g", event.value0);
+    out << "\":" << value;
+    if (event.key1 != nullptr) {
+      out << ",\"";
+      write_json_escaped(out, event.key1);
+      std::snprintf(value, sizeof(value), "%.17g", event.value1);
+      out << "\":" << value;
+    }
+    out << "}";
+  }
+  out << "}";
+}
+
+/// Drains every buffer (oldest span first per thread) into `path`.
+/// Callers must have recording disabled; buffers are cleared on success.
+bool write_and_clear(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> registry_lock(reg.mutex);
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  out << (first ? "\n" : ",\n")
+      << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"ts\":0,\"args\":{\"name\":\"gcnt\"}}";
+  first = false;
+  for (const auto& buffer : reg.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    out << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+        << buffer->tid << ",\"ts\":0,\"args\":{\"name\":\"";
+    write_json_escaped(out, buffer->name);
+    out << "\"}}";
+    const std::size_t stored = buffer->ring.size();
+    const std::size_t start =
+        stored < buffer->capacity
+            ? 0
+            : static_cast<std::size_t>(buffer->total % buffer->capacity);
+    for (std::size_t k = 0; k < stored; ++k) {
+      write_event(out, buffer->ring[(start + k) % stored], buffer->tid, first);
+    }
+    buffer->ring.clear();
+    buffer->total = 0;
+  }
+  out << "\n]}\n";
+  return out.good();
+}
+
+/// Applies GCNT_TRACE=<path> before main(): starts recording and writes
+/// the trace at process exit (unless trace_stop ran first).
+struct EnvInit {
+  EnvInit() {
+    const char* raw = std::getenv("GCNT_TRACE");
+    if (raw == nullptr || *raw == '\0') return;
+    registry().exit_path = raw;
+    enabled.store(true, std::memory_order_relaxed);
+    std::atexit([] {
+      if (!trace_enabled()) return;  // trace_stop already wrote it
+      std::string path;
+      {
+        Registry& reg = registry();
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        path = reg.exit_path;
+      }
+      if (trace_stop(path)) {
+        std::fprintf(stderr, "gcnt: wrote trace to %s\n", path.c_str());
+      } else {
+        std::fprintf(stderr, "gcnt: failed to write trace to %s\n",
+                     path.c_str());
+      }
+    });
+  }
+} env_init;
+
+}  // namespace
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - registry().epoch)
+          .count());
+}
+
+void record(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns,
+            const char* key0, double value0, const char* key1, double value1) {
+  ThreadBuffer& buffer = this_thread_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  const Event event{name, begin_ns, end_ns, key0, key1, value0, value1};
+  if (buffer.ring.size() < buffer.capacity) {
+    buffer.ring.push_back(event);
+  } else {
+    buffer.ring[static_cast<std::size_t>(buffer.total % buffer.capacity)] =
+        event;
+    ++buffer.dropped;
+  }
+  ++buffer.total;
+}
+
+}  // namespace trace_detail
+
+void trace_start() {
+  trace_detail::registry();  // pin the epoch before the first span
+  trace_detail::enabled.store(true, std::memory_order_relaxed);
+}
+
+bool trace_stop(const std::string& path) {
+  trace_detail::enabled.store(false, std::memory_order_relaxed);
+  return trace_detail::write_and_clear(path);
+}
+
+void trace_reset() {
+  trace_detail::Registry& reg = trace_detail::registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& buffer : reg.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->ring.clear();
+    buffer->total = 0;
+    buffer->dropped = 0;
+  }
+}
+
+void trace_set_thread_name(const std::string& name) {
+  trace_detail::tl_pending_name = name;
+  if (trace_detail::tl_buffer) {
+    std::lock_guard<std::mutex> lock(trace_detail::tl_buffer->mutex);
+    trace_detail::tl_buffer->name = name;
+  }
+}
+
+std::uint64_t trace_dropped_spans() {
+  trace_detail::Registry& reg = trace_detail::registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::uint64_t total = 0;
+  for (const auto& buffer : reg.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Trace-file validation (shared by tools/trace_check and the unit tests).
+// A minimal recursive-descent JSON parser: full syntax, no streaming.
+
+namespace {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool parse(JsonValue& out, std::string& error) {
+    if (!parse_value(out, error)) return false;
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      error = "trailing characters at offset " + std::to_string(pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool fail(std::string& error, const std::string& what) {
+    error = what + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  bool expect(char c, std::string& error) {
+    skip_whitespace();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return fail(error, std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, std::string& error) {
+    skip_whitespace();
+    if (pos_ >= text_.size()) return fail(error, "unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(out, error);
+    if (c == '[') return parse_array(out, error);
+    if (c == '"') {
+      out.type = JsonValue::Type::kString;
+      return parse_string(out.text, error);
+    }
+    if (c == 't' || c == 'f') return parse_keyword(out, error);
+    if (c == 'n') return parse_keyword(out, error);
+    return parse_number(out, error);
+  }
+
+  bool parse_keyword(JsonValue& out, std::string& error) {
+    const auto match = [&](const char* word) {
+      const std::size_t len = std::char_traits<char>::length(word);
+      if (text_.compare(pos_, len, word) != 0) return false;
+      pos_ += len;
+      return true;
+    };
+    if (match("true")) {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = true;
+      return true;
+    }
+    if (match("false")) {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = false;
+      return true;
+    }
+    if (match("null")) {
+      out.type = JsonValue::Type::kNull;
+      return true;
+    }
+    return fail(error, "invalid literal");
+  }
+
+  bool parse_number(JsonValue& out, std::string& error) {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    out.number = std::strtod(start, &end);
+    if (end == start) return fail(error, "invalid number");
+    pos_ += static_cast<std::size_t>(end - start);
+    out.type = JsonValue::Type::kNumber;
+    return true;
+  }
+
+  bool parse_string(std::string& out, std::string& error) {
+    if (!expect('"', error)) return false;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail(error, "bad \\u escape");
+            // Decoded code point is irrelevant for validation; keep ASCII.
+            out += '?';
+            pos_ += 4;
+            break;
+          }
+          default:
+            return fail(error, "bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return fail(error, "unterminated string");
+  }
+
+  bool parse_array(JsonValue& out, std::string& error) {
+    out.type = JsonValue::Type::kArray;
+    if (!expect('[', error)) return false;
+    skip_whitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      JsonValue element;
+      if (!parse_value(element, error)) return false;
+      out.array.push_back(std::move(element));
+      skip_whitespace();
+      if (pos_ >= text_.size()) return fail(error, "unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail(error, "expected ',' or ']'");
+    }
+  }
+
+  bool parse_object(JsonValue& out, std::string& error) {
+    out.type = JsonValue::Type::kObject;
+    if (!expect('{', error)) return false;
+    skip_whitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      std::string key;
+      if (!parse_string(key, error)) return false;
+      if (!expect(':', error)) return false;
+      JsonValue value;
+      if (!parse_value(value, error)) return false;
+      out.object.emplace_back(std::move(key), std::move(value));
+      skip_whitespace();
+      if (pos_ >= text_.size()) return fail(error, "unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        skip_whitespace();
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail(error, "expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+const JsonValue* require_field(const JsonValue& event, const char* key,
+                               JsonValue::Type type, std::size_t index,
+                               std::string& error) {
+  const JsonValue* field = event.find(key);
+  if (field == nullptr || field->type != type) {
+    error = "event " + std::to_string(index) + ": missing or mistyped \"" +
+            key + "\"";
+    return nullptr;
+  }
+  return field;
+}
+
+}  // namespace
+
+TraceValidation validate_trace_file(const std::string& path) {
+  TraceValidation result;
+  std::ifstream in(path);
+  if (!in) {
+    result.error = "cannot open " + path;
+    return result;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  JsonValue root;
+  JsonParser parser(text);
+  if (!parser.parse(root, result.error)) return result;
+
+  const JsonValue* events = nullptr;
+  if (root.type == JsonValue::Type::kArray) {
+    events = &root;  // Chrome also accepts a bare event array
+  } else if (root.type == JsonValue::Type::kObject) {
+    events = root.find("traceEvents");
+    if (events == nullptr || events->type != JsonValue::Type::kArray) {
+      result.error = "top-level object has no traceEvents array";
+      return result;
+    }
+  } else {
+    result.error = "top level is neither an object nor an array";
+    return result;
+  }
+
+  // Per-thread completion times: spans are appended when they end, so the
+  // file order within one tid must be non-decreasing in (ts + dur).
+  std::vector<std::pair<double, double>> last_end;  // (tid, end) pairs
+  std::set<double> span_tids;
+  std::set<std::string> span_names;
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& event = events->array[i];
+    if (event.type != JsonValue::Type::kObject) {
+      result.error = "event " + std::to_string(i) + " is not an object";
+      return result;
+    }
+    const JsonValue* ph =
+        require_field(event, "ph", JsonValue::Type::kString, i, result.error);
+    if (ph == nullptr) return result;
+    if (require_field(event, "name", JsonValue::Type::kString, i,
+                      result.error) == nullptr ||
+        require_field(event, "pid", JsonValue::Type::kNumber, i,
+                      result.error) == nullptr) {
+      return result;
+    }
+    const JsonValue* tid =
+        require_field(event, "tid", JsonValue::Type::kNumber, i, result.error);
+    if (tid == nullptr) return result;
+    if (ph->text != "X") continue;  // metadata and other phases: no timing
+
+    const JsonValue* ts =
+        require_field(event, "ts", JsonValue::Type::kNumber, i, result.error);
+    const JsonValue* dur =
+        require_field(event, "dur", JsonValue::Type::kNumber, i, result.error);
+    if (ts == nullptr || dur == nullptr) return result;
+    if (ts->number < 0.0 || dur->number < 0.0) {
+      result.error = "event " + std::to_string(i) + ": negative ts or dur";
+      return result;
+    }
+    const double end = ts->number + dur->number;
+    bool found = false;
+    for (auto& [known_tid, known_end] : last_end) {
+      if (known_tid == tid->number) {
+        found = true;
+        if (end + 1e-3 < known_end) {
+          result.error = "event " + std::to_string(i) +
+                         ": completion time regressed within tid " +
+                         std::to_string(static_cast<long long>(tid->number));
+          return result;
+        }
+        known_end = std::max(known_end, end);
+        break;
+      }
+    }
+    if (!found) last_end.emplace_back(tid->number, end);
+    span_tids.insert(tid->number);
+    span_names.insert(event.find("name")->text);
+    ++result.span_count;
+  }
+
+  result.thread_count = span_tids.size();
+  result.names.assign(span_names.begin(), span_names.end());
+  result.ok = true;
+  return result;
+}
+
+}  // namespace gcnt

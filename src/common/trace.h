@@ -1,0 +1,150 @@
+#pragma once
+// Scoped trace spans recorded into per-thread ring buffers and exported
+// as Chrome trace-event JSON (loadable in chrome://tracing or Perfetto).
+//
+// Recording is off by default. GCNT_TRACE=<path> (read once at startup)
+// starts it and registers an atexit writer to <path>; trace_start() /
+// trace_stop(path) do the same programmatically. A disabled TraceSpan is
+// one relaxed atomic load and a branch — the instrumented kernels pay
+// effectively nothing when tracing is off.
+//
+// Each recording thread owns a fixed-capacity ring buffer (default 65536
+// spans, GCNT_TRACE_BUFFER overrides); when it fills, the oldest spans are
+// overwritten and counted as dropped. Span names must be string literals
+// (the buffer stores the pointer, not a copy).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace gcnt {
+
+namespace trace_detail {
+extern std::atomic<bool> enabled;
+
+/// Nanoseconds on the steady clock since the process trace epoch.
+std::uint64_t now_ns() noexcept;
+
+/// Appends one completed span to the calling thread's ring buffer.
+/// `name` and the arg keys must be string literals; unused arg slots pass
+/// nullptr keys.
+void record(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns,
+            const char* key0, double value0, const char* key1, double value1);
+}  // namespace trace_detail
+
+/// True while spans are being recorded.
+inline bool trace_enabled() noexcept {
+  return trace_detail::enabled.load(std::memory_order_relaxed);
+}
+
+/// Starts recording spans (idempotent).
+void trace_start();
+
+/// Stops recording, writes everything recorded so far to `path` as Chrome
+/// trace-event JSON, and clears the buffers. Returns false on I/O failure.
+bool trace_stop(const std::string& path);
+
+/// Discards every recorded span without writing (buffers stay allocated).
+void trace_reset();
+
+/// Names the calling thread in trace output ("main", "worker-3", ...).
+/// Cheap; safe to call whether or not tracing is enabled.
+void trace_set_thread_name(const std::string& name);
+
+/// Spans dropped so far because a ring buffer wrapped.
+std::uint64_t trace_dropped_spans();
+
+/// RAII span: records [construction, destruction) on the calling thread.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) noexcept {
+    if (trace_enabled()) {
+      name_ = name;
+      begin_ = trace_detail::now_ns();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr && trace_enabled()) {
+      trace_detail::record(name_, begin_, trace_detail::now_ns(), keys_[0],
+                           values_[0], keys_[1], values_[1]);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches a numeric argument (at most two; `key` must be a literal).
+  void arg(const char* key, double value) noexcept {
+    if (name_ == nullptr) return;
+    if (keys_[0] == nullptr) {
+      keys_[0] = key;
+      values_[0] = value;
+    } else if (keys_[1] == nullptr) {
+      keys_[1] = key;
+      values_[1] = value;
+    }
+  }
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t begin_ = 0;
+  const char* keys_[2] = {nullptr, nullptr};
+  double values_[2] = {0.0, 0.0};
+};
+
+/// One clock pair feeding both the trace (a span) and the stats registry
+/// (kernel.<name>.calls / kernel.<name>.ns); active only when either
+/// subsystem is enabled.
+class InstrumentScope {
+ public:
+  InstrumentScope(const char* name, KernelStats& stats) noexcept
+      : name_(name), stats_(&stats) {
+    active_ = trace_enabled() || stats_enabled();
+    if (active_) begin_ = trace_detail::now_ns();
+  }
+  ~InstrumentScope() {
+    if (!active_) return;
+    const std::uint64_t end = trace_detail::now_ns();
+    if (stats_enabled()) {
+      stats_->calls.add();
+      stats_->latency_ns.record(end - begin_);
+    }
+    if (trace_enabled()) {
+      trace_detail::record(name_, begin_, end, nullptr, 0.0, nullptr, 0.0);
+    }
+  }
+  InstrumentScope(const InstrumentScope&) = delete;
+  InstrumentScope& operator=(const InstrumentScope&) = delete;
+
+ private:
+  const char* name_;
+  KernelStats* stats_;
+  std::uint64_t begin_ = 0;
+  bool active_ = false;
+};
+
+/// Standard per-kernel instrumentation: one span + calls/latency stats.
+///   void CsrMatrix::spmm(...) { GCNT_KERNEL_SCOPE("spmm"); ... }
+#define GCNT_KERNEL_SCOPE(name)                                      \
+  static ::gcnt::KernelStats& gcnt_kernel_stats_here_ =              \
+      ::gcnt::kernel_stats(name);                                    \
+  ::gcnt::InstrumentScope gcnt_kernel_scope_here_(name,              \
+                                                  gcnt_kernel_stats_here_)
+
+/// Structural validation of a Chrome trace-event JSON file, shared by
+/// tools/trace_check and the unit tests.
+struct TraceValidation {
+  bool ok = false;
+  std::string error;                 ///< first failure when !ok
+  std::size_t span_count = 0;        ///< "ph":"X" events
+  std::size_t thread_count = 0;      ///< distinct tids with at least 1 span
+  std::vector<std::string> names;    ///< distinct span names, sorted
+};
+
+/// Checks that `path` parses as JSON, has a traceEvents array, every span
+/// carries name/ph/pid/tid/ts/dur with dur >= 0, and per-thread span
+/// completion times (ts + dur) are monotonically non-decreasing.
+TraceValidation validate_trace_file(const std::string& path);
+
+}  // namespace gcnt

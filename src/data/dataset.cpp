@@ -3,11 +3,14 @@
 #include <algorithm>
 
 #include "common/rng.h"
+#include "common/trace.h"
 #include "gen/generator.h"
 
 namespace gcnt {
 
 Dataset make_dataset(Netlist netlist, const LabelerOptions& options) {
+  TraceSpan span("dataset.build");
+  span.arg("nodes", static_cast<double>(netlist.size()));
   Dataset dataset;
   dataset.netlist = std::move(netlist);
   dataset.scoap = compute_scoap(dataset.netlist);

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/rng.h"
+#include "common/trace.h"
 #include "sim/fault_sim.h"
 #include "sim/logic_sim.h"
 
@@ -19,6 +20,9 @@ bool labelable(const Netlist& netlist, NodeId v) {
 
 std::vector<std::int32_t> label_empirical(const Netlist& netlist,
                                           const LabelerOptions& options) {
+  TraceSpan span("label.empirical");
+  span.arg("nodes", static_cast<double>(netlist.size()));
+  span.arg("batches", static_cast<double>(options.batches));
   LogicSimulator sim(netlist);
   FaultSimulator probe(sim);
   Rng rng(options.seed);
@@ -26,6 +30,7 @@ std::vector<std::int32_t> label_empirical(const Netlist& netlist,
   std::vector<std::uint32_t> observed(netlist.size(), 0);
   std::vector<std::uint64_t> values;
   for (std::size_t b = 0; b < options.batches; ++b) {
+    TraceSpan batch_span("fault_sim.observe");
     sim.simulate(sim.random_batch(rng), values);
     for (NodeId v = 0; v < netlist.size(); ++v) {
       if (!labelable(netlist, v)) continue;

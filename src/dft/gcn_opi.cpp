@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "common/trace.h"
 #include "dft/impact.h"
 #include "gcn/graph_tensors.h"
 #include "scoap/scoap.h"
@@ -40,6 +41,11 @@ bool valid_target(const Netlist& netlist, NodeId v) {
 OpiResult run_gcn_opi(Netlist& netlist,
                       const std::vector<const GcnModel*>& stages,
                       const GcnOpiOptions& options) {
+  GCNT_KERNEL_SCOPE("opi.run");
+  static Counter& iterations_counter =
+      StatsRegistry::instance().counter("opi.iterations");
+  static Counter& inserted_counter =
+      StatsRegistry::instance().counter("opi.inserted_points");
   ScoapMeasures scoap = compute_scoap(netlist);
   std::vector<std::uint32_t> levels = netlist.logic_levels();
   GraphTensors tensors = build_graph_tensors(netlist, scoap, levels);
@@ -48,6 +54,8 @@ OpiResult run_gcn_opi(Netlist& netlist,
   OpiResult result;
   for (std::size_t iteration = 0; iteration < options.max_iterations;
        ++iteration) {
+    TraceSpan iteration_span("opi.iteration");
+    iterations_counter.add();
     const auto predictions = predict_cascade(stages, tensors);
     std::vector<NodeId> candidates;
     for (NodeId v = 0; v < predictions.size(); ++v) {
@@ -93,6 +101,9 @@ OpiResult run_gcn_opi(Netlist& netlist,
       ++inserted;
     }
     tensors.rebuild_csr();
+    iteration_span.arg("positives", static_cast<double>(candidates.size()));
+    iteration_span.arg("inserted", static_cast<double>(inserted));
+    inserted_counter.add(inserted);
     log_info("gcn-opi iteration ", iteration + 1, ": ", candidates.size(),
              " positives, inserted ", inserted, " OPs");
   }

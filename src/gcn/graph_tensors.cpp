@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/trace.h"
+
 namespace gcnt {
 
 float transform_feature(double raw) noexcept {
@@ -33,6 +35,7 @@ void GraphTensors::standardize_features() {
 }
 
 void GraphTensors::rebuild_csr() {
+  GCNT_KERNEL_SCOPE("graph.rebuild_csr");
   // Keep shapes square and in sync with the feature rows even when a node
   // has no fanin/fanout entries yet.
   const auto n = static_cast<std::uint32_t>(features.rows());
@@ -49,6 +52,8 @@ void GraphTensors::rebuild_csr() {
 GraphTensors build_graph_tensors(const Netlist& netlist,
                                  const ScoapMeasures& scoap,
                                  const std::vector<std::uint32_t>& levels) {
+  TraceSpan span("graph.build_tensors");
+  span.arg("nodes", static_cast<double>(netlist.size()));
   GraphTensors tensors;
   const std::size_t n = netlist.size();
   tensors.features.resize(n, kNodeFeatureDim);

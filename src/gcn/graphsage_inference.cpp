@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/parallel.h"
+#include "common/trace.h"
 #include "gcn/vec_ops.h"
 
 namespace gcnt {
@@ -69,6 +70,7 @@ std::vector<float> GraphSageInference::infer_node(NodeId v) {
 }
 
 Matrix GraphSageInference::infer_all() {
+  GCNT_KERNEL_SCOPE("graphsage.infer_all");
   Matrix logits(netlist_->size(), model_->config().num_classes);
   parallel_blocks(
       netlist_->size(), kMinParallelNodes,

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/trace.h"
+
 namespace gcnt {
 
 GcnModel::GcnModel(const GcnConfig& config)
@@ -29,6 +31,8 @@ GcnModel::GcnModel(const GcnConfig& config)
 }
 
 Matrix GcnModel::run_forward(const GraphTensors& graph, Cache* cache) const {
+  TraceSpan span(cache ? "gcn.forward" : "gcn.infer");
+  span.arg("nodes", static_cast<double>(graph.node_count()));
   const float wp = w_pr();
   const float ws = w_su();
 
@@ -95,6 +99,7 @@ Matrix GcnModel::infer(const GraphTensors& graph) const {
 }
 
 void GcnModel::backward(const GraphTensors& graph, const Matrix& dlogits) {
+  TraceSpan span("gcn.backward");
   if (cache_.fc_inputs.size() != fc_.size()) {
     throw std::logic_error("GcnModel::backward without matching forward");
   }

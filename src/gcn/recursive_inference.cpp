@@ -1,6 +1,7 @@
 #include "gcn/recursive_inference.h"
 
 #include "common/parallel.h"
+#include "common/trace.h"
 #include "gcn/vec_ops.h"
 
 namespace gcnt {
@@ -43,6 +44,7 @@ std::vector<float> RecursiveInference::infer_node(NodeId v) const {
 }
 
 Matrix RecursiveInference::infer_all() const {
+  GCNT_KERNEL_SCOPE("recursive.infer_all");
   Matrix logits(netlist_->size(), model_->config().num_classes);
   // Per-node recursions are independent const reads; rows are disjoint, so
   // the result is bitwise identical for any thread count.

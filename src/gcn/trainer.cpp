@@ -5,8 +5,8 @@
 #include <stdexcept>
 
 #include "common/metrics.h"
-
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "nn/optimizer.h"
 
 namespace gcnt {
@@ -74,7 +74,13 @@ std::vector<EpochRecord> Trainer::train(
   std::vector<EpochRecord> history;
   history.reserve(options_.epochs);
 
+  static Counter& epochs_counter =
+      StatsRegistry::instance().counter("train.epochs");
   for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    TraceSpan epoch_span("train.epoch");
+    epoch_span.arg("epoch", static_cast<double>(epoch));
+    epoch_span.arg("graphs", static_cast<double>(train_graphs.size()));
+    epochs_counter.add();
     std::vector<double> losses(train_graphs.size(), 0.0);
 
     // Process graphs in waves of `replica_count`.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/trace.h"
+
 namespace gcnt {
 
 namespace {
@@ -186,6 +188,7 @@ void compute_observability(const Netlist& netlist, ScoapMeasures& measures) {
 }
 
 ScoapMeasures compute_scoap(const Netlist& netlist) {
+  GCNT_KERNEL_SCOPE("scoap.full");
   ScoapMeasures measures;
   compute_controllability(netlist, measures);
   compute_observability(netlist, measures);

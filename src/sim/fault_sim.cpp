@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "common/parallel.h"
+#include "common/trace.h"
 #include "sim/gate_eval.h"
 
 namespace gcnt {
@@ -108,6 +109,10 @@ ParallelFaultSimulator::ParallelFaultSimulator(const LogicSimulator& sim)
 std::size_t ParallelFaultSimulator::run_batch(
     const PatternBatch& batch, const std::vector<Fault>& faults,
     std::vector<bool>& detected, std::vector<std::uint64_t>& words) {
+  GCNT_KERNEL_SCOPE("fault_sim.batch");
+  static Counter& faults_counter =
+      StatsRegistry::instance().counter("fault_sim.faults_simulated");
+  faults_counter.add(faults.size());
   sim_->simulate(batch, good_);
   words.assign(faults.size(), 0);
 

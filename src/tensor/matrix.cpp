@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/parallel.h"
+#include "common/trace.h"
 
 namespace gcnt {
 
@@ -48,6 +49,7 @@ float Matrix::dot(const Matrix& other) const {
 
 void gemm(const Matrix& a, const Matrix& b, Matrix& out, bool transpose_a,
           bool transpose_b, float alpha, float beta) {
+  GCNT_KERNEL_SCOPE("gemm");
   const std::size_t m = transpose_a ? a.cols() : a.rows();
   const std::size_t k = transpose_a ? a.rows() : a.cols();
   const std::size_t kb = transpose_b ? b.cols() : b.rows();

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/parallel.h"
+#include "common/trace.h"
 
 namespace gcnt {
 
@@ -42,6 +43,7 @@ void count_occurrences(const std::vector<std::uint32_t>& index,
 }  // namespace
 
 CsrMatrix CsrMatrix::from_coo(const CooMatrix& coo) {
+  GCNT_KERNEL_SCOPE("csr_build");
   CsrMatrix csr;
   csr.rows_ = coo.rows;
   csr.cols_ = coo.cols;
@@ -96,6 +98,7 @@ CsrMatrix CsrMatrix::from_coo(const CooMatrix& coo) {
 
 void CsrMatrix::spmm(const Matrix& dense, Matrix& out, float alpha,
                      float beta) const {
+  GCNT_KERNEL_SCOPE("spmm");
   if (dense.rows() != cols_) {
     throw std::invalid_argument("spmm: dimension mismatch");
   }
@@ -134,6 +137,7 @@ void CsrMatrix::spmm(const Matrix& dense, Matrix& out, float alpha,
 }
 
 CsrMatrix CsrMatrix::transpose() const {
+  GCNT_KERNEL_SCOPE("csr_transpose");
   CsrMatrix t;
   t.rows_ = cols_;
   t.cols_ = rows_;

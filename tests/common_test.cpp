@@ -3,11 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
 
+#include "common/log.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/rng.h"
@@ -294,6 +296,71 @@ TEST(Metrics, DegenerateEmpty) {
   const auto cm = evaluate_binary({}, {});
   EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
   EXPECT_DOUBLE_EQ(cm.f1(), 0.0);
+}
+
+TEST(Metrics, DegenerateAllNegativePredictionsReturnZeroNotNan) {
+  // No predicted positives: precision's denominator is zero; with positives
+  // in the labels, recall is a true 0; f1 must then be 0, never NaN.
+  const std::vector<std::int32_t> predictions{0, 0, 0, 0};
+  const std::vector<std::int32_t> labels{1, 0, 1, 0};
+  const auto cm = evaluate_binary(predictions, labels);
+  EXPECT_DOUBLE_EQ(cm.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.f1(), 0.0);
+  EXPECT_FALSE(std::isnan(cm.precision()));
+  EXPECT_FALSE(std::isnan(cm.f1()));
+}
+
+TEST(Metrics, DegenerateNoActualPositives) {
+  // All-negative labels and predictions: recall's denominator is zero.
+  const std::vector<std::int32_t> predictions{0, 0, 0};
+  const std::vector<std::int32_t> labels{0, 0, 0};
+  const auto cm = evaluate_binary(predictions, labels);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.f1(), 0.0);
+}
+
+TEST(Log, ParseLogLevel) {
+  EXPECT_EQ(parse_log_level("debug", LogLevel::kOff), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO", LogLevel::kOff), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warning", LogLevel::kOff), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error", LogLevel::kOff), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("none", LogLevel::kWarn), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("0", LogLevel::kOff), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("4", LogLevel::kWarn), LogLevel::kOff);
+  // Garbage, empty, and null all fall back.
+  EXPECT_EQ(parse_log_level("verbose", LogLevel::kWarn), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("", LogLevel::kError), LogLevel::kError);
+  EXPECT_EQ(parse_log_level(nullptr, LogLevel::kInfo), LogLevel::kInfo);
+}
+
+TEST(Log, ConcurrentLinesNeverShear) {
+  const LogLevel saved = log_level();
+  log_level() = LogLevel::kInfo;
+  std::ostringstream captured;
+  std::streambuf* old_buf = std::cerr.rdbuf(captured.rdbuf());
+  {
+    ThreadPool pool(8);
+    pool.parallel_for(400, [](std::size_t i) {
+      log_info("msg-", i, "-payload");
+    });
+  }
+  std::cerr.rdbuf(old_buf);
+  log_level() = saved;
+
+  // Every captured line must be a whole "[INFO ] msg-<i>-payload" record;
+  // interleaved writes would split or merge lines.
+  std::istringstream lines(captured.str());
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.rfind("[INFO ] msg-", 0), 0u) << line;
+    EXPECT_EQ(line.substr(line.size() - 8), "-payload") << line;
+    ++count;
+  }
+  EXPECT_EQ(count, 400u);
 }
 
 TEST(Timer, MeasuresElapsed) {

@@ -1,0 +1,324 @@
+// Observability layer: stats registry (counters/gauges/histograms),
+// trace spans + Chrome trace-event export, and their interaction with the
+// kernel pool.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/stats.h"
+#include "common/trace.h"
+#include "tensor/matrix.h"
+#include "tensor/sparse.h"
+
+namespace gcnt {
+namespace {
+
+/// Enables stats for one scope and restores the previous state after.
+struct StatsEnabledScope {
+  explicit StatsEnabledScope(bool on = true) : was_(stats_enabled()) {
+    set_stats_enabled(on);
+  }
+  ~StatsEnabledScope() { set_stats_enabled(was_); }
+  bool was_;
+};
+
+TEST(Histogram, BucketBoundaries) {
+  // Bucket 0 = {0}; bucket i >= 1 = [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(Histogram::bucket_index(7), 3u);
+  EXPECT_EQ(Histogram::bucket_index(8), 4u);
+  EXPECT_EQ(Histogram::bucket_index((1ull << 38)), 39u);
+  // Values past the last boundary clamp into the final bucket.
+  EXPECT_EQ(Histogram::bucket_index(~0ull), Histogram::kBucketCount - 1);
+
+  EXPECT_EQ(Histogram::bucket_lower_bound(0), 0u);
+  EXPECT_EQ(Histogram::bucket_lower_bound(1), 1u);
+  EXPECT_EQ(Histogram::bucket_lower_bound(2), 2u);
+  EXPECT_EQ(Histogram::bucket_lower_bound(3), 4u);
+  for (std::size_t i = 1; i + 1 < Histogram::kBucketCount; ++i) {
+    // Lower bound of bucket i is the first value that maps to it.
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_lower_bound(i)), i);
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_lower_bound(i + 1) - 1),
+              i);
+  }
+}
+
+TEST(Histogram, RecordMinMaxSumReset) {
+  StatsEnabledScope stats_on;
+  Histogram h;
+  EXPECT_EQ(h.min(), 0u);  // empty convention
+  h.record(5);
+  h.record(0);
+  h.record(100);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 105u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_EQ(h.bucket_count(0), 1u);                            // the zero
+  EXPECT_EQ(h.bucket_count(Histogram::bucket_index(5)), 1u);   // 5
+  EXPECT_EQ(h.bucket_count(Histogram::bucket_index(100)), 1u); // 100
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, DisabledRecordIsIgnored) {
+  StatsEnabledScope stats_off(false);
+  Histogram h;
+  h.record(42);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Counter, AddResetAndOverflowWrap) {
+  StatsEnabledScope stats_on;
+  Counter c;
+  c.add();
+  c.add(9);
+  EXPECT_EQ(c.value(), 10u);
+  // Documented convention: wraps modulo 2^64.
+  c.add(~std::uint64_t{0});
+  EXPECT_EQ(c.value(), 9u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+  set_stats_enabled(false);
+  c.add(5);
+  EXPECT_EQ(c.value(), 0u);  // gated off
+}
+
+TEST(StatsRegistry, StableReferencesAndSortedSnapshot) {
+  StatsEnabledScope stats_on;
+  StatsRegistry& registry = StatsRegistry::instance();
+  Counter& a = registry.counter("test.zzz");
+  Counter& b = registry.counter("test.aaa");
+  EXPECT_EQ(&a, &registry.counter("test.zzz"));
+  a.reset();
+  b.reset();
+  a.add(2);
+  b.add(3);
+  registry.gauge("test.gauge").set(-7);
+  registry.histogram("test.hist").record(16);
+
+  const StatsSnapshot snap = registry.snapshot();
+  // Names are sorted, so "test.aaa" precedes "test.zzz".
+  std::size_t index_aaa = snap.counters.size(), index_zzz = snap.counters.size();
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    if (snap.counters[i].first == "test.aaa") index_aaa = i;
+    if (snap.counters[i].first == "test.zzz") index_zzz = i;
+  }
+  ASSERT_LT(index_aaa, snap.counters.size());
+  ASSERT_LT(index_zzz, snap.counters.size());
+  EXPECT_LT(index_aaa, index_zzz);
+  EXPECT_EQ(snap.counters[index_aaa].second, 3u);
+  EXPECT_EQ(snap.counters[index_zzz].second, 2u);
+
+  bool saw_gauge = false;
+  for (const auto& [name, value] : snap.gauges) {
+    if (name == "test.gauge") {
+      saw_gauge = true;
+      EXPECT_EQ(value, -7);
+    }
+  }
+  EXPECT_TRUE(saw_gauge);
+
+  std::ostringstream text;
+  registry.write_text(text);
+  EXPECT_NE(text.str().find("counter test.aaa 3"), std::string::npos);
+  std::ostringstream json;
+  registry.write_json(json);
+  EXPECT_NE(json.str().find("\"test.aaa\": 3"), std::string::npos);
+
+  registry.reset();
+  EXPECT_EQ(registry.counter("test.aaa").value(), 0u);
+  EXPECT_EQ(registry.histogram("test.hist").count(), 0u);
+}
+
+TEST(KernelStatsApi, CachedPairUpdatesRegistry) {
+  StatsEnabledScope stats_on;
+  KernelStats& stats = kernel_stats("unit_test_kernel");
+  EXPECT_EQ(&stats, &kernel_stats("unit_test_kernel"));
+  stats.calls.reset();
+  {
+    GCNT_KERNEL_SCOPE("unit_test_kernel");
+  }
+  EXPECT_EQ(StatsRegistry::instance()
+                .counter("kernel.unit_test_kernel.calls")
+                .value(),
+            1u);
+  EXPECT_GE(StatsRegistry::instance()
+                .histogram("kernel.unit_test_kernel.ns")
+                .count(),
+            1u);
+}
+
+TEST(KernelStatsApi, DisabledScopeRecordsNothing) {
+  StatsEnabledScope stats_off(false);
+  KernelStats& stats = kernel_stats("unit_test_kernel_off");
+  stats.calls.reset();
+  {
+    GCNT_KERNEL_SCOPE("unit_test_kernel_off");
+  }
+  EXPECT_EQ(stats.calls.value(), 0u);
+}
+
+TEST(Trace, ConcurrentSpansFromPoolWorkersProduceValidFile) {
+  const std::string path = "observability_concurrent_trace.json";
+  set_kernel_threads(8);
+  trace_reset();
+  trace_start();
+  // 1024 indices, min_parallel 1 -> 8 blocks; the caller runs block 0 and
+  // the pool workers run the other 7, so spans land on several threads.
+  for (int round = 0; round < 4; ++round) {
+    parallel_blocks(1024, 1, [](std::size_t begin, std::size_t end) {
+      TraceSpan span("test.block");
+      span.arg("size", static_cast<double>(end - begin));
+      volatile std::size_t sink = 0;
+      for (std::size_t i = begin; i < end; ++i) sink += i;
+    });
+  }
+  ASSERT_TRUE(trace_stop(path));
+  set_kernel_threads(0);
+
+  const TraceValidation result = validate_trace_file(path);
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_GE(result.span_count, 32u);
+  EXPECT_GE(result.thread_count, 2u);
+  bool saw_block = false, saw_pool_task = false;
+  for (const std::string& name : result.names) {
+    saw_block |= name == "test.block";
+    saw_pool_task |= name == "pool.task";
+  }
+  EXPECT_TRUE(saw_block);
+  EXPECT_TRUE(saw_pool_task);
+
+  // Span args survive the round trip.
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("\"args\":{\"size\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, DisabledSpansRecordNothing) {
+  const std::string path = "observability_disabled_trace.json";
+  trace_reset();
+  {
+    TraceSpan span("test.should_not_appear");
+    span.arg("x", 1.0);
+  }
+  ASSERT_TRUE(trace_stop(path));  // writes whatever was recorded: nothing
+  const TraceValidation result = validate_trace_file(path);
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.span_count, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, ValidatorRejectsMalformedFiles) {
+  EXPECT_FALSE(validate_trace_file("no_such_file_12345.json").ok);
+
+  const std::string path = "observability_bad_trace.json";
+  {
+    std::ofstream out(path);
+    out << "{\"traceEvents\":[{\"name\":\"x\"}]}";  // missing ph/pid/tid
+  }
+  EXPECT_FALSE(validate_trace_file(path).ok);
+  {
+    std::ofstream out(path);
+    out << "not json at all";
+  }
+  EXPECT_FALSE(validate_trace_file(path).ok);
+  {
+    // Regressing completion times within one tid must be rejected.
+    std::ofstream out(path);
+    out << "{\"traceEvents\":["
+           "{\"name\":\"a\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":100,"
+           "\"dur\":50},"
+           "{\"name\":\"b\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":10,"
+           "\"dur\":5}]}";
+  }
+  EXPECT_FALSE(validate_trace_file(path).ok);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, RingBufferDropsOldestAndCounts) {
+  trace_reset();
+  trace_start();
+  // Default ring capacity is 65536 per thread; push past it.
+  for (int i = 0; i < 70000; ++i) {
+    TraceSpan span("test.flood");
+  }
+  EXPECT_GT(trace_dropped_spans(), 0u);
+  trace_reset();
+  EXPECT_EQ(trace_dropped_spans(), 0u);
+  const std::string path = "observability_flood_trace.json";
+  ASSERT_TRUE(trace_stop(path));
+  std::remove(path.c_str());
+}
+
+/// Counter values and histogram *counts* (sums are wall-clock-derived)
+/// from two identical single-threaded runs must match exactly.
+TEST(Stats, SnapshotDeterministicUnderSingleThreadPool) {
+  StatsEnabledScope stats_on;
+  set_kernel_threads(1);
+
+  const auto run_workload = [] {
+    StatsRegistry::instance().reset();
+    CooMatrix coo(64, 64);
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      coo.add(i, (i * 7 + 3) % 64, 1.0f);
+      coo.add(i, i, 0.5f);
+    }
+    const CsrMatrix csr = CsrMatrix::from_coo(coo);
+    Matrix dense(64, 8, 0.25f);
+    Matrix out;
+    for (int rep = 0; rep < 5; ++rep) csr.spmm(dense, out);
+    return StatsRegistry::instance().snapshot();
+  };
+
+  const StatsSnapshot first = run_workload();
+  const StatsSnapshot second = run_workload();
+
+  ASSERT_EQ(first.counters.size(), second.counters.size());
+  for (std::size_t i = 0; i < first.counters.size(); ++i) {
+    EXPECT_EQ(first.counters[i].first, second.counters[i].first);
+    EXPECT_EQ(first.counters[i].second, second.counters[i].second)
+        << first.counters[i].first;
+  }
+  ASSERT_EQ(first.histograms.size(), second.histograms.size());
+  for (std::size_t i = 0; i < first.histograms.size(); ++i) {
+    EXPECT_EQ(first.histograms[i].name, second.histograms[i].name);
+    EXPECT_EQ(first.histograms[i].count, second.histograms[i].count)
+        << first.histograms[i].name;
+  }
+  EXPECT_EQ(StatsRegistry::instance()
+                .counter("kernel.spmm.calls")
+                .value(),
+            5u);
+
+  set_kernel_threads(0);
+  StatsRegistry::instance().reset();
+}
+
+TEST(KernelPool, PublishedGaugesCoverEveryWorker) {
+  StatsEnabledScope stats_on;
+  set_kernel_threads(2);
+  parallel_blocks(1024, 1, [](std::size_t, std::size_t) {});
+  publish_kernel_pool_stats();
+  EXPECT_EQ(StatsRegistry::instance().gauge("pool.workers").value(), 2);
+  set_kernel_threads(0);
+  StatsRegistry::instance().reset();
+}
+
+}  // namespace
+}  // namespace gcnt

@@ -6,12 +6,14 @@
 //   bench_gate <baseline.json> <current.json> [max_regression] [key_prefix]
 //
 // max_regression defaults to 0.25 (fail when current < 75% of baseline);
-// key_prefix defaults to "BM_Spmm" so only the SpMM throughput entries
-// gate the job — other entries are reported for context but never fail.
-// Keys are "<benchmark name>.items_per_second" (higher is better); keys
-// ending in ".real_time_ns" compare inverted (lower is better). Baseline
-// keys missing from the current run are skipped with a note, so a filtered
-// CI run gates only what it measured.
+// key_prefix defaults to "BM_Spmm" and may be a comma-separated list
+// ("BM_Spmm,BM_EncoderGemm,BM_CooToCsr") for a per-kernel breakdown —
+// entries matching none of the prefixes are reported for context but
+// never fail. Keys are "<benchmark name>.items_per_second" (higher is
+// better); keys ending in ".real_time_ns" compare inverted (lower is
+// better). Keys starting with "schema." are metadata, never compared.
+// Baseline keys missing from the current run are skipped with a note, so
+// a filtered CI run gates only what it measured.
 
 #include <cctype>
 #include <cstdlib>
@@ -20,6 +22,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace {
 
@@ -63,6 +66,27 @@ bool lower_is_better(const std::string& key) {
          key.compare(key.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
+std::vector<std::string> split_prefixes(const std::string& list) {
+  std::vector<std::string> prefixes;
+  std::size_t begin = 0;
+  while (begin <= list.size()) {
+    const std::size_t comma = list.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > begin) prefixes.push_back(list.substr(begin, end - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return prefixes;
+}
+
+bool matches_any(const std::string& key,
+                 const std::vector<std::string>& prefixes) {
+  for (const std::string& prefix : prefixes) {
+    if (key.compare(0, prefix.size(), prefix) == 0) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -72,7 +96,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   const double max_regression = argc > 3 ? std::atof(argv[3]) : 0.25;
-  const std::string gate_prefix = argc > 4 ? argv[4] : "BM_Spmm";
+  const std::vector<std::string> gate_prefixes =
+      split_prefixes(argc > 4 ? argv[4] : "BM_Spmm");
 
   std::map<std::string, double> baseline;
   std::map<std::string, double> current;
@@ -84,6 +109,7 @@ int main(int argc, char** argv) {
   int failures = 0;
   std::size_t gated = 0;
   for (const auto& [key, base_value] : baseline) {
+    if (key.compare(0, 7, "schema.") == 0) continue;  // format metadata
     const auto it = current.find(key);
     if (it == current.end()) {
       std::cout << "skip  " << key << " (not in current run)\n";
@@ -93,7 +119,7 @@ int main(int argc, char** argv) {
     // Normalize to "higher is better" for a single comparison path.
     const double ratio = lower_is_better(key) ? base_value / it->second
                                               : it->second / base_value;
-    const bool gates = key.compare(0, gate_prefix.size(), gate_prefix) == 0;
+    const bool gates = matches_any(key, gate_prefixes);
     const bool regressed = ratio < 1.0 - max_regression;
     gated += gates ? 1 : 0;
     std::cout << (regressed ? (gates ? "FAIL  " : "warn  ") : "ok    ")
@@ -102,7 +128,8 @@ int main(int argc, char** argv) {
     if (gates && regressed) ++failures;
   }
   if (gated == 0) {
-    std::cerr << "bench_gate: no gated keys (prefix '" << gate_prefix
+    std::cerr << "bench_gate: no gated keys (prefixes '"
+              << (argc > 4 ? argv[4] : "BM_Spmm")
               << "') were compared — treating as failure\n";
     return 1;
   }

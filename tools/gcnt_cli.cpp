@@ -7,6 +7,12 @@
 //   gcnt atpg     design.bench [--sample N] [--patterns out.txt]
 //   gcnt train    design.bench --model model.txt [--epochs E]
 //   gcnt opi      design.bench --model model.txt --out modified.bench
+//   gcnt flow     [design.bench] [--gates N] [--epochs E] [--atpg]
+//
+// Global observability flags (any command): --trace out.json writes a
+// Chrome trace-event file, --stats prints the stats registry to stderr,
+// --stats-json out.json writes it as JSON. GCNT_TRACE / GCNT_STATS do the
+// same via the environment.
 //
 // Netlist files ending in .v are read/written as structural Verilog,
 // anything else as ISCAS .bench.
@@ -22,7 +28,10 @@
 #include "atpg/atpg.h"
 #include "sim/logic_sim.h"
 #include "common/metrics.h"
+#include "common/parallel.h"
+#include "common/stats.h"
 #include "common/table.h"
+#include "common/trace.h"
 #include "data/dataset.h"
 #include "dft/gcn_opi.h"
 #include "gcn/serialize.h"
@@ -239,6 +248,70 @@ int cmd_opi(const Args& args) {
   return 0;
 }
 
+// End-to-end pipeline in one process: generate (or read) -> SCOAP ->
+// label -> train a small cascade stage -> GCN-OPI -> optional ATPG.
+// Primarily an observability driver: with --trace one run produces spans
+// for every hot path in the library.
+int cmd_flow(const Args& args) {
+  Netlist netlist;
+  if (!args.positional.empty()) {
+    netlist = read_netlist_file(args.positional.at(0));
+  } else {
+    GeneratorConfig config;
+    config.target_gates = args.get_size("gates", 25000);
+    config.seed = args.get_size("seed", 1);
+    config.flip_flops = config.target_gates / 24;
+    netlist = generate_circuit(config);
+    std::cout << "generated " << netlist.size() << " nodes / "
+              << netlist.edge_count() << " edges\n";
+  }
+
+  LabelerOptions labeler;
+  labeler.batches = args.get_size("batches", 4);
+  Dataset dataset = make_dataset(std::move(netlist), labeler);
+  dataset.tensors.standardize_features();
+  std::cout << "labeled " << dataset.positives() << " positives of "
+            << dataset.netlist.size() << " nodes\n";
+
+  GcnConfig config;
+  config.embed_dims = {32, 64, 128};
+  config.fc_dims = {64, 64, 128};
+  GcnModel model(config);
+  TrainerOptions train_options;
+  train_options.epochs = args.get_size("epochs", 8);
+  train_options.learning_rate = 1e-2f;
+  train_options.eval_interval = std::max<std::size_t>(
+      1, train_options.epochs / 2);
+  Trainer trainer(model, train_options);
+  const TrainGraph data{&dataset.tensors, {}};
+  const auto history = trainer.train({data}, nullptr);
+  std::cout << "trained " << history.size() << " epochs, final loss "
+            << Table::num(history.back().loss, 4) << "\n";
+
+  GcnOpiOptions opi_options;
+  opi_options.max_iterations = args.get_size("iterations", 2);
+  const auto result = run_gcn_opi(dataset.netlist, {&model}, opi_options);
+  std::cout << "inserted " << result.inserted.size()
+            << " observation points in " << result.iterations
+            << " iterations\n";
+
+  if (args.has("atpg")) {
+    AtpgOptions atpg_options;
+    atpg_options.fault_sample = args.get_size("sample", 512);
+    const AtpgResult atpg_result = run_atpg(dataset.netlist, atpg_options);
+    std::cout << "atpg: " << atpg_result.detected_faults << "/"
+              << atpg_result.total_faults << " faults detected with "
+              << atpg_result.pattern_count << " patterns\n";
+  }
+
+  if (args.has("out")) {
+    const std::string out = args.get("out", "modified.bench");
+    write_netlist_file(dataset.netlist, out);
+    std::cout << "wrote modified netlist to " << out << "\n";
+  }
+  return 0;
+}
+
 int usage() {
   std::cerr << "usage: gcnt <command> [args]\n"
             << "  generate --gates N --seed S --out design.bench\n"
@@ -248,8 +321,23 @@ int usage() {
             << "  atpg     <netlist> [--sample N]\n"
             << "  train    <netlist> --model model.txt [--epochs E]\n"
             << "  opi      <netlist> --model model.txt --out out.bench\n"
+            << "  flow     [<netlist>] [--gates N] [--epochs E] [--atpg]\n"
+            << "global flags: --trace out.json | --stats | --stats-json "
+               "out.json\n"
             << "netlists ending in .v are treated as structural Verilog\n";
   return 2;
+}
+
+int dispatch(const Args& args) {
+  if (args.command == "generate") return cmd_generate(args);
+  if (args.command == "stats") return cmd_stats(args);
+  if (args.command == "scoap") return cmd_scoap(args);
+  if (args.command == "label") return cmd_label(args);
+  if (args.command == "atpg") return cmd_atpg(args);
+  if (args.command == "train") return cmd_train(args);
+  if (args.command == "opi") return cmd_opi(args);
+  if (args.command == "flow") return cmd_flow(args);
+  return usage();
 }
 
 }  // namespace
@@ -271,17 +359,39 @@ int main(int argc, char** argv) {
     }
   }
 
+  const std::string trace_path = args.get("trace", "");
+  trace_set_thread_name("main");
+  if (!trace_path.empty()) trace_start();
+  if (args.has("stats") || args.has("stats-json")) set_stats_enabled(true);
+
+  int rc = 0;
   try {
-    if (args.command == "generate") return cmd_generate(args);
-    if (args.command == "stats") return cmd_stats(args);
-    if (args.command == "scoap") return cmd_scoap(args);
-    if (args.command == "label") return cmd_label(args);
-    if (args.command == "atpg") return cmd_atpg(args);
-    if (args.command == "train") return cmd_train(args);
-    if (args.command == "opi") return cmd_opi(args);
-    return usage();
+    rc = dispatch(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    rc = 1;
   }
+
+  publish_kernel_pool_stats();
+  if (!trace_path.empty()) {
+    if (trace_stop(trace_path)) {
+      std::cerr << "wrote trace to " << trace_path << "\n";
+    } else {
+      std::cerr << "error: failed to write trace to " << trace_path << "\n";
+      if (rc == 0) rc = 1;
+    }
+  }
+  const std::string stats_json = args.get("stats-json", "");
+  if (!stats_json.empty()) {
+    std::ofstream out(stats_json);
+    if (out) {
+      StatsRegistry::instance().write_json(out);
+      std::cerr << "wrote stats to " << stats_json << "\n";
+    } else {
+      std::cerr << "error: cannot open " << stats_json << "\n";
+      if (rc == 0) rc = 1;
+    }
+  }
+  if (args.has("stats")) StatsRegistry::instance().write_text(std::cerr);
+  return rc;
 }

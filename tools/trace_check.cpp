@@ -1,0 +1,97 @@
+// CI trace validator: checks that a file produced by GCNT_TRACE (or
+// `gcnt --trace`) is structurally valid Chrome trace-event JSON.
+//
+//   trace_check <trace.json> [--require name1,name2,...] [--min-tids N]
+//               [--min-events N]
+//
+// Beyond parseability it verifies every "ph":"X" span carries
+// name/pid/tid/ts/dur with dur >= 0 and that per-thread span completion
+// times are monotonically non-decreasing (the writer drains each ring
+// buffer in record order). --require fails unless every listed span name
+// appears; --min-tids / --min-events put floors on the distinct recording
+// threads and total span count. Prints a per-name summary either way.
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/trace.h"
+
+namespace {
+
+std::vector<std::string> split_names(const std::string& list) {
+  std::vector<std::string> names;
+  std::size_t begin = 0;
+  while (begin <= list.size()) {
+    const std::size_t comma = list.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > begin) names.push_back(list.substr(begin, end - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return names;
+}
+
+int usage() {
+  std::cerr << "usage: trace_check <trace.json> [--require name1,name2,...]"
+               " [--min-tids N] [--min-events N]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::vector<std::string> required;
+  std::size_t min_tids = 0;
+  std::size_t min_events = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--require") == 0 && i + 1 < argc) {
+      required = split_names(argv[++i]);
+    } else if (std::strcmp(argv[i], "--min-tids") == 0 && i + 1 < argc) {
+      min_tids = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--min-events") == 0 && i + 1 < argc) {
+      min_events = std::strtoull(argv[++i], nullptr, 10);
+    } else if (path.empty() && argv[i][0] != '-') {
+      path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) return usage();
+
+  const gcnt::TraceValidation result = gcnt::validate_trace_file(path);
+  if (!result.ok) {
+    std::cerr << "trace_check: INVALID " << path << ": " << result.error
+              << "\n";
+    return 1;
+  }
+  std::cout << "trace_check: " << path << ": " << result.span_count
+            << " spans across " << result.thread_count << " thread(s)\n";
+  for (const std::string& name : result.names) {
+    std::cout << "  span " << name << "\n";
+  }
+
+  int failures = 0;
+  const std::set<std::string> seen(result.names.begin(), result.names.end());
+  for (const std::string& name : required) {
+    if (seen.count(name) == 0) {
+      std::cerr << "trace_check: required span \"" << name << "\" missing\n";
+      ++failures;
+    }
+  }
+  if (result.thread_count < min_tids) {
+    std::cerr << "trace_check: only " << result.thread_count
+              << " recording thread(s), need >= " << min_tids << "\n";
+    ++failures;
+  }
+  if (result.span_count < min_events) {
+    std::cerr << "trace_check: only " << result.span_count
+              << " span(s), need >= " << min_events << "\n";
+    ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
