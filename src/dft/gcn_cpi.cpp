@@ -4,19 +4,21 @@
 #include <unordered_set>
 
 #include "common/log.h"
+#include "common/trace.h"
 #include "cop/cop.h"
 #include "gcn/graph_tensors.h"
+#include "gcn/incremental.h"
 #include "scoap/scoap.h"
 
 namespace gcnt {
 
 namespace {
 
-std::vector<std::int32_t> predict_cascade(
-    const std::vector<const GcnModel*>& stages, const GraphTensors& tensors) {
-  std::vector<std::int32_t> predictions(tensors.node_count(), 1);
-  for (const GcnModel* stage : stages) {
-    const auto positive = stage->predict_positive_probability(tensors);
+std::vector<std::int32_t> cascade_predictions(
+    const std::vector<IncrementalGcnEngine>& engines, std::size_t n) {
+  std::vector<std::int32_t> predictions(n, 1);
+  for (const IncrementalGcnEngine& engine : engines) {
+    const auto positive = engine.positive_probability();
     for (std::size_t v = 0; v < predictions.size(); ++v) {
       if (positive[v] < 0.5f) predictions[v] = 0;
     }
@@ -35,16 +37,65 @@ bool valid_target(const Netlist& netlist, NodeId v,
 GcnCpiResult run_gcn_cpi(Netlist& netlist,
                          const std::vector<const GcnModel*>& stages,
                          const GcnCpiOptions& options) {
+  GCNT_KERNEL_SCOPE("cpi.run");
+  static Counter& dirty_nodes_counter =
+      StatsRegistry::instance().counter("cpi.dirty_nodes");
+  static Counter& full_fallbacks_counter =
+      StatsRegistry::instance().counter("cpi.full_fallbacks");
   GcnCpiResult result;
   std::unordered_set<NodeId> controlled;
 
+  std::vector<IncrementalGcnEngine> engines;
+  engines.reserve(stages.size());
+  int max_depth = 0;
+  for (const GcnModel* stage : stages) {
+    engines.emplace_back(*stage,
+                         IncrementalGcnOptions{options.full_fallback_fraction});
+    max_depth = std::max(max_depth, stage->config().depth);
+  }
+  DirtyConeTracker tracker;
+  GraphTensors tensors;
+  bool have_cache = false;
+
   for (std::size_t iteration = 0; iteration < options.max_iterations;
        ++iteration) {
+    TraceSpan iteration_span("cpi.iteration");
     // CP insertion rewires fanouts, so tensors are rebuilt per iteration
-    // (the graph deltas are not append-only as in the OPI flow).
-    GraphTensors tensors = build_graph_tensors(netlist);
-    if (options.standardize_features) tensors.standardize_features();
-    const auto predictions = predict_cascade(stages, tensors);
+    // (the graph deltas are not append-only as in the OPI flow). The
+    // engines then re-propagate only the rows the rebuild actually
+    // changed: the structural seeds recorded at insertion time plus every
+    // feature row that differs from the previous iteration.
+    GraphTensors fresh = build_graph_tensors(netlist);
+    if (options.standardize_features) fresh.standardize_features();
+    if (!have_cache || !options.incremental) {
+      tensors = std::move(fresh);
+      for (IncrementalGcnEngine& engine : engines) engine.refresh(tensors);
+      have_cache = true;
+      tracker.clear();
+    } else {
+      const std::size_t old_nodes = tensors.node_count();
+      for (NodeId v = 0; v < old_nodes; ++v) {
+        const float* previous = tensors.features.row(v);
+        const float* current = fresh.features.row(v);
+        if (!std::equal(previous, previous + kNodeFeatureDim, current)) {
+          tracker.record_feature(v);
+        }
+      }
+      for (NodeId v = static_cast<NodeId>(old_nodes); v < fresh.node_count();
+           ++v) {
+        tracker.record_new_node(v);
+      }
+      tensors = std::move(fresh);
+      const std::vector<NodeId> dirty = tracker.affected(tensors, max_depth);
+      dirty_nodes_counter.add(dirty.size());
+      iteration_span.arg("dirty", static_cast<double>(dirty.size()));
+      for (IncrementalGcnEngine& engine : engines) {
+        engine.update(tensors, dirty);
+        if (engine.last_was_full()) full_fallbacks_counter.add();
+      }
+      tracker.clear();
+    }
+    const auto predictions = cascade_predictions(engines, tensors.node_count());
 
     std::vector<NodeId> candidates;
     for (NodeId v = 0; v < predictions.size(); ++v) {
@@ -82,9 +133,17 @@ GcnCpiResult run_gcn_cpi(Netlist& netlist,
     for (std::size_t k = 0; k < budget; ++k) {
       const NodeId target = ranked[k].second;
       const bool rare_is_one = cop.prob_one[target] < 0.5;
-      result.inserted.push_back(
-          netlist.insert_control_point(target, rare_is_one));
+      const Netlist::ControlPoint cp =
+          netlist.insert_control_point(target, rare_is_one);
       controlled.insert(target);
+      // Structural seeds for the next iteration's dirty cone: the new
+      // cells, the retargeted driver, and every rewired consumer.
+      tracker.record_new_node(cp.control);
+      tracker.record_new_node(cp.gate);
+      if (cp.inverter != kInvalidNode) tracker.record_new_node(cp.inverter);
+      tracker.record_feature(target);
+      for (NodeId w : netlist.fanouts(cp.gate)) tracker.record_feature(w);
+      result.inserted.push_back(cp);
     }
     log_info("gcn-cpi iteration ", iteration + 1, ": ", candidates.size(),
              " positives, inserted ", budget, " CPs");

@@ -27,6 +27,15 @@ struct GcnCpiOptions {
   std::size_t rank_cone_limit = 96;
   /// Must match the training-time feature convention of `stages`.
   bool standardize_features = false;
+  /// Re-predict via the dirty-cone incremental engine: tensors are still
+  /// rebuilt per iteration (CP insertion rewires fanouts and shifts SCOAP
+  /// globally), but only rows whose features or structure actually changed
+  /// are re-propagated. Bit-identical to a full re-inference. Note that
+  /// standardize_features recenters every row each iteration, so the
+  /// engine then always takes its full-graph fallback.
+  bool incremental = true;
+  /// Dirty fraction above which the engine falls back to a full forward.
+  double full_fallback_fraction = 0.25;
 };
 
 struct GcnCpiResult {

@@ -6,18 +6,20 @@
 #include "common/trace.h"
 #include "dft/impact.h"
 #include "gcn/graph_tensors.h"
+#include "gcn/incremental.h"
 #include "scoap/scoap.h"
 
 namespace gcnt {
 
 namespace {
 
-/// Whole-graph cascade prediction: positive iff every stage keeps the node.
-std::vector<std::int32_t> predict_cascade(
-    const std::vector<const GcnModel*>& stages, const GraphTensors& tensors) {
-  std::vector<std::int32_t> predictions(tensors.node_count(), 1);
-  for (const GcnModel* stage : stages) {
-    const auto positive = stage->predict_positive_probability(tensors);
+/// Whole-graph cascade prediction from the per-stage engine logits:
+/// positive iff every stage keeps the node.
+std::vector<std::int32_t> cascade_predictions(
+    const std::vector<IncrementalGcnEngine>& engines, std::size_t n) {
+  std::vector<std::int32_t> predictions(n, 1);
+  for (const IncrementalGcnEngine& engine : engines) {
+    const auto positive = engine.positive_probability();
     for (std::size_t v = 0; v < predictions.size(); ++v) {
       if (positive[v] < 0.5f) predictions[v] = 0;
     }
@@ -46,17 +48,55 @@ OpiResult run_gcn_opi(Netlist& netlist,
       StatsRegistry::instance().counter("opi.iterations");
   static Counter& inserted_counter =
       StatsRegistry::instance().counter("opi.inserted_points");
+  static Counter& dirty_nodes_counter =
+      StatsRegistry::instance().counter("opi.dirty_nodes");
+  static Counter& full_fallbacks_counter =
+      StatsRegistry::instance().counter("opi.full_fallbacks");
   ScoapMeasures scoap = compute_scoap(netlist);
   std::vector<std::uint32_t> levels = netlist.logic_levels();
   GraphTensors tensors = build_graph_tensors(netlist, scoap, levels);
   if (options.standardize_features) tensors.standardize_features();
+
+  // One incremental engine per cascade stage; the dirty cone is expanded
+  // to the deepest stage so every engine's closure is covered.
+  std::vector<IncrementalGcnEngine> engines;
+  engines.reserve(stages.size());
+  int max_depth = 0;
+  for (const GcnModel* stage : stages) {
+    engines.emplace_back(*stage,
+                         IncrementalGcnOptions{options.full_fallback_fraction});
+    max_depth = std::max(max_depth, stage->config().depth);
+  }
+  DirtyConeTracker tracker;
+  bool have_cache = false;
 
   OpiResult result;
   for (std::size_t iteration = 0; iteration < options.max_iterations;
        ++iteration) {
     TraceSpan iteration_span("opi.iteration");
     iterations_counter.add();
-    const auto predictions = predict_cascade(stages, tensors);
+
+    // Predict: full forward on the first pass (seeds the caches), then
+    // dirty-cone re-propagation of the insertion batch's D-hop closure —
+    // bit-identical to a full re-inference, but proportional to the cone.
+    {
+      TraceSpan predict_span("opi.predict");
+      if (!have_cache || !options.incremental) {
+        for (IncrementalGcnEngine& engine : engines) engine.refresh(tensors);
+        have_cache = true;
+      } else {
+        const std::vector<NodeId> dirty = tracker.affected(tensors, max_depth);
+        dirty_nodes_counter.add(dirty.size());
+        predict_span.arg("dirty", static_cast<double>(dirty.size()));
+        for (IncrementalGcnEngine& engine : engines) {
+          engine.update(tensors, dirty);
+          if (engine.last_was_full()) full_fallbacks_counter.add();
+        }
+      }
+      tracker.clear();
+    }
+    const auto predictions = cascade_predictions(engines, tensors.node_count());
+
     std::vector<NodeId> candidates;
     for (NodeId v = 0; v < predictions.size(); ++v) {
       if (predictions[v] == 1 && valid_target(netlist, v)) {
@@ -95,8 +135,16 @@ OpiResult run_gcn_opi(Netlist& netlist,
       update_observability_after_observe(netlist, target, scoap);
       levels.resize(netlist.size(), 0);
       levels[op] = levels[target] + 1;
-      append_observe_point(tensors, netlist, target, op, scoap,
-                           netlist.fanin_cone(target));
+      const std::vector<NodeId> cone = netlist.fanin_cone(target);
+      std::vector<NodeId> changed_rows;
+      append_observe_point(tensors, netlist, target, op, scoap, cone,
+                           &changed_rows);
+      // Record the perturbation for the next iteration's dirty cone: the
+      // appended edge, the new node, and the feature rows whose stored
+      // value actually changed (a tight subset of the refreshed cone).
+      tracker.record_new_node(op);
+      tracker.record_edge(target, op);
+      for (NodeId v : changed_rows) tracker.record_feature(v);
       result.inserted.push_back(target);
       ++inserted;
     }

@@ -31,6 +31,13 @@ struct GcnOpiOptions {
   /// supplied models were trained (true when they saw
   /// GraphTensors::standardize_features() data, false for raw features).
   bool standardize_features = false;
+  /// Re-predict via the dirty-cone incremental engine (bit-identical to a
+  /// full re-inference; see gcn/incremental.h) instead of re-running the
+  /// whole-graph forward every iteration.
+  bool incremental = true;
+  /// Dirty fraction above which the incremental engine falls back to a
+  /// full forward (tracked by the `opi.full_fallbacks` stats counter).
+  double full_fallback_fraction = 0.25;
 };
 
 struct OpiResult {

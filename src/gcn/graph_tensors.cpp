@@ -96,10 +96,17 @@ GraphTensors build_graph_tensors(const Netlist& netlist) {
 void append_observe_point(GraphTensors& tensors, const Netlist& netlist,
                           NodeId target, NodeId op,
                           const ScoapMeasures& scoap,
-                          const std::vector<NodeId>& refreshed) {
-  // Three appended tuples, mirroring the paper's incremental COO update.
-  tensors.pred_coo.add(op, target, 1.0f);
-  tensors.succ_coo.add(target, op, 1.0f);
+                          const std::vector<NodeId>& refreshed,
+                          std::vector<NodeId>* changed_rows) {
+  // Appended tuples, mirroring the paper's incremental COO update. The
+  // shapes are grown explicitly to the post-insertion node count first so
+  // a miscomputed coordinate throws instead of silently stretching the
+  // adjacency (the incremental engine depends on exact shapes).
+  const std::size_t n_after = netlist.size();
+  tensors.pred_coo.reshape(n_after, n_after);
+  tensors.succ_coo.reshape(n_after, n_after);
+  tensors.pred_coo.add_checked(op, target, 1.0f);
+  tensors.succ_coo.add_checked(target, op, 1.0f);
 
   // New feature row: the paper assigns the new node [0, 1, 1, 0].
   Matrix grown(netlist.size(), kNodeFeatureDim);
@@ -116,11 +123,18 @@ void append_observe_point(GraphTensors& tensors, const Netlist& netlist,
   tensors.features = std::move(grown);
   if (!tensors.labels.empty()) tensors.labels.resize(netlist.size(), 0);
 
-  // Observability changed only in the fan-in cone of the target.
-  for (NodeId v : refreshed) {
-    tensors.features.at(v, 3) = tensors.encode(3, scoap.co[v]);
-  }
-  tensors.features.at(target, 3) = tensors.encode(3, scoap.co[target]);
+  // Observability changed only in the fan-in cone of the target — and the
+  // SCOAP improvement usually dies out well before the cone does, so track
+  // which rows actually changed bits.
+  const auto refresh_row = [&](NodeId v) {
+    const float encoded = tensors.encode(3, scoap.co[v]);
+    if (tensors.features.at(v, 3) != encoded) {
+      tensors.features.at(v, 3) = encoded;
+      if (changed_rows != nullptr) changed_rows->push_back(v);
+    }
+  };
+  for (NodeId v : refreshed) refresh_row(v);
+  refresh_row(target);
 }
 
 CooMatrix build_merged_adjacency(const GraphTensors& tensors, float w_pr,

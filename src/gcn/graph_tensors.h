@@ -80,10 +80,18 @@ GraphTensors build_graph_tensors(const Netlist& netlist);
 /// per the paper), and refreshes the observability feature of the nodes in
 /// `refreshed` (the fan-in cone whose SCOAP CO changed). Does NOT rebuild
 /// the CSR forms; call rebuild_csr() once per insertion round.
+///
+/// When `changed_rows` is non-null, every refreshed node whose stored
+/// feature value actually changed bits (the SCOAP walk refreshes the whole
+/// cone, but the improvement usually dies out after a few levels) is
+/// appended to it — the exact dirty-cone seeds for
+/// DirtyConeTracker::record_feature, far tighter than seeding the full
+/// cone.
 void append_observe_point(GraphTensors& tensors, const Netlist& netlist,
                           NodeId target, NodeId op,
                           const ScoapMeasures& scoap,
-                          const std::vector<NodeId>& refreshed);
+                          const std::vector<NodeId>& refreshed,
+                          std::vector<NodeId>* changed_rows = nullptr);
 
 /// Materializes the paper's merged adjacency A = I + w_pr*P + w_su*S in
 /// COO form (Eq. 2) for the standalone sparse inference engine.

@@ -1,0 +1,253 @@
+#include "gcn/incremental.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/trace.h"
+#include "nn/loss.h"
+
+namespace gcnt {
+
+namespace {
+
+/// Copies the listed rows of `src` into a compact rows.size() x cols
+/// matrix.
+Matrix gather_rows(const Matrix& src, const std::vector<NodeId>& rows) {
+  Matrix out(rows.size(), src.cols());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const float* in = src.row(rows[i]);
+    std::copy(in, in + src.cols(), out.row(i));
+  }
+  return out;
+}
+
+/// Writes compact row i back to dst.row(rows[i]).
+void scatter_rows(const Matrix& compact, const std::vector<NodeId>& rows,
+                  Matrix& dst) {
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const float* in = compact.row(i);
+    std::copy(in, in + compact.cols(), dst.row(rows[i]));
+  }
+}
+
+/// Grows `m` to new_rows x cols, preserving existing rows (new rows zero).
+void grow_rows(Matrix& m, std::size_t new_rows, std::size_t cols) {
+  if (m.rows() == new_rows && m.cols() == cols) return;
+  Matrix grown(new_rows, cols);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const float* in = m.row(r);
+    std::copy(in, in + m.cols(), grown.row(r));
+  }
+  m = std::move(grown);
+}
+
+}  // namespace
+
+void DirtyConeTracker::record_edge(NodeId from, NodeId to) {
+  seeds_.push_back(from);
+  seeds_.push_back(to);
+}
+
+void DirtyConeTracker::record_feature(NodeId v) { seeds_.push_back(v); }
+
+void DirtyConeTracker::record_new_node(NodeId v) { seeds_.push_back(v); }
+
+std::vector<NodeId> DirtyConeTracker::affected(const GraphTensors& tensors,
+                                               int depth) const {
+  GCNT_KERNEL_SCOPE("dirty_cone.affected");
+  const std::size_t n = tensors.node_count();
+  if (tensors.pred.rows() != n || tensors.succ.rows() != n) {
+    throw std::invalid_argument(
+        "DirtyConeTracker::affected: tensors need rebuild_csr()");
+  }
+  std::vector<std::uint8_t> visited(n, 0);
+  std::vector<NodeId> frontier;
+  frontier.reserve(seeds_.size());
+  for (const NodeId v : seeds_) {
+    if (v >= n) {
+      throw std::out_of_range("DirtyConeTracker::affected: seed out of range");
+    }
+    if (!visited[v]) {
+      visited[v] = 1;
+      frontier.push_back(v);
+    }
+  }
+
+  // D rounds of frontier expansion along both adjacency directions: pred
+  // row v lists fanins(v), succ row v lists fanouts(v), and together they
+  // are exactly the nodes whose aggregation reads v (and vice versa).
+  std::vector<NodeId> next;
+  for (int hop = 0; hop < depth && !frontier.empty(); ++hop) {
+    next.clear();
+    for (const NodeId v : frontier) {
+      const auto expand = [&](const CsrMatrix& adjacency) {
+        const auto& row_ptr = adjacency.row_ptr();
+        const auto& cols = adjacency.col_index();
+        for (std::uint32_t k = row_ptr[v]; k < row_ptr[v + 1]; ++k) {
+          const NodeId u = cols[k];
+          if (!visited[u]) {
+            visited[u] = 1;
+            next.push_back(u);
+          }
+        }
+      };
+      expand(tensors.pred);
+      expand(tensors.succ);
+    }
+    frontier.swap(next);
+  }
+
+  std::vector<NodeId> result;
+  for (NodeId v = 0; v < n; ++v) {
+    if (visited[v]) result.push_back(v);
+  }
+  return result;
+}
+
+IncrementalGcnEngine::IncrementalGcnEngine(const GcnModel& model,
+                                           IncrementalGcnOptions options)
+    : model_(&model), options_(options) {}
+
+const Matrix& IncrementalGcnEngine::refresh(const GraphTensors& tensors) {
+  GCNT_KERNEL_SCOPE("gcn.incremental.refresh");
+  TraceSpan span("gcn.incremental.refresh");
+  span.arg("nodes", static_cast<double>(tensors.node_count()));
+  const float wp = model_->w_pr();
+  const float ws = model_->w_su();
+
+  // Mirrors GcnModel::run_forward kernel-for-kernel so the cached
+  // embeddings (and logits) are bit-identical to a plain infer().
+  embeddings_.clear();
+  Matrix embedding = tensors.features;
+  embeddings_.push_back(embedding);
+  for (const Linear& encoder : model_->encoders()) {
+    Matrix pred_sum;
+    Matrix succ_sum;
+    tensors.pred.spmm(embedding, pred_sum);
+    tensors.succ.spmm(embedding, succ_sum);
+    Matrix aggregated = embedding;
+    aggregated.axpy(wp, pred_sum);
+    aggregated.axpy(ws, succ_sum);
+
+    Matrix pre_activation;
+    encoder.forward(aggregated, pre_activation);
+    Matrix activated;
+    Relu::forward(pre_activation, activated);
+    embeddings_.push_back(activated);
+    embedding = std::move(activated);
+  }
+
+  Matrix hidden = std::move(embedding);
+  const auto& fc = model_->fc_layers();
+  for (std::size_t i = 0; i < fc.size(); ++i) {
+    Matrix out;
+    fc[i].forward(hidden, out);
+    if (i + 1 < fc.size()) {
+      Matrix activated;
+      Relu::forward(out, activated);
+      hidden = std::move(activated);
+    } else {
+      hidden = std::move(out);
+    }
+  }
+  logits_ = std::move(hidden);
+  cached_nodes_ = tensors.node_count();
+  last_was_full_ = true;
+  last_dirty_rows_ = cached_nodes_;
+  return logits_;
+}
+
+const Matrix& IncrementalGcnEngine::update(const GraphTensors& tensors,
+                                           const std::vector<NodeId>& dirty) {
+  const std::size_t n = tensors.node_count();
+  if (cached_nodes_ == 0 || n < cached_nodes_ ||
+      static_cast<double>(dirty.size()) >
+          options_.full_fallback_fraction * static_cast<double>(n)) {
+    return refresh(tensors);
+  }
+  if (tensors.pred.rows() != n || tensors.succ.rows() != n) {
+    throw std::invalid_argument(
+        "IncrementalGcnEngine::update: tensors need rebuild_csr()");
+  }
+  for (const NodeId v : dirty) {
+    if (v >= n) {
+      throw std::out_of_range(
+          "IncrementalGcnEngine::update: dirty node out of range");
+    }
+  }
+  GCNT_KERNEL_SCOPE("gcn.incremental.update");
+  TraceSpan span("gcn.incremental.update");
+  span.arg("nodes", static_cast<double>(n));
+  span.arg("dirty", static_cast<double>(dirty.size()));
+  last_was_full_ = false;
+  last_dirty_rows_ = dirty.size();
+
+  const float wp = model_->w_pr();
+  const float ws = model_->w_su();
+  const auto& encoders = model_->encoders();
+
+  // Appended nodes grow every cached layer (new rows are always dirty, so
+  // their zero placeholders are overwritten below).
+  for (std::size_t d = 0; d < embeddings_.size(); ++d) {
+    grow_rows(embeddings_[d], n, embeddings_[d].cols());
+  }
+  grow_rows(logits_, n, logits_.cols());
+  cached_nodes_ = n;
+
+  // E_0 rows come straight from the (already updated) feature matrix.
+  for (const NodeId v : dirty) {
+    const float* in = tensors.features.row(v);
+    std::copy(in, in + tensors.features.cols(), embeddings_[0].row(v));
+  }
+  if (dirty.empty()) return logits_;
+
+  // Re-propagate the dirty rows layer by layer. A clean row's inputs are
+  // all clean (the dirty set is the D-hop closure), so reading the cached
+  // E_{d-1} for neighbors is exact; and every kernel here preserves the
+  // whole-graph per-row accumulation order, so each recomputed row is
+  // bit-identical to a full forward.
+  Matrix compact = gather_rows(embeddings_[0], dirty);
+  for (std::size_t d = 0; d < encoders.size(); ++d) {
+    Matrix pred_sum;
+    Matrix succ_sum;
+    tensors.pred.spmm_rows(dirty, embeddings_[d], pred_sum);
+    tensors.succ.spmm_rows(dirty, embeddings_[d], succ_sum);
+    Matrix aggregated = std::move(compact);
+    aggregated.axpy(wp, pred_sum);
+    aggregated.axpy(ws, succ_sum);
+
+    Matrix pre_activation;
+    encoders[d].forward(aggregated, pre_activation);
+    Matrix activated;
+    Relu::forward(pre_activation, activated);
+    scatter_rows(activated, dirty, embeddings_[d + 1]);
+    compact = std::move(activated);
+  }
+
+  const auto& fc = model_->fc_layers();
+  Matrix hidden = std::move(compact);
+  for (std::size_t i = 0; i < fc.size(); ++i) {
+    Matrix out;
+    fc[i].forward(hidden, out);
+    if (i + 1 < fc.size()) {
+      Matrix activated;
+      Relu::forward(out, activated);
+      hidden = std::move(activated);
+    } else {
+      hidden = std::move(out);
+    }
+  }
+  scatter_rows(hidden, dirty, logits_);
+  return logits_;
+}
+
+std::vector<float> IncrementalGcnEngine::positive_probability() const {
+  const Matrix probabilities = softmax(logits_);
+  std::vector<float> positive(probabilities.rows());
+  for (std::size_t r = 0; r < probabilities.rows(); ++r) {
+    positive[r] = probabilities.at(r, 1);
+  }
+  return positive;
+}
+
+}  // namespace gcnt

@@ -1,5 +1,9 @@
 #include "tensor/sparse.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <limits>
 #include <stdexcept>
 
 #include "common/parallel.h"
@@ -13,6 +17,20 @@ namespace {
 // the work runs inline on the calling thread.
 constexpr std::size_t kMinParallelRows = 128;
 constexpr std::size_t kMinParallelNnz = 1 << 15;
+
+// 0 = no programmatic override (fall back to GCNT_SPMM_TILE / untiled).
+std::atomic<std::size_t> tile_override{0};
+
+std::size_t env_tile_cols() {
+  static const std::size_t cached = [] {
+    const char* env = std::getenv("GCNT_SPMM_TILE");
+    if (env == nullptr) return std::numeric_limits<std::size_t>::max();
+    const long parsed = std::strtol(env, nullptr, 10);
+    return parsed > 0 ? static_cast<std::size_t>(parsed)
+                      : std::numeric_limits<std::size_t>::max();
+  }();
+  return cached;
+}
 
 /// Parallel occurrence count: counts[i + 1] = #occurrences of i in `index`.
 /// Per-block histograms reduced in fixed block order keep the result (and
@@ -41,6 +59,32 @@ void count_occurrences(const std::vector<std::uint32_t>& index,
 }
 
 }  // namespace
+
+std::size_t spmm_tile_cols() {
+  const std::size_t configured = tile_override.load(std::memory_order_relaxed);
+  return configured != 0 ? configured : env_tile_cols();
+}
+
+void set_spmm_tile_cols(std::size_t n) {
+  tile_override.store(n, std::memory_order_relaxed);
+}
+
+void CooMatrix::add_checked(std::uint32_t r, std::uint32_t c, float value) {
+  if (r >= rows || c >= cols) {
+    throw std::out_of_range("CooMatrix::add_checked: coordinate out of range");
+  }
+  row_index.push_back(r);
+  col_index.push_back(c);
+  values.push_back(value);
+}
+
+void CooMatrix::reshape(std::size_t r, std::size_t c) {
+  if (r < rows || c < cols) {
+    throw std::invalid_argument("CooMatrix::reshape: shrinking not allowed");
+  }
+  rows = r;
+  cols = c;
+}
 
 CsrMatrix CsrMatrix::from_coo(const CooMatrix& coo) {
   GCNT_KERNEL_SCOPE("csr_build");
@@ -117,13 +161,54 @@ void CsrMatrix::spmm(const Matrix& dense, Matrix& out, float alpha,
     }
     out.scale(beta);
   }
-  // Row-blocked: each output row is produced by exactly one block with a
-  // fixed nnz-order inner loop, so results are bitwise identical for any
-  // thread count.
-  parallel_blocks(rows_, kMinParallelRows,
-                  [&](std::size_t row_begin, std::size_t row_end) {
-                    for (std::size_t r = row_begin; r < row_end; ++r) {
-                      float* orow = out.row(r);
+  // Row-blocked across the kernel pool, column-tiled within each block:
+  // each output row is produced by exactly one block, and each output
+  // element accumulates its nonzeros in fixed ascending-k order, so the
+  // result is bitwise identical for any thread count *and* any tile
+  // width. A tile bounds the slice of every gathered dense row touched
+  // per pass, keeping the high-reuse rows resident in cache when the
+  // dense operand is wide.
+  const std::size_t tile = std::min(spmm_tile_cols(), n);
+  parallel_blocks(
+      rows_, kMinParallelRows,
+      [&](std::size_t row_begin, std::size_t row_end) {
+        for (std::size_t j0 = 0; j0 < n; j0 += tile) {
+          const std::size_t j1 = std::min(n, j0 + tile);
+          for (std::size_t r = row_begin; r < row_end; ++r) {
+            float* orow = out.row(r);
+            for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+              const float av = alpha * values_[k];
+              const float* drow = dense.row(col_index_[k]);
+              for (std::size_t j = j0; j < j1; ++j) {
+                orow[j] += av * drow[j];
+              }
+            }
+          }
+        }
+      });
+}
+
+void CsrMatrix::spmm_rows(const std::vector<std::uint32_t>& row_ids,
+                          const Matrix& dense, Matrix& out,
+                          float alpha) const {
+  GCNT_KERNEL_SCOPE("spmm_rows");
+  if (dense.rows() != cols_) {
+    throw std::invalid_argument("spmm_rows: dimension mismatch");
+  }
+  for (const std::uint32_t r : row_ids) {
+    if (r >= rows_) {
+      throw std::out_of_range("spmm_rows: row id out of range");
+    }
+  }
+  const std::size_t n = dense.cols();
+  out.resize(row_ids.size(), n, 0.0f);
+  // Same ascending-k per-element order as spmm(), so compact row i is
+  // bit-identical to full-output row row_ids[i] for any thread count.
+  parallel_blocks(row_ids.size(), kMinParallelRows,
+                  [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i) {
+                      const std::uint32_t r = row_ids[i];
+                      float* orow = out.row(i);
                       for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1];
                            ++k) {
                         const float av = alpha * values_[k];

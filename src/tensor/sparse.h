@@ -37,6 +37,16 @@ struct CooMatrix {
     values.push_back(value);
   }
 
+  /// Appends one tuple but refuses to grow the shape: the incremental OPI
+  /// path must have resized the matrix for any appended nodes already, so
+  /// an out-of-range coordinate there is a bug, not a resize request.
+  /// Throws std::out_of_range.
+  void add_checked(std::uint32_t r, std::uint32_t c, float value);
+
+  /// Grows the shape to exactly r x c. Throws std::invalid_argument when
+  /// shrinking below the current shape (entries could become dangling).
+  void reshape(std::size_t r, std::size_t c);
+
   /// Fraction of zero entries (the paper reports > 99.95% for its designs).
   double sparsity() const noexcept {
     const double total = static_cast<double>(rows) * static_cast<double>(cols);
@@ -65,8 +75,25 @@ class CsrMatrix {
   const std::vector<float>& values() const noexcept { return values_; }
 
   /// out = this * dense (+ beta * out). dense.rows() must equal cols().
+  ///
+  /// Cache blocking: the dense operand is processed in column tiles of
+  /// spmm_tile_cols() (row blocks come from the kernel-pool BlockPlan), so
+  /// each sparse row's gathered dense rows touch at most one tile-width
+  /// slice at a time. Every output element still accumulates its nonzeros
+  /// in ascending-k order, so the result is bitwise identical for any tile
+  /// width and any thread count — one tile reproduces the untiled kernel
+  /// exactly.
   void spmm(const Matrix& dense, Matrix& out, float alpha = 1.0f,
             float beta = 0.0f) const;
+
+  /// Row-subset SpMM: out.row(i) = alpha * this.row(row_ids[i]) * dense,
+  /// with `out` resized to row_ids.size() x dense.cols(). Each compact
+  /// output row reproduces the corresponding spmm() row bit-for-bit (same
+  /// ascending-k accumulation), which is what lets the incremental
+  /// inference engine re-propagate only dirty rows. Throws on out-of-range
+  /// row ids or a dimension mismatch.
+  void spmm_rows(const std::vector<std::uint32_t>& row_ids,
+                 const Matrix& dense, Matrix& out, float alpha = 1.0f) const;
 
   /// Structural transpose (values preserved).
   CsrMatrix transpose() const;
@@ -78,5 +105,14 @@ class CsrMatrix {
   std::vector<std::uint32_t> col_index_;
   std::vector<float> values_;
 };
+
+/// Resolved dense-column tile width for CsrMatrix::spmm (always >= 1).
+/// Resolution order: set_spmm_tile_cols override > GCNT_SPMM_TILE
+/// environment (read once) > untiled default (SIZE_MAX, i.e. one tile).
+std::size_t spmm_tile_cols();
+
+/// Overrides the SpMM column tile width (0 reverts to GCNT_SPMM_TILE /
+/// the untiled default). Tiling never changes results — only locality.
+void set_spmm_tile_cols(std::size_t n);
 
 }  // namespace gcnt

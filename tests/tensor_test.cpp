@@ -245,6 +245,86 @@ CsrMatrix random_csr(std::size_t rows, std::size_t cols, std::size_t nnz,
   return CsrMatrix::from_coo(coo);
 }
 
+TEST(Coo, AddCheckedRejectsOutOfRangeWithoutGrowing) {
+  CooMatrix coo(3, 3);
+  coo.add_checked(2, 2, 1.0f);  // in range: appended normally
+  EXPECT_EQ(coo.nnz(), 1u);
+  EXPECT_THROW(coo.add_checked(3, 0, 1.0f), std::out_of_range);
+  EXPECT_THROW(coo.add_checked(0, 3, 1.0f), std::out_of_range);
+  // The failed appends must not have grown the shape or the storage
+  // (plain add() would have silently stretched the matrix to 4 rows).
+  EXPECT_EQ(coo.rows, 3u);
+  EXPECT_EQ(coo.cols, 3u);
+  EXPECT_EQ(coo.nnz(), 1u);
+}
+
+TEST(Coo, ReshapeGrowsButNeverShrinks) {
+  CooMatrix coo(2, 3);
+  coo.add(1, 2, 1.0f);
+  coo.reshape(5, 4);
+  EXPECT_EQ(coo.rows, 5u);
+  EXPECT_EQ(coo.cols, 4u);
+  coo.add_checked(4, 3, 1.0f);  // now in range
+  EXPECT_THROW(coo.reshape(3, 4), std::invalid_argument);
+  EXPECT_THROW(coo.reshape(5, 2), std::invalid_argument);
+  coo.reshape(5, 4);  // same shape is a no-op, not a shrink
+  EXPECT_EQ(coo.nnz(), 2u);
+}
+
+TEST(Csr, SpmmBitwiseIdenticalAcrossTileWidths) {
+  Rng rng(41);
+  const CsrMatrix csr = random_csr(400, 300, 3000, rng);
+  const Matrix x = random_matrix(300, 13, rng);  // odd width: ragged tail
+  Matrix untiled;
+  csr.spmm(x, untiled);  // default: one tile
+  for (const std::size_t tile : {std::size_t{1}, std::size_t{4},
+                                 std::size_t{13}, std::size_t{64}}) {
+    set_spmm_tile_cols(tile);
+    Matrix tiled;
+    csr.spmm(x, tiled);
+    set_spmm_tile_cols(0);
+    EXPECT_EQ(untiled, tiled) << "tile=" << tile;  // bitwise
+  }
+  // Tiling composed with threading is still bitwise invariant.
+  set_spmm_tile_cols(4);
+  set_kernel_threads(8);
+  Matrix tiled_parallel;
+  csr.spmm(x, tiled_parallel);
+  set_kernel_threads(0);
+  set_spmm_tile_cols(0);
+  EXPECT_EQ(untiled, tiled_parallel);
+}
+
+TEST(Csr, SpmmRowsMatchesFullSpmmRows) {
+  Rng rng(43);
+  const CsrMatrix csr = random_csr(500, 200, 4000, rng);
+  const Matrix x = random_matrix(200, 9, rng);
+  Matrix full;
+  csr.spmm(x, full);
+  const std::vector<std::uint32_t> subset = {0, 7, 7, 123, 250, 499};
+  Matrix compact;
+  csr.spmm_rows(subset, x, compact);
+  ASSERT_EQ(compact.rows(), subset.size());
+  ASSERT_EQ(compact.cols(), full.cols());
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    for (std::size_t j = 0; j < full.cols(); ++j) {
+      // Bitwise: the compact row must reproduce the whole-graph row.
+      EXPECT_EQ(compact.at(i, j), full.at(subset[i], j))
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(Csr, SpmmRowsValidatesInputs) {
+  Rng rng(47);
+  const CsrMatrix csr = random_csr(10, 6, 20, rng);
+  const Matrix x = random_matrix(6, 3, rng);
+  Matrix out;
+  EXPECT_THROW(csr.spmm_rows({10}, x, out), std::out_of_range);
+  const Matrix wrong = random_matrix(5, 3, rng);
+  EXPECT_THROW(csr.spmm_rows({0}, wrong, out), std::invalid_argument);
+}
+
 TEST(Csr, SpmmBitwiseIdenticalAcrossThreadCounts) {
   Rng rng(31);
   const CsrMatrix csr = random_csr(700, 500, 4000, rng);
