@@ -5,6 +5,8 @@
 #include <fstream>
 #include <string>
 
+#include "common/artifact.h"
+#include "common/error.h"
 #include "common/log.h"
 #include "common/table.h"
 #include "common/timer.h"
@@ -50,11 +52,19 @@ void store_cache(std::size_t gates, const Dataset& dataset) {
   if (ec) return;
   const auto base =
       cache_dir() / (std::to_string(gates) + "_" + dataset.name());
-  std::ofstream bench_out(base.string() + ".bench");
-  write_bench(dataset.netlist, bench_out);
-  std::ofstream labels_out(base.string() + ".labels");
-  for (std::int32_t label : dataset.tensors.labels) {
-    labels_out << label << "\n";
+  // Atomic writes keep a killed bench run from leaving a torn cache that
+  // the next run would half-load; a cache miss is always safe.
+  try {
+    atomic_write_file(base.string() + ".bench", [&](std::ostream& out) {
+      write_bench(dataset.netlist, out);
+    });
+    atomic_write_file(base.string() + ".labels", [&](std::ostream& out) {
+      for (std::int32_t label : dataset.tensors.labels) {
+        out << label << "\n";
+      }
+    });
+  } catch (const Error&) {
+    // The cache is an optimization; benches run fine without it.
   }
 }
 
@@ -117,16 +127,20 @@ std::vector<Dataset> load_suite() {
 bool write_bench_json(
     const std::string& path,
     const std::vector<std::pair<std::string, double>>& entries) {
-  std::ofstream out(path);
-  if (!out) return false;
-  out << "{\n";
-  out << "  \"schema.version\": 2" << (entries.empty() ? "\n" : ",\n");
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    out << "  \"" << entries[i].first << "\": " << entries[i].second
-        << (i + 1 < entries.size() ? ",\n" : "\n");
+  try {
+    atomic_write_file(path, [&](std::ostream& out) {
+      out << "{\n";
+      out << "  \"schema.version\": 2" << (entries.empty() ? "\n" : ",\n");
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        out << "  \"" << entries[i].first << "\": " << entries[i].second
+            << (i + 1 < entries.size() ? ",\n" : "\n");
+      }
+      out << "}\n";
+    });
+  } catch (const Error&) {
+    return false;
   }
-  out << "}\n";
-  return out.good();
+  return true;
 }
 
 std::vector<TrainGraph> balanced_training_set(

@@ -1,0 +1,40 @@
+#include "common/error.h"
+
+namespace gcnt {
+
+const char* error_kind_name(ErrorKind kind) noexcept {
+  switch (kind) {
+    case ErrorKind::kIo:
+      return "io";
+    case ErrorKind::kCorrupt:
+      return "corrupt";
+    case ErrorKind::kVersion:
+      return "version";
+    case ErrorKind::kResource:
+      return "resource";
+    case ErrorKind::kUsage:
+      return "usage";
+    case ErrorKind::kInternal:
+      return "internal";
+  }
+  return "internal";
+}
+
+int exit_code_for(ErrorKind kind) noexcept {
+  switch (kind) {
+    case ErrorKind::kUsage:
+      return 64;  // EX_USAGE
+    case ErrorKind::kCorrupt:
+    case ErrorKind::kVersion:
+      return 65;  // EX_DATAERR
+    case ErrorKind::kInternal:
+      return 70;  // EX_SOFTWARE
+    case ErrorKind::kResource:
+      return 71;  // EX_OSERR
+    case ErrorKind::kIo:
+      return 74;  // EX_IOERR
+  }
+  return 70;
+}
+
+}  // namespace gcnt

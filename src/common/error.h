@@ -1,0 +1,46 @@
+#pragma once
+// Structured error taxonomy for everything that can fail at a system
+// boundary: artifact and netlist I/O, corrupted or version-skewed
+// persisted state, and resource exhaustion.
+//
+// Error derives from std::runtime_error, so existing catch sites keep
+// working; new code catches gcnt::Error and dispatches on kind(). The CLI
+// maps each kind to a distinct sysexits-style process exit code so shell
+// scripts and CI can tell "retry after freeing disk" from "the artifact
+// is garbage" (see exit_code_for).
+
+#include <stdexcept>
+#include <string>
+
+namespace gcnt {
+
+enum class ErrorKind {
+  kIo,        ///< open/read/write/rename failed (errno-level trouble)
+  kCorrupt,   ///< artifact parsed but failed validation (checksum, bounds)
+  kVersion,   ///< artifact produced by an incompatible format version
+  kResource,  ///< allocation or capacity limit hit
+  kUsage,     ///< caller error: bad flag, bad spec string, bad argument
+  kInternal,  ///< invariant violation — a bug, not an input problem
+};
+
+/// Stable lower-case identifier ("io", "corrupt", ...) for logs and CLI
+/// diagnostics.
+const char* error_kind_name(ErrorKind kind) noexcept;
+
+/// sysexits(3)-compatible process exit code for an error kind:
+/// usage=64 (EX_USAGE), corrupt/version=65 (EX_DATAERR), internal=70
+/// (EX_SOFTWARE), resource=71 (EX_OSERR), io=74 (EX_IOERR).
+int exit_code_for(ErrorKind kind) noexcept;
+
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorKind kind, const std::string& message)
+      : std::runtime_error(message), kind_(kind) {}
+
+  ErrorKind kind() const noexcept { return kind_; }
+
+ private:
+  ErrorKind kind_;
+};
+
+}  // namespace gcnt

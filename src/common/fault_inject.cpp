@@ -1,0 +1,219 @@
+#include "common/fault_inject.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace gcnt {
+
+namespace {
+
+struct FaultState {
+  std::atomic<bool> armed{false};
+  FaultSpec spec;
+  std::atomic<std::uint64_t> write_probes{0};
+  std::atomic<std::uint64_t> read_probes{0};
+  std::atomic<std::uint64_t> alloc_probes{0};
+  std::once_flag env_once;
+};
+
+FaultState& state() {
+  static FaultState instance;
+  return instance;
+}
+
+/// Reads GCNT_FAULT_INJECT exactly once, before the first probe decision.
+void ensure_env_loaded() {
+  FaultState& s = state();
+  std::call_once(s.env_once, [&s] {
+    const char* raw = std::getenv("GCNT_FAULT_INJECT");
+    if (raw == nullptr || *raw == '\0') return;
+    s.spec = parse_fault_spec(raw);
+    s.armed.store(s.spec.armed(), std::memory_order_release);
+  });
+}
+
+std::uint64_t parse_u64(const std::string& clause, const std::string& text) {
+  try {
+    return std::stoull(text);
+  } catch (const std::exception&) {
+    throw Error(ErrorKind::kUsage, "fault spec: bad number '" + text +
+                                       "' in clause '" + clause + "'");
+  }
+}
+
+struct FiredCounters {
+  Counter& write_fail;
+  Counter& short_write;
+  Counter& bitflip;
+  Counter& alloc_fail;
+};
+
+FiredCounters& fired_counters() {
+  static FiredCounters counters{
+      StatsRegistry::instance().counter("faultinject.fail_write_fired"),
+      StatsRegistry::instance().counter("faultinject.short_write_fired"),
+      StatsRegistry::instance().counter("faultinject.bitflip_read_fired"),
+      StatsRegistry::instance().counter("faultinject.alloc_fail_fired")};
+  return counters;
+}
+
+}  // namespace
+
+FaultSpec parse_fault_spec(const std::string& text) {
+  FaultSpec spec;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find(';', start);
+    if (end == std::string::npos) end = text.size();
+    std::string clause = text.substr(start, end - start);
+    start = end + 1;
+    // Trim surrounding whitespace so multi-line env values work.
+    while (!clause.empty() && std::isspace(static_cast<unsigned char>(
+                                  clause.front()))) {
+      clause.erase(clause.begin());
+    }
+    while (!clause.empty() &&
+           std::isspace(static_cast<unsigned char>(clause.back()))) {
+      clause.pop_back();
+    }
+    if (clause.empty()) continue;
+
+    const std::size_t colon = clause.find(':');
+    const std::string name = clause.substr(0, colon);
+    std::uint64_t nth = 0, bytes = 0, seed = 1;
+    bool saw_nth = false;
+    if (colon != std::string::npos) {
+      std::size_t p = colon + 1;
+      while (p < clause.size()) {
+        std::size_t comma = clause.find(',', p);
+        if (comma == std::string::npos) comma = clause.size();
+        const std::string param = clause.substr(p, comma - p);
+        p = comma + 1;
+        const std::size_t eq = param.find('=');
+        if (eq == std::string::npos) {
+          throw Error(ErrorKind::kUsage,
+                      "fault spec: expected key=value, got '" + param + "'");
+        }
+        const std::string key = param.substr(0, eq);
+        const std::string value = param.substr(eq + 1);
+        if (key == "nth") {
+          nth = parse_u64(clause, value);
+          saw_nth = true;
+        } else if (key == "bytes") {
+          bytes = parse_u64(clause, value);
+        } else if (key == "seed") {
+          seed = parse_u64(clause, value);
+        } else {
+          throw Error(ErrorKind::kUsage,
+                      "fault spec: unknown parameter '" + key + "'");
+        }
+      }
+    }
+    if (!saw_nth) {
+      throw Error(ErrorKind::kUsage,
+                  "fault spec: clause '" + name + "' needs nth=N");
+    }
+    if (name == "fail-write") {
+      spec.fail_write_nth = nth;
+    } else if (name == "short-write") {
+      spec.short_write_nth = nth;
+      spec.short_write_bytes = bytes;
+    } else if (name == "bitflip-read") {
+      spec.bitflip_read_nth = nth;
+      spec.bitflip_seed = seed;
+    } else if (name == "alloc-fail") {
+      spec.alloc_fail_nth = nth;
+    } else {
+      throw Error(ErrorKind::kUsage,
+                  "fault spec: unknown clause '" + name + "'");
+    }
+  }
+  return spec;
+}
+
+void set_fault_spec(const FaultSpec& spec) {
+  FaultState& s = state();
+  ensure_env_loaded();  // consume the env slot so it cannot overwrite later
+  s.spec = spec;
+  s.write_probes.store(0, std::memory_order_relaxed);
+  s.read_probes.store(0, std::memory_order_relaxed);
+  s.alloc_probes.store(0, std::memory_order_relaxed);
+  s.armed.store(spec.armed(), std::memory_order_release);
+}
+
+void clear_fault_injection() { set_fault_spec(FaultSpec{}); }
+
+bool fault_injection_enabled() noexcept {
+  return state().armed.load(std::memory_order_acquire);
+}
+
+std::size_t fault_write_probe(std::size_t intended_bytes) {
+  ensure_env_loaded();
+  FaultState& s = state();
+  if (!s.armed.load(std::memory_order_acquire)) return intended_bytes;
+  static Counter& probes =
+      StatsRegistry::instance().counter("faultinject.write_probes");
+  probes.add();
+  const std::uint64_t n =
+      s.write_probes.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (s.spec.fail_write_nth != 0 && n == s.spec.fail_write_nth) {
+    fired_counters().write_fail.add();
+    throw Error(ErrorKind::kIo, "injected write failure (probe " +
+                                    std::to_string(n) + ")");
+  }
+  if (s.spec.short_write_nth != 0 && n == s.spec.short_write_nth) {
+    fired_counters().short_write.add();
+    const std::size_t keep = s.spec.short_write_bytes != 0
+                                 ? static_cast<std::size_t>(
+                                       s.spec.short_write_bytes)
+                                 : intended_bytes / 2;
+    return keep < intended_bytes ? keep : intended_bytes;
+  }
+  return intended_bytes;
+}
+
+void fault_read_probe(void* data, std::size_t len) {
+  ensure_env_loaded();
+  FaultState& s = state();
+  if (!s.armed.load(std::memory_order_acquire)) return;
+  static Counter& probes =
+      StatsRegistry::instance().counter("faultinject.read_probes");
+  probes.add();
+  const std::uint64_t n =
+      s.read_probes.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (s.spec.bitflip_read_nth == 0 || n != s.spec.bitflip_read_nth ||
+      len == 0) {
+    return;
+  }
+  fired_counters().bitflip.add();
+  std::uint64_t mix = s.spec.bitflip_seed + n;
+  const std::uint64_t draw = splitmix64(mix);
+  auto* bytes = static_cast<unsigned char*>(data);
+  bytes[(draw >> 3) % len] ^=
+      static_cast<unsigned char>(1u << (draw & 7u));
+}
+
+void fault_alloc_probe(const char* what) {
+  ensure_env_loaded();
+  FaultState& s = state();
+  if (!s.armed.load(std::memory_order_acquire)) return;
+  static Counter& probes =
+      StatsRegistry::instance().counter("faultinject.alloc_probes");
+  probes.add();
+  const std::uint64_t n =
+      s.alloc_probes.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (s.spec.alloc_fail_nth != 0 && n == s.spec.alloc_fail_nth) {
+    fired_counters().alloc_fail.add();
+    throw Error(ErrorKind::kResource,
+                std::string("injected allocation failure at ") + what +
+                    " (probe " + std::to_string(n) + ")");
+  }
+}
+
+}  // namespace gcnt

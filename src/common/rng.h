@@ -130,6 +130,15 @@ class Rng {
   /// Derive an independent child generator (for per-thread streams).
   Rng split() noexcept { return Rng((*this)() ^ 0x9e3779b97f4a7c15ULL); }
 
+  /// Raw generator state, for checkpointing. set_state() discards any
+  /// cached normal() spare, so restore right after construction (or
+  /// accept that one buffered normal draw is not replayed).
+  std::array<std::uint64_t, 4> state() const noexcept { return state_; }
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    state_ = s;
+    has_spare_ = false;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

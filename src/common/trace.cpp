@@ -12,6 +12,9 @@
 #include <sstream>
 #include <utility>
 
+#include "common/artifact.h"
+#include "common/error.h"
+
 namespace gcnt {
 
 namespace trace_detail {
@@ -135,11 +138,9 @@ void write_event(std::ostream& out, const Event& event, std::uint32_t tid,
   out << "}";
 }
 
-/// Drains every buffer (oldest span first per thread) into `path`.
+/// Drains every buffer (oldest span first per thread) into `out`.
 /// Callers must have recording disabled; buffers are cleared on success.
-bool write_and_clear(const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return false;
+void write_events(std::ostream& out) {
   Registry& reg = registry();
   std::lock_guard<std::mutex> registry_lock(reg.mutex);
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
@@ -166,7 +167,18 @@ bool write_and_clear(const std::string& path) {
     buffer->total = 0;
   }
   out << "\n]}\n";
-  return out.good();
+}
+
+/// Atomic (temp + fsync + rename) trace export: a crash or full disk
+/// mid-export never leaves a truncated JSON behind. Buffers are cleared
+/// only when the writer callback ran (atomic_write_file buffers first).
+bool write_and_clear(const std::string& path) {
+  try {
+    atomic_write_file(path, [](std::ostream& out) { write_events(out); });
+  } catch (const Error&) {
+    return false;
+  }
+  return true;
 }
 
 /// Applies GCNT_TRACE=<path> before main(): starts recording and writes

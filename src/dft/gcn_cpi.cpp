@@ -6,6 +6,7 @@
 #include "common/log.h"
 #include "common/trace.h"
 #include "cop/cop.h"
+#include "dft/flow_journal.h"
 #include "gcn/graph_tensors.h"
 #include "gcn/incremental.h"
 #include "scoap/scoap.h"
@@ -42,8 +43,16 @@ GcnCpiResult run_gcn_cpi(Netlist& netlist,
       StatsRegistry::instance().counter("cpi.dirty_nodes");
   static Counter& full_fallbacks_counter =
       StatsRegistry::instance().counter("cpi.full_fallbacks");
+  static Counter& replayed_counter =
+      StatsRegistry::instance().counter("cpi.replayed_records");
   GcnCpiResult result;
   std::unordered_set<NodeId> controlled;
+
+  FlowJournal journal;
+  if (!options.journal_path.empty()) {
+    journal.open(options.journal_path, "cpi", options.journal_design,
+                 netlist.size(), options.resume);
+  }
 
   std::vector<IncrementalGcnEngine> engines;
   engines.reserve(stages.size());
@@ -57,8 +66,42 @@ GcnCpiResult run_gcn_cpi(Netlist& netlist,
   GraphTensors tensors;
   bool have_cache = false;
 
-  for (std::size_t iteration = 0; iteration < options.max_iterations;
-       ++iteration) {
+  // Single mutation path shared by the live sweep and journal replay.
+  const auto apply_insertion = [&](NodeId target, bool rare_is_one) {
+    const Netlist::ControlPoint cp =
+        netlist.insert_control_point(target, rare_is_one);
+    controlled.insert(target);
+    // Structural seeds for the next iteration's dirty cone: the new
+    // cells, the retargeted driver, and every rewired consumer.
+    tracker.record_new_node(cp.control);
+    tracker.record_new_node(cp.gate);
+    if (cp.inverter != kInvalidNode) tracker.record_new_node(cp.inverter);
+    tracker.record_feature(target);
+    for (NodeId w : netlist.fanouts(cp.gate)) tracker.record_feature(w);
+    result.inserted.push_back(cp);
+  };
+
+  // Replay journaled batches from an interrupted sweep; the drive
+  // polarity is taken from the journal, not recomputed, so the resumed
+  // netlist matches the interrupted one exactly. Tensors are rebuilt at
+  // the top of the first live iteration as usual.
+  std::size_t start_iteration = 0;
+  for (const FlowJournalRecord& record : journal.records()) {
+    TraceSpan replay_span("cpi.replay");
+    for (const auto& [target, flag] : record.entries) {
+      apply_insertion(target, flag != 0);
+    }
+    replayed_counter.add();
+    result.iterations = record.iteration + 1;
+    start_iteration = record.iteration + 1;
+  }
+  if (start_iteration != 0) {
+    log_info("gcn-cpi resume: replayed ", journal.records().size(),
+             " journaled iterations (", result.inserted.size(), " CPs)");
+  }
+
+  for (std::size_t iteration = start_iteration;
+       iteration < options.max_iterations; ++iteration) {
     TraceSpan iteration_span("cpi.iteration");
     // CP insertion rewires fanouts, so tensors are rebuilt per iteration
     // (the graph deltas are not append-only as in the OPI flow). The
@@ -129,25 +172,24 @@ GcnCpiResult run_gcn_cpi(Netlist& netlist,
     budget = std::min(budget, ranked.size());
 
     // Drive each target toward its rare value (from COP probabilities).
+    // Both target and polarity are fixed before any mutation, so the whole
+    // accepted batch can be journaled durably before it is applied.
     const CopMeasures cop = compute_cop(netlist);
+    FlowJournalRecord record;
+    record.iteration = iteration;
+    record.entries.reserve(budget);
     for (std::size_t k = 0; k < budget; ++k) {
       const NodeId target = ranked[k].second;
-      const bool rare_is_one = cop.prob_one[target] < 0.5;
-      const Netlist::ControlPoint cp =
-          netlist.insert_control_point(target, rare_is_one);
-      controlled.insert(target);
-      // Structural seeds for the next iteration's dirty cone: the new
-      // cells, the retargeted driver, and every rewired consumer.
-      tracker.record_new_node(cp.control);
-      tracker.record_new_node(cp.gate);
-      if (cp.inverter != kInvalidNode) tracker.record_new_node(cp.inverter);
-      tracker.record_feature(target);
-      for (NodeId w : netlist.fanouts(cp.gate)) tracker.record_feature(w);
-      result.inserted.push_back(cp);
+      record.entries.emplace_back(target, cop.prob_one[target] < 0.5 ? 1 : 0);
+    }
+    if (journal.is_open()) journal.append(record);
+    for (const auto& [target, flag] : record.entries) {
+      apply_insertion(target, flag != 0);
     }
     log_info("gcn-cpi iteration ", iteration + 1, ": ", candidates.size(),
              " positives, inserted ", budget, " CPs");
   }
+  journal.remove();
   return result;
 }
 

@@ -36,6 +36,15 @@ struct GcnCpiOptions {
   bool incremental = true;
   /// Dirty fraction above which the engine falls back to a full forward.
   double full_fallback_fraction = 0.25;
+  /// When non-empty, each iteration's accepted insertion batch — target
+  /// plus drive-toward-one flag — is journaled (fsync'd) before it is
+  /// applied, making an interrupted sweep resumable (dft/flow_journal.h).
+  std::string journal_path;
+  /// With a journal_path: replay a matching journal left by an interrupted
+  /// sweep, then continue at the next iteration. Safe to pass always.
+  bool resume = false;
+  /// Identity recorded in the journal header (e.g. the netlist file name).
+  std::string journal_design = "netlist";
 };
 
 struct GcnCpiResult {

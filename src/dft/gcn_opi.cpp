@@ -4,6 +4,7 @@
 
 #include "common/log.h"
 #include "common/trace.h"
+#include "dft/flow_journal.h"
 #include "dft/impact.h"
 #include "gcn/graph_tensors.h"
 #include "gcn/incremental.h"
@@ -52,6 +53,17 @@ OpiResult run_gcn_opi(Netlist& netlist,
       StatsRegistry::instance().counter("opi.dirty_nodes");
   static Counter& full_fallbacks_counter =
       StatsRegistry::instance().counter("opi.full_fallbacks");
+  static Counter& replayed_counter =
+      StatsRegistry::instance().counter("opi.replayed_records");
+
+  // The journal must record the pre-insertion node count: resume replays
+  // onto the original netlist, so identity is checked against it.
+  FlowJournal journal;
+  if (!options.journal_path.empty()) {
+    journal.open(options.journal_path, "opi", options.journal_design,
+                 netlist.size(), options.resume);
+  }
+
   ScoapMeasures scoap = compute_scoap(netlist);
   std::vector<std::uint32_t> levels = netlist.logic_levels();
   GraphTensors tensors = build_graph_tensors(netlist, scoap, levels);
@@ -71,8 +83,52 @@ OpiResult run_gcn_opi(Netlist& netlist,
   bool have_cache = false;
 
   OpiResult result;
-  for (std::size_t iteration = 0; iteration < options.max_iterations;
-       ++iteration) {
+
+  // Single mutation path, shared by the live sweep and journal replay, so
+  // a resumed run reproduces the interrupted run's netlist exactly.
+  const auto apply_insertion = [&](NodeId target) {
+    const NodeId op = netlist.insert_observe_point(target);
+    update_observability_after_observe(netlist, target, scoap);
+    levels.resize(netlist.size(), 0);
+    levels[op] = levels[target] + 1;
+    const std::vector<NodeId> cone = netlist.fanin_cone(target);
+    std::vector<NodeId> changed_rows;
+    append_observe_point(tensors, netlist, target, op, scoap, cone,
+                         &changed_rows);
+    // Record the perturbation for the next iteration's dirty cone: the
+    // appended edge, the new node, and the feature rows whose stored
+    // value actually changed (a tight subset of the refreshed cone).
+    tracker.record_new_node(op);
+    tracker.record_edge(target, op);
+    for (NodeId v : changed_rows) tracker.record_feature(v);
+    result.inserted.push_back(target);
+  };
+
+  // Replay journaled batches from an interrupted sweep. Prediction and
+  // ranking are skipped — the journal already holds their outcome — and
+  // the first live iteration afterwards does a full refresh (have_cache
+  // is still false), which is bit-identical to the incremental updates
+  // the interrupted run performed.
+  std::size_t start_iteration = 0;
+  for (const FlowJournalRecord& record : journal.records()) {
+    TraceSpan replay_span("opi.replay");
+    for (const auto& [target, flag] : record.entries) {
+      (void)flag;
+      apply_insertion(target);
+    }
+    inserted_counter.add(record.entries.size());
+    replayed_counter.add();
+    result.iterations = record.iteration + 1;
+    start_iteration = record.iteration + 1;
+  }
+  if (start_iteration != 0) {
+    tensors.rebuild_csr();
+    log_info("gcn-opi resume: replayed ", journal.records().size(),
+             " journaled iterations (", result.inserted.size(), " OPs)");
+  }
+
+  for (std::size_t iteration = start_iteration;
+       iteration < options.max_iterations; ++iteration) {
     TraceSpan iteration_span("opi.iteration");
     iterations_counter.add();
 
@@ -125,29 +181,26 @@ OpiResult run_gcn_opi(Netlist& netlist,
                                  static_cast<double>(ranked.size())));
     budget = std::min(budget, ranked.size());
 
-    std::size_t inserted = 0;
+    // The accepted batch is a pure function of the ranked list, so it can
+    // be planned — and journaled, durably — before the netlist mutates:
+    // a crash mid-application replays the complete batch on resume.
+    std::vector<NodeId> planned;
     for (const auto& [impact, target] : ranked) {
-      if (inserted >= budget) break;
+      if (planned.size() >= budget) break;
       // Low-impact candidates are deferred, but always make progress: a
       // positive with no upstream coverage still needs its own OP.
-      if (impact < options.min_impact && inserted > 0) break;
-      const NodeId op = netlist.insert_observe_point(target);
-      update_observability_after_observe(netlist, target, scoap);
-      levels.resize(netlist.size(), 0);
-      levels[op] = levels[target] + 1;
-      const std::vector<NodeId> cone = netlist.fanin_cone(target);
-      std::vector<NodeId> changed_rows;
-      append_observe_point(tensors, netlist, target, op, scoap, cone,
-                           &changed_rows);
-      // Record the perturbation for the next iteration's dirty cone: the
-      // appended edge, the new node, and the feature rows whose stored
-      // value actually changed (a tight subset of the refreshed cone).
-      tracker.record_new_node(op);
-      tracker.record_edge(target, op);
-      for (NodeId v : changed_rows) tracker.record_feature(v);
-      result.inserted.push_back(target);
-      ++inserted;
+      if (impact < options.min_impact && !planned.empty()) break;
+      planned.push_back(target);
     }
+    if (journal.is_open()) {
+      FlowJournalRecord record;
+      record.iteration = iteration;
+      record.entries.reserve(planned.size());
+      for (NodeId target : planned) record.entries.emplace_back(target, 0);
+      journal.append(record);
+    }
+    for (NodeId target : planned) apply_insertion(target);
+    const std::size_t inserted = planned.size();
     tensors.rebuild_csr();
     iteration_span.arg("positives", static_cast<double>(candidates.size()));
     iteration_span.arg("inserted", static_cast<double>(inserted));
@@ -155,6 +208,9 @@ OpiResult run_gcn_opi(Netlist& netlist,
     log_info("gcn-opi iteration ", iteration + 1, ": ", candidates.size(),
              " positives, inserted ", inserted, " OPs");
   }
+  // The sweep ran to completion; a stale journal must not replay into a
+  // future run over the modified netlist.
+  journal.remove();
   return result;
 }
 

@@ -38,6 +38,18 @@ struct GcnOpiOptions {
   /// Dirty fraction above which the incremental engine falls back to a
   /// full forward (tracked by the `opi.full_fallbacks` stats counter).
   double full_fallback_fraction = 0.25;
+  /// When non-empty, each iteration's accepted insertion batch is appended
+  /// to this journal — fsync'd *before* it is applied (dft/flow_journal.h)
+  /// — so an interrupted sweep can be resumed mid-flow.
+  std::string journal_path;
+  /// With a journal_path: replay a matching journal left by an interrupted
+  /// sweep (re-applying its insertions on the original netlist without
+  /// re-running prediction), then continue at the next iteration. Safe to
+  /// pass always — with no journal on disk the sweep simply starts fresh.
+  bool resume = false;
+  /// Identity recorded in the journal header (e.g. the netlist file name);
+  /// a resumed journal must have been written for the same design.
+  std::string journal_design = "netlist";
 };
 
 struct OpiResult {

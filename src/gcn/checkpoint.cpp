@@ -1,0 +1,146 @@
+#include "gcn/checkpoint.h"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "common/artifact.h"
+#include "common/error.h"
+#include "common/fault_inject.h"
+
+namespace gcnt {
+
+namespace {
+
+constexpr const char* kMagic = "gcnt-checkpoint";
+constexpr int kVersion = 2;
+constexpr const char* kArtifactKind = "checkpoint";
+
+/// Caps mirroring load_model's hardening: a corrupt header must not be
+/// able to request a huge allocation.
+constexpr std::size_t kMaxStateMatrices = 1024;
+constexpr std::size_t kMaxMatrixElements = std::size_t{1} << 26;
+constexpr std::size_t kMaxHistory = std::size_t{1} << 24;
+
+[[noreturn]] void fail(const std::string& message) {
+  throw Error(ErrorKind::kCorrupt, "load_checkpoint: " + message);
+}
+
+void write_matrix(std::ostream& out, const Matrix& m) {
+  out << "state " << m.rows() << " " << m.cols() << "\n";
+  out << std::setprecision(std::numeric_limits<float>::max_digits10);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    out << m.data()[i]
+        << ((i + 1) % 8 == 0 || i + 1 == m.size() ? "\n" : " ");
+  }
+}
+
+Matrix read_matrix(std::istream& in) {
+  std::string token;
+  std::size_t rows = 0, cols = 0;
+  if (!(in >> token >> rows >> cols) || token != "state") {
+    fail("missing state block");
+  }
+  if (rows > kMaxMatrixElements || cols > kMaxMatrixElements ||
+      (cols != 0 && rows > kMaxMatrixElements / cols)) {
+    fail("implausible state shape " + std::to_string(rows) + "x" +
+         std::to_string(cols));
+  }
+  fault_alloc_probe("checkpoint state matrix");
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (!(in >> m.data()[i])) fail("truncated state matrix");
+  }
+  return m;
+}
+
+}  // namespace
+
+void save_checkpoint_file(const std::string& path,
+                          const TrainCheckpoint& checkpoint) {
+  std::ostringstream out;
+  out << kMagic << " v" << kVersion << "\n";
+  out << "next_epoch " << checkpoint.next_epoch << "\n";
+  out << "rng " << checkpoint.rng_state[0] << " " << checkpoint.rng_state[1]
+      << " " << checkpoint.rng_state[2] << " " << checkpoint.rng_state[3]
+      << "\n";
+  out << "optimizer " << checkpoint.optimizer_kind << " "
+      << checkpoint.optimizer_step_count << " "
+      << checkpoint.optimizer_state.size() << "\n";
+  for (const Matrix& m : checkpoint.optimizer_state) write_matrix(out, m);
+  out << "history " << checkpoint.history.size() << "\n";
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (const EpochRecord& record : checkpoint.history) {
+    out << record.epoch << " " << record.loss << " " << record.train_accuracy
+        << " " << record.test_accuracy << "\n";
+  }
+  out << "model\n" << checkpoint.model_text;
+  write_artifact_file(path, kArtifactKind, out.str());
+}
+
+TrainCheckpoint load_checkpoint_file(const std::string& path) {
+  std::istringstream in(read_artifact_file(path, kArtifactKind));
+  TrainCheckpoint checkpoint;
+
+  std::string magic, version;
+  if (!(in >> magic >> version) || magic != kMagic) fail("bad header");
+  if (version != "v" + std::to_string(kVersion)) {
+    throw Error(ErrorKind::kVersion,
+                "load_checkpoint: checkpoint is " + version +
+                    ", this build reads v" + std::to_string(kVersion));
+  }
+
+  std::string key;
+  if (!(in >> key >> checkpoint.next_epoch) || key != "next_epoch") {
+    fail("bad next_epoch");
+  }
+  if (!(in >> key >> checkpoint.rng_state[0] >> checkpoint.rng_state[1] >>
+        checkpoint.rng_state[2] >> checkpoint.rng_state[3]) ||
+      key != "rng") {
+    fail("bad rng state");
+  }
+  std::size_t state_count = 0;
+  if (!(in >> key >> checkpoint.optimizer_kind >>
+        checkpoint.optimizer_step_count >> state_count) ||
+      key != "optimizer") {
+    fail("bad optimizer line");
+  }
+  if (state_count > kMaxStateMatrices) {
+    fail("implausible optimizer state count " + std::to_string(state_count));
+  }
+  checkpoint.optimizer_state.reserve(state_count);
+  for (std::size_t i = 0; i < state_count; ++i) {
+    checkpoint.optimizer_state.push_back(read_matrix(in));
+  }
+  std::size_t history_count = 0;
+  if (!(in >> key >> history_count) || key != "history") {
+    fail("bad history line");
+  }
+  if (history_count > kMaxHistory) {
+    fail("implausible history length " + std::to_string(history_count));
+  }
+  checkpoint.history.reserve(history_count);
+  for (std::size_t i = 0; i < history_count; ++i) {
+    EpochRecord record;
+    if (!(in >> record.epoch >> record.loss >> record.train_accuracy >>
+          record.test_accuracy)) {
+      fail("truncated history");
+    }
+    checkpoint.history.push_back(record);
+  }
+  if (!(in >> key) || key != "model") fail("missing model section");
+  std::string line;
+  std::getline(in, line);  // consume end of "model" line
+  std::ostringstream model_text;
+  model_text << in.rdbuf();
+  checkpoint.model_text = model_text.str();
+  if (checkpoint.model_text.empty()) fail("empty model section");
+  return checkpoint;
+}
+
+bool checkpoint_exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+}  // namespace gcnt

@@ -1,0 +1,57 @@
+#pragma once
+// Checkpoint v2: everything needed to continue an interrupted training
+// run bit-exactly — model weights, optimizer state (momentum / Adam
+// moments + step count), the trainer's RNG state, the epoch counter, and
+// the learning-curve history so far.
+//
+// Payload layout (text; floats/doubles at max_digits10 so the round trip
+// is bit-exact, wrapped in the checksummed `gcnt-artifact` envelope and
+// written atomically — see common/artifact.h):
+//
+//   gcnt-checkpoint v2
+//   next_epoch <N>
+//   rng <s0> <s1> <s2> <s3>
+//   optimizer <kind> <step_count> <state-matrix-count>
+//   state <rows> <cols>
+//   <row-major values ...>            (one block per state matrix)
+//   history <count>
+//   <epoch> <loss> <train_acc> <test_acc>
+//   model
+//   <gcnt-model v1 text ...>
+//
+// Trainer::resume() consumes this via TrainerOptions::checkpoint_path;
+// tests/robustness_test.cpp pins that a run killed at any epoch boundary
+// and resumed produces bitwise-identical final weights.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gcn/trainer.h"
+#include "tensor/matrix.h"
+
+namespace gcnt {
+
+struct TrainCheckpoint {
+  std::size_t next_epoch = 0;  ///< first epoch the resumed run executes
+  std::array<std::uint64_t, 4> rng_state{};
+  std::string optimizer_kind;  ///< "sgd" or "adam"
+  std::int64_t optimizer_step_count = 0;
+  std::vector<Matrix> optimizer_state;
+  std::vector<EpochRecord> history;
+  std::string model_text;  ///< save_model() payload (config + weights)
+};
+
+/// Atomic, checksummed write. Throws Error{kIo}.
+void save_checkpoint_file(const std::string& path,
+                          const TrainCheckpoint& checkpoint);
+
+/// Verifying load. Throws Error{kIo} when unreadable, Error{kVersion} on
+/// a version mismatch, Error{kCorrupt} on checksum or structural damage.
+TrainCheckpoint load_checkpoint_file(const std::string& path);
+
+/// True when `path` exists and is readable (not validated).
+bool checkpoint_exists(const std::string& path);
+
+}  // namespace gcnt

@@ -1,12 +1,16 @@
 #include "gcn/serialize.h"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <istream>
 #include <limits>
 #include <ostream>
 #include <sstream>
-#include <stdexcept>
+
+#include "common/artifact.h"
+#include "common/error.h"
+#include "common/fault_inject.h"
 
 namespace gcnt {
 
@@ -15,8 +19,20 @@ namespace {
 constexpr const char* kMagic = "gcnt-model";
 constexpr int kVersion = 1;
 
+// Architecture bounds: a corrupted or hostile header must not be able to
+// drive a huge allocation. The paper's widest layer is 128; these caps
+// leave two orders of magnitude of headroom while keeping the largest
+// single weight matrix (kMaxDim^2 floats) around 1 GiB.
+constexpr std::size_t kMaxDepth = 64;
+constexpr std::size_t kMaxLayerCount = 64;
+constexpr std::size_t kMaxDim = 16384;
+constexpr std::size_t kMaxClasses = 4096;
+/// Upper bound on total parameter elements across all layers (64M floats
+/// = 256 MiB), checked before the model is constructed.
+constexpr std::size_t kMaxTotalParams = std::size_t{1} << 26;
+
 [[noreturn]] void fail(const std::string& message) {
-  throw std::runtime_error("load_model: " + message);
+  throw Error(ErrorKind::kCorrupt, "load_model: " + message);
 }
 
 std::vector<std::size_t> read_dims(std::istringstream& line) {
@@ -24,6 +40,37 @@ std::vector<std::size_t> read_dims(std::istringstream& line) {
   std::size_t value = 0;
   while (line >> value) dims.push_back(value);
   return dims;
+}
+
+void check_dims(const char* what, const std::vector<std::size_t>& dims) {
+  if (dims.size() > kMaxLayerCount) {
+    fail(std::string(what) + ": implausible layer count " +
+         std::to_string(dims.size()));
+  }
+  for (std::size_t k : dims) {
+    if (k == 0 || k > kMaxDim) {
+      fail(std::string(what) + ": dimension " + std::to_string(k) +
+           " outside [1, " + std::to_string(kMaxDim) + "]");
+    }
+  }
+}
+
+/// Total parameter elements the config will allocate — computed from the
+/// header alone so the bound is enforced before any allocation happens.
+std::size_t config_param_elements(const GcnConfig& config) {
+  std::size_t total = 2;  // w_pr, w_su
+  std::size_t in = kNodeFeatureDim;
+  for (std::size_t d = 0; d < static_cast<std::size_t>(config.depth); ++d) {
+    const std::size_t out = config.embed_dims[d];
+    total += in * out + out;
+    in = out;
+  }
+  for (std::size_t f : config.fc_dims) {
+    total += in * f + f;
+    in = f;
+  }
+  total += in * config.num_classes + config.num_classes;
+  return total;
 }
 
 }  // namespace
@@ -55,8 +102,13 @@ void save_model(const GcnModel& model, std::ostream& out) {
 
 GcnModel load_model(std::istream& in) {
   std::string magic, version;
-  if (!(in >> magic >> version) || magic != kMagic || version != "v1") {
+  if (!(in >> magic >> version) || magic != kMagic) {
     fail("bad header");
+  }
+  if (version != "v" + std::to_string(kVersion)) {
+    throw Error(ErrorKind::kVersion,
+                "load_model: model is " + version + ", this build reads v" +
+                    std::to_string(kVersion));
   }
 
   GcnConfig config;
@@ -102,7 +154,25 @@ GcnModel load_model(std::istream& in) {
       static_cast<std::size_t>(config.depth) > config.embed_dims.size()) {
     fail("inconsistent architecture");
   }
+  // Bound every architecture field before GcnModel(config) allocates: a
+  // corrupted or hostile header must fail here, not in the allocator.
+  if (static_cast<std::size_t>(config.depth) > kMaxDepth) {
+    fail("depth " + std::to_string(config.depth) + " exceeds " +
+         std::to_string(kMaxDepth));
+  }
+  check_dims("embed_dims", config.embed_dims);
+  check_dims("fc_dims", config.fc_dims);
+  if (config.num_classes == 0 || config.num_classes > kMaxClasses) {
+    fail("num_classes " + std::to_string(config.num_classes) +
+         " outside [1, " + std::to_string(kMaxClasses) + "]");
+  }
+  const std::size_t total_elements = config_param_elements(config);
+  if (total_elements > kMaxTotalParams) {
+    fail("architecture declares " + std::to_string(total_elements) +
+         " parameters, cap is " + std::to_string(kMaxTotalParams));
+  }
 
+  fault_alloc_probe("load_model parameters");
   GcnModel model(config);
   for (Param* param : model.params()) {
     std::string token;
@@ -115,20 +185,28 @@ GcnModel load_model(std::istream& in) {
     }
     for (std::size_t i = 0; i < param->value.size(); ++i) {
       if (!(in >> param->value.data()[i])) fail("truncated parameter data");
+      if (!std::isfinite(param->value.data()[i])) {
+        fail("non-finite parameter value");
+      }
     }
   }
   return model;
 }
 
 void save_model_file(const GcnModel& model, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open for write: " + path);
-  save_model(model, out);
+  std::ostringstream payload;
+  save_model(model, payload);
+  write_artifact_file(path, "model", payload.str());
 }
 
 GcnModel load_model_file(const std::string& path) {
+  if (is_artifact_file(path)) {
+    std::istringstream payload(read_artifact_file(path, "model"));
+    return load_model(payload);
+  }
+  // Legacy bare v1 file (pre-envelope); kept loadable.
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  if (!in) throw Error(ErrorKind::kIo, "cannot open for read: " + path);
   return load_model(in);
 }
 

@@ -14,6 +14,11 @@
 //   ...
 //
 // Floats are written with max_digits10 so a round-trip is bit-exact.
+//
+// On disk the v1 text above is the payload of a checksummed
+// `gcnt-artifact` envelope (common/artifact.h), written atomically —
+// a crash mid-save never leaves a truncated model, and a bit-flipped
+// file is rejected at load. Pre-envelope bare files remain loadable.
 
 #include <iosfwd>
 #include <string>
@@ -25,11 +30,14 @@ namespace gcnt {
 /// Writes configuration + every parameter of `model`.
 void save_model(const GcnModel& model, std::ostream& out);
 
-/// Reconstructs a model (architecture + weights). Throws
-/// std::runtime_error on malformed input or a version mismatch.
+/// Reconstructs a model (architecture + weights). Throws gcnt::Error —
+/// kCorrupt on malformed input, out-of-bounds architecture fields, or
+/// non-finite weights; kVersion on a format-version mismatch.
 GcnModel load_model(std::istream& in);
 
-/// File-path conveniences; throw std::runtime_error on I/O failure.
+/// File-path conveniences. save writes an enveloped artifact atomically;
+/// load verifies it (or reads a legacy bare file). Throw gcnt::Error
+/// with kind kIo / kCorrupt / kVersion.
 void save_model_file(const GcnModel& model, const std::string& path);
 GcnModel load_model_file(const std::string& path);
 

@@ -10,11 +10,15 @@
 // same.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "gcn/model.h"
 
 namespace gcnt {
+
+class Optimizer;
+class Rng;
 
 /// One training/evaluation unit: a graph and the rows the loss runs on
 /// (e.g. a balanced subset). Labels come from GraphTensors::labels.
@@ -34,6 +38,13 @@ struct TrainerOptions {
   std::size_t workers = 0;    ///< replicas; 0 = one per training graph
   /// Record train/test accuracy every `eval_interval` epochs (1 = always).
   std::size_t eval_interval = 1;
+
+  /// When non-empty, an atomic, checksummed checkpoint (model + optimizer
+  /// state + RNG + epoch counter + history; see gcn/checkpoint.h) is
+  /// written here at every `checkpoint_interval`-th epoch boundary, and
+  /// resume() continues from it bit-exactly.
+  std::string checkpoint_path;
+  std::size_t checkpoint_interval = 1;
 };
 
 struct EpochRecord {
@@ -52,11 +63,30 @@ class Trainer {
   std::vector<EpochRecord> train(const std::vector<TrainGraph>& train_graphs,
                                  const TrainGraph* test);
 
+  /// Continues an interrupted run from `options.checkpoint_path`: restores
+  /// weights, optimizer state, RNG, and the epoch counter, then trains the
+  /// remaining epochs. The final model is bitwise identical to an
+  /// uninterrupted train() at any thread count (pinned by
+  /// tests/robustness_test.cpp). Falls back to a fresh train() when no
+  /// checkpoint exists yet (so `--resume` is safe to pass always); throws
+  /// gcnt::Error — kUsage when checkpoint_path is empty or the checkpoint
+  /// does not match the model/optimizer configuration, kCorrupt/kVersion
+  /// for a damaged or incompatible file.
+  std::vector<EpochRecord> resume(const std::vector<TrainGraph>& train_graphs,
+                                  const TrainGraph* test);
+
   /// Accuracy of `model` on one graph restricted to `rows`.
   static double evaluate_accuracy(const GcnModel& model,
                                   const TrainGraph& data);
 
  private:
+  /// Shared epoch loop: runs epochs [start_epoch, options.epochs) on top
+  /// of `history`, checkpointing at each boundary when configured.
+  std::vector<EpochRecord> run_epochs(
+      const std::vector<TrainGraph>& train_graphs, const TrainGraph* test,
+      std::size_t start_epoch, std::vector<EpochRecord> history,
+      Optimizer& optimizer, Rng& rng);
+
   GcnModel* model_;
   TrainerOptions options_;
 };

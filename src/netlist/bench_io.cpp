@@ -8,6 +8,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/error.h"
+
 namespace gcnt {
 
 namespace {
@@ -20,8 +22,8 @@ struct PendingGate {
 };
 
 [[noreturn]] void fail(int line, const std::string& message) {
-  throw std::runtime_error("bench parse error at line " +
-                           std::to_string(line) + ": " + message);
+  throw Error(ErrorKind::kCorrupt, "bench parse error at line " +
+                                       std::to_string(line) + ": " + message);
 }
 
 std::string strip(const std::string& text) {

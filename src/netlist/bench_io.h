@@ -19,8 +19,9 @@
 
 namespace gcnt {
 
-/// Parses a .bench document. Throws std::runtime_error with a line number
-/// on malformed input (unknown gate, undefined signal, redefinition).
+/// Parses a .bench document. Throws gcnt::Error{kCorrupt} (a
+/// std::runtime_error) with a line number on malformed input (unknown
+/// gate, undefined signal, redefinition).
 Netlist read_bench(std::istream& in, std::string design_name = "bench");
 
 /// Convenience overload over a string payload.

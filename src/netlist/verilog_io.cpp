@@ -9,6 +9,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/error.h"
+
 namespace gcnt {
 
 namespace {
@@ -19,8 +21,9 @@ struct Token {
 };
 
 [[noreturn]] void fail(int line, const std::string& message) {
-  throw std::runtime_error("verilog parse error at line " +
-                           std::to_string(line) + ": " + message);
+  throw Error(ErrorKind::kCorrupt,
+              "verilog parse error at line " + std::to_string(line) + ": " +
+                  message);
 }
 
 /// Lexer: identifiers/keywords and single-char punctuation; comments and

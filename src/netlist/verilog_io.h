@@ -22,8 +22,9 @@
 
 namespace gcnt {
 
-/// Parses the subset above. Throws std::runtime_error with a line number
-/// on anything else (undeclared nets, redefinitions, unknown primitives).
+/// Parses the subset above. Throws gcnt::Error{kCorrupt} (a
+/// std::runtime_error) with a line number on anything else (undeclared
+/// nets, redefinitions, unknown primitives).
 Netlist read_verilog(std::istream& in, std::string fallback_name = "top");
 
 Netlist read_verilog_string(const std::string& text,

@@ -5,12 +5,22 @@
 
 namespace gcnt {
 
-void SgdOptimizer::step(const std::vector<Param*>& params) {
-  if (velocity_.empty()) {
-    for (const Param* p : params) {
-      velocity_.emplace_back(p->value.rows(), p->value.cols());
-    }
+void SgdOptimizer::ensure_state(const std::vector<Param*>& params) {
+  if (!velocity_.empty()) return;
+  for (const Param* p : params) {
+    velocity_.emplace_back(p->value.rows(), p->value.cols());
   }
+}
+
+std::vector<Matrix*> SgdOptimizer::state_matrices() {
+  std::vector<Matrix*> state;
+  state.reserve(velocity_.size());
+  for (Matrix& m : velocity_) state.push_back(&m);
+  return state;
+}
+
+void SgdOptimizer::step(const std::vector<Param*>& params) {
+  ensure_state(params);
   if (velocity_.size() != params.size()) {
     throw std::invalid_argument("SgdOptimizer: param list changed");
   }
@@ -29,13 +39,24 @@ void SgdOptimizer::step(const std::vector<Param*>& params) {
   }
 }
 
-void AdamOptimizer::step(const std::vector<Param*>& params) {
-  if (first_moment_.empty()) {
-    for (const Param* p : params) {
-      first_moment_.emplace_back(p->value.rows(), p->value.cols());
-      second_moment_.emplace_back(p->value.rows(), p->value.cols());
-    }
+void AdamOptimizer::ensure_state(const std::vector<Param*>& params) {
+  if (!first_moment_.empty()) return;
+  for (const Param* p : params) {
+    first_moment_.emplace_back(p->value.rows(), p->value.cols());
+    second_moment_.emplace_back(p->value.rows(), p->value.cols());
   }
+}
+
+std::vector<Matrix*> AdamOptimizer::state_matrices() {
+  std::vector<Matrix*> state;
+  state.reserve(first_moment_.size() * 2);
+  for (Matrix& m : first_moment_) state.push_back(&m);
+  for (Matrix& m : second_moment_) state.push_back(&m);
+  return state;
+}
+
+void AdamOptimizer::step(const std::vector<Param*>& params) {
+  ensure_state(params);
   if (first_moment_.size() != params.size()) {
     throw std::invalid_argument("AdamOptimizer: param list changed");
   }

@@ -6,6 +6,7 @@
 // host, and the benches use it where the paper's result is insensitive to
 // the optimizer choice.
 
+#include <cstdint>
 #include <vector>
 
 #include "nn/layers.h"
@@ -18,6 +19,22 @@ class Optimizer {
   /// Applies one update using each param's accumulated gradient, then
   /// zeroes the gradients. The param list must be identical across calls.
   virtual void step(const std::vector<Param*>& params) = 0;
+
+  // Checkpointing hooks (gcn/checkpoint.h). The per-parameter state is
+  // exposed as mutable matrices so a checkpoint can be restored bit-exactly
+  // before the next step().
+
+  /// Stable identifier of the update rule ("sgd", "adam").
+  virtual const char* kind() const noexcept = 0;
+  /// Allocates zeroed per-parameter state for `params` if not yet sized
+  /// (step() does this lazily; restore paths need it eagerly).
+  virtual void ensure_state(const std::vector<Param*>& params) = 0;
+  /// Views of every state matrix, in a stable order. Empty until the
+  /// first step()/ensure_state().
+  virtual std::vector<Matrix*> state_matrices() = 0;
+  /// Update count consumed by bias correction (0 for stateless rules).
+  virtual std::int64_t step_count() const noexcept = 0;
+  virtual void set_step_count(std::int64_t count) noexcept = 0;
 };
 
 class SgdOptimizer final : public Optimizer {
@@ -29,6 +46,12 @@ class SgdOptimizer final : public Optimizer {
         weight_decay_(weight_decay) {}
 
   void step(const std::vector<Param*>& params) override;
+
+  const char* kind() const noexcept override { return "sgd"; }
+  void ensure_state(const std::vector<Param*>& params) override;
+  std::vector<Matrix*> state_matrices() override;
+  std::int64_t step_count() const noexcept override { return 0; }
+  void set_step_count(std::int64_t) noexcept override {}
 
  private:
   float learning_rate_;
@@ -48,12 +71,21 @@ class AdamOptimizer final : public Optimizer {
 
   void step(const std::vector<Param*>& params) override;
 
+  const char* kind() const noexcept override { return "adam"; }
+  void ensure_state(const std::vector<Param*>& params) override;
+  /// First moments for every parameter, then second moments.
+  std::vector<Matrix*> state_matrices() override;
+  std::int64_t step_count() const noexcept override { return step_count_; }
+  void set_step_count(std::int64_t count) noexcept override {
+    step_count_ = count;
+  }
+
  private:
   float learning_rate_;
   float beta1_;
   float beta2_;
   float epsilon_;
-  long step_count_ = 0;
+  std::int64_t step_count_ = 0;
   std::vector<Matrix> first_moment_;
   std::vector<Matrix> second_moment_;
 };

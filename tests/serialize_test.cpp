@@ -1,9 +1,12 @@
-// Model persistence round-trips.
+// Model persistence round-trips and hostile-input hardening.
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
+#include "common/error.h"
 #include "gcn/serialize.h"
 #include "gen/generator.h"
 
@@ -82,6 +85,135 @@ TEST(Serialize, FileRoundTrip) {
 TEST(Serialize, MissingFileThrows) {
   EXPECT_THROW(load_model_file("/nonexistent/path/model.txt"),
                std::runtime_error);
+}
+
+TEST(Serialize, MissingFileIsIoError) {
+  try {
+    load_model_file("/nonexistent/path/model.txt");
+    FAIL() << "expected gcnt::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kIo);
+  }
+}
+
+TEST(Serialize, VersionMismatchIsVersionError) {
+  std::stringstream buffer("gcnt-model v9\ndepth 1\n");
+  try {
+    load_model(buffer);
+    FAIL() << "expected gcnt::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kVersion);
+  }
+}
+
+/// Builds a syntactically valid header around hostile architecture
+/// fields; every case must be rejected as kCorrupt *before* any model
+/// allocation happens.
+std::string hostile_header(const std::string& depth,
+                           const std::string& embed_dims,
+                           const std::string& fc_dims,
+                           const std::string& num_classes) {
+  return "gcnt-model v1\ndepth " + depth + "\nembed_dims " + embed_dims +
+         "\nfc_dims " + fc_dims + "\nnum_classes " + num_classes +
+         "\naggregation 0 0 0.5 0.5\n";
+}
+
+void expect_corrupt(const std::string& text) {
+  std::istringstream in(text);
+  try {
+    load_model(in);
+    FAIL() << "expected gcnt::Error for: " << text.substr(0, 80);
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kCorrupt);
+  }
+}
+
+TEST(Serialize, HostileHeaderHugeDimensionRejected) {
+  expect_corrupt(hostile_header("1", "999999999", "10", "2"));
+}
+
+TEST(Serialize, HostileHeaderZeroDimensionRejected) {
+  expect_corrupt(hostile_header("1", "0", "10", "2"));
+}
+
+TEST(Serialize, HostileHeaderDepthBoundRejected) {
+  std::string dims;
+  for (int i = 0; i < 65; ++i) dims += "8 ";
+  expect_corrupt(hostile_header("65", dims, "10", "2"));
+}
+
+TEST(Serialize, HostileHeaderLayerCountRejected) {
+  std::string dims;
+  for (int i = 0; i < 80; ++i) dims += "8 ";
+  expect_corrupt(hostile_header("2", "8 8", dims, "2"));
+}
+
+TEST(Serialize, HostileHeaderClassCountRejected) {
+  expect_corrupt(hostile_header("1", "8", "10", "99999"));
+}
+
+TEST(Serialize, HostileHeaderTotalParamCapRejected) {
+  // Each dimension is individually legal (<= 16384) but the product
+  // blows the total-parameter budget; the cap must catch it from the
+  // header alone.
+  expect_corrupt(hostile_header("2", "16384 16384", "16384", "2"));
+}
+
+TEST(Serialize, NonFiniteWeightRejected) {
+  GcnModel model(small_config());
+  std::stringstream buffer;
+  save_model(model, buffer);
+  std::string text = buffer.str();
+  // Corrupt the first weight of the first param block.
+  const std::size_t block = text.find("param ");
+  ASSERT_NE(block, std::string::npos);
+  const std::size_t value = text.find('\n', block) + 1;
+  const std::size_t end = text.find(' ', value);
+  text.replace(value, end - value, "inf");
+  expect_corrupt(text);
+}
+
+TEST(Serialize, LegacyBareFileStillLoads) {
+  // Pre-envelope files are bare save_model text; the loader must keep
+  // reading them without the artifact header.
+  GcnModel model(small_config());
+  const std::string path = "serialize_test_legacy.txt";
+  {
+    std::ofstream out(path);
+    save_model(model, out);
+  }
+  const GcnModel loaded = load_model_file(path);
+  EXPECT_EQ(loaded.config().depth, model.config().depth);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, SavedFileIsEnveloped) {
+  GcnModel model(small_config());
+  const std::string path = "serialize_test_envelope.txt";
+  save_model_file(model, path);
+  std::ifstream in(path);
+  std::string magic;
+  in >> magic;
+  EXPECT_EQ(magic, "gcnt-artifact");
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, TamperedFileRejectedAsCorrupt) {
+  GcnModel model(small_config());
+  const std::string path = "serialize_test_tampered.txt";
+  save_model_file(model, path);
+  {
+    std::fstream file(path, std::ios::in | std::ios::out);
+    file.seekp(-10, std::ios::end);
+    file.put('#');
+  }
+  try {
+    load_model_file(path);
+    FAIL() << "expected gcnt::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kCorrupt);
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

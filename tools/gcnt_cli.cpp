@@ -6,8 +6,17 @@
 //   gcnt label    design.bench [--batches B] [--rate R]
 //   gcnt atpg     design.bench [--sample N] [--patterns out.txt]
 //   gcnt train    design.bench --model model.txt [--epochs E]
+//                 [--checkpoint [file]] [--checkpoint-interval K] [--resume]
 //   gcnt opi      design.bench --model model.txt --out modified.bench
+//                 [--journal [file]] [--resume]
 //   gcnt flow     [design.bench] [--gates N] [--epochs E] [--atpg]
+//                 [--checkpoint base] [--resume]
+//
+// --resume continues an interrupted train/opi/flow run from its
+// checkpoint / insertion journal (crash-safe: every artifact is written
+// atomically and checksummed; see docs/API.md). Failures exit with
+// sysexits-style codes: 64 usage, 65 corrupt, 70 internal, 71 resource,
+// 74 i/o.
 //
 // Global observability flags (any command): --trace out.json writes a
 // Chrome trace-event file, --stats prints the stats registry to stderr,
@@ -27,6 +36,8 @@
 
 #include "atpg/atpg.h"
 #include "sim/logic_sim.h"
+#include "common/artifact.h"
+#include "common/error.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/stats.h"
@@ -70,18 +81,18 @@ bool is_verilog_path(const std::string& path) {
 
 Netlist read_netlist_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open " + path);
+  if (!in) throw Error(ErrorKind::kIo, "cannot open " + path);
   return is_verilog_path(path) ? read_verilog(in, path) : read_bench(in, path);
 }
 
 void write_netlist_file(const Netlist& netlist, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open for write: " + path);
-  if (is_verilog_path(path)) {
-    write_verilog(netlist, out);
-  } else {
-    write_bench(netlist, out);
-  }
+  atomic_write_file(path, [&](std::ostream& out) {
+    if (is_verilog_path(path)) {
+      write_verilog(netlist, out);
+    } else {
+      write_bench(netlist, out);
+    }
+  });
 }
 
 int cmd_generate(const Args& args) {
@@ -178,16 +189,17 @@ int cmd_atpg(const Args& args) {
   const AtpgResult result = run_atpg(netlist, options);
   if (options.collect_patterns) {
     const std::string path = args.get("patterns", "patterns.txt");
-    std::ofstream out(path);
-    // Header: source signal order, then one 0/1 line per pattern.
-    LogicSimulator sim(netlist);
-    out << "#";
-    for (NodeId s : sim.sources()) out << " " << netlist.node_name(s);
-    out << "\n";
-    for (const auto& pattern : result.patterns) {
-      for (bool bit : pattern) out << (bit ? '1' : '0');
+    atomic_write_file(path, [&](std::ostream& out) {
+      // Header: source signal order, then one 0/1 line per pattern.
+      LogicSimulator sim(netlist);
+      out << "#";
+      for (NodeId s : sim.sources()) out << " " << netlist.node_name(s);
       out << "\n";
-    }
+      for (const auto& pattern : result.patterns) {
+        for (bool bit : pattern) out << (bit ? '1' : '0');
+        out << "\n";
+      }
+    });
     std::cout << "wrote " << result.patterns.size() << " patterns to "
               << path << "\n";
   }
@@ -221,12 +233,21 @@ int cmd_train(const Args& args) {
   options.positive_class_weight =
       static_cast<float>(args.get_double("weight", 8.0));
   options.eval_interval = std::max<std::size_t>(1, options.epochs / 10);
+  const std::string path = args.get("model", "model.txt");
+  // Checkpointing is opt-in (--checkpoint [file] or --resume); the
+  // default path sits next to the model artifact.
+  if (args.has("checkpoint") || args.has("resume")) {
+    const std::string checkpoint = args.get("checkpoint", "1");
+    options.checkpoint_path = checkpoint == "1" ? path + ".ckpt" : checkpoint;
+    options.checkpoint_interval = args.get_size("checkpoint-interval", 1);
+  }
   Trainer trainer(model, options);
   const TrainGraph data{&dataset.tensors, {}};
-  const auto history = trainer.train({data}, &data);
+  const auto history =
+      args.has("resume") ? trainer.resume({data}, &data)
+                         : trainer.train({data}, &data);
   std::cout << "final loss " << Table::num(history.back().loss, 4) << "\n";
 
-  const std::string path = args.get("model", "model.txt");
   save_model_file(model, path);
   std::cout << "saved model to " << path << "\n";
   return 0;
@@ -237,6 +258,17 @@ int cmd_opi(const Args& args) {
   GcnModel model = load_model_file(args.get("model", "model.txt"));
   GcnOpiOptions options;
   options.max_iterations = args.get_size("iterations", 12);
+  // Journaling is opt-in (--journal [file] or --resume); the default path
+  // sits next to the output artifact and is removed when the sweep
+  // completes.
+  if (args.has("journal") || args.has("resume")) {
+    const std::string journal = args.get("journal", "1");
+    options.journal_path =
+        journal == "1" ? args.get("out", "modified.bench") + ".journal"
+                       : journal;
+    options.journal_design = args.positional.at(0);
+    options.resume = args.has("resume");
+  }
   const auto result = run_gcn_opi(netlist, {&model}, options);
   std::cout << "inserted " << result.inserted.size() << " observation points"
             << " in " << result.iterations << " iterations ("
@@ -254,17 +286,25 @@ int cmd_opi(const Args& args) {
 // for every hot path in the library.
 int cmd_flow(const Args& args) {
   Netlist netlist;
+  std::string design;
   if (!args.positional.empty()) {
-    netlist = read_netlist_file(args.positional.at(0));
+    design = args.positional.at(0);
+    netlist = read_netlist_file(design);
   } else {
     GeneratorConfig config;
     config.target_gates = args.get_size("gates", 25000);
     config.seed = args.get_size("seed", 1);
     config.flip_flops = config.target_gates / 24;
+    // Generation is seed-deterministic, so a resumed flow regenerates the
+    // identical starting netlist; the identity string pins that.
+    design = "gen-" + std::to_string(config.target_gates) + "-" +
+             std::to_string(config.seed);
     netlist = generate_circuit(config);
     std::cout << "generated " << netlist.size() << " nodes / "
               << netlist.edge_count() << " edges\n";
   }
+  const bool resume = args.has("resume");
+  const std::string checkpoint_base = args.get("checkpoint", "flow");
 
   LabelerOptions labeler;
   labeler.batches = args.get_size("batches", 4);
@@ -282,14 +322,23 @@ int cmd_flow(const Args& args) {
   train_options.learning_rate = 1e-2f;
   train_options.eval_interval = std::max<std::size_t>(
       1, train_options.epochs / 2);
+  if (resume || args.has("checkpoint")) {
+    train_options.checkpoint_path = checkpoint_base + ".ckpt";
+  }
   Trainer trainer(model, train_options);
   const TrainGraph data{&dataset.tensors, {}};
-  const auto history = trainer.train({data}, nullptr);
+  const auto history = resume ? trainer.resume({data}, nullptr)
+                              : trainer.train({data}, nullptr);
   std::cout << "trained " << history.size() << " epochs, final loss "
             << Table::num(history.back().loss, 4) << "\n";
 
   GcnOpiOptions opi_options;
   opi_options.max_iterations = args.get_size("iterations", 2);
+  if (resume || args.has("checkpoint")) {
+    opi_options.journal_path = checkpoint_base + ".journal";
+    opi_options.journal_design = design;
+    opi_options.resume = resume;
+  }
   const auto result = run_gcn_opi(dataset.netlist, {&model}, opi_options);
   std::cout << "inserted " << result.inserted.size()
             << " observation points in " << result.iterations
@@ -320,12 +369,18 @@ int usage() {
             << "  label    <netlist> [--batches B] [--rate R]\n"
             << "  atpg     <netlist> [--sample N]\n"
             << "  train    <netlist> --model model.txt [--epochs E]\n"
+            << "           [--checkpoint [file]] [--checkpoint-interval K] "
+               "[--resume]\n"
             << "  opi      <netlist> --model model.txt --out out.bench\n"
+            << "           [--journal [file]] [--resume]\n"
             << "  flow     [<netlist>] [--gates N] [--epochs E] [--atpg]\n"
+            << "           [--checkpoint base] [--resume]\n"
             << "global flags: --trace out.json | --stats | --stats-json "
                "out.json\n"
-            << "netlists ending in .v are treated as structural Verilog\n";
-  return 2;
+            << "netlists ending in .v are treated as structural Verilog\n"
+            << "exit codes: 64 usage, 65 corrupt/version, 70 internal, "
+               "71 resource, 74 i/o\n";
+  return exit_code_for(ErrorKind::kUsage);
 }
 
 int dispatch(const Args& args) {
@@ -364,12 +419,25 @@ int main(int argc, char** argv) {
   if (!trace_path.empty()) trace_start();
   if (args.has("stats") || args.has("stats-json")) set_stats_enabled(true);
 
+  // Failures map to distinct sysexits-style codes (docs/API.md) so
+  // wrappers can tell a bad invocation from a corrupt artifact from an
+  // environment problem without parsing stderr.
   int rc = 0;
   try {
     rc = dispatch(args);
+  } catch (const Error& e) {
+    std::cerr << "error [" << error_kind_name(e.kind()) << "]: " << e.what()
+              << "\n";
+    rc = exit_code_for(e.kind());
+  } catch (const std::bad_alloc&) {
+    std::cerr << "error [resource]: out of memory\n";
+    rc = exit_code_for(ErrorKind::kResource);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error [usage]: " << e.what() << "\n";
+    rc = exit_code_for(ErrorKind::kUsage);
   } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    rc = 1;
+    std::cerr << "error [internal]: " << e.what() << "\n";
+    rc = exit_code_for(ErrorKind::kInternal);
   }
 
   publish_kernel_pool_stats();
@@ -383,13 +451,15 @@ int main(int argc, char** argv) {
   }
   const std::string stats_json = args.get("stats-json", "");
   if (!stats_json.empty()) {
-    std::ofstream out(stats_json);
-    if (out) {
-      StatsRegistry::instance().write_json(out);
+    try {
+      atomic_write_file(stats_json, [](std::ostream& out) {
+        StatsRegistry::instance().write_json(out);
+      });
       std::cerr << "wrote stats to " << stats_json << "\n";
-    } else {
-      std::cerr << "error: cannot open " << stats_json << "\n";
-      if (rc == 0) rc = 1;
+    } catch (const Error& e) {
+      std::cerr << "error [" << error_kind_name(e.kind())
+                << "]: " << e.what() << "\n";
+      if (rc == 0) rc = exit_code_for(e.kind());
     }
   }
   if (args.has("stats")) StatsRegistry::instance().write_text(std::cerr);
