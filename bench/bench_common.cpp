@@ -10,8 +10,10 @@
 #include "common/log.h"
 #include "common/table.h"
 #include "common/timer.h"
+#include "gcn/graph_tensors.h"
 #include "gen/generator.h"
 #include "netlist/bench_io.h"
+#include "tensor/simd/simd.h"
 
 namespace gcnt::bench {
 
@@ -130,7 +132,14 @@ bool write_bench_json(
   try {
     atomic_write_file(path, [&](std::ostream& out) {
       out << "{\n";
-      out << "  \"schema.version\": 2" << (entries.empty() ? "\n" : ",\n");
+      // v3: every result records which SIMD dispatch path and graph
+      // reordering policy produced it. String-valued "schema." entries
+      // are metadata; bench_gate ignores them when comparing.
+      out << "  \"schema.version\": 3,\n";
+      out << "  \"schema.simd\": \"" << simd_target_name() << "\",\n";
+      out << "  \"schema.reorder\": \""
+          << (graph_reorder() == GraphReorder::kRcm ? "rcm" : "off") << "\""
+          << (entries.empty() ? "\n" : ",\n");
       for (std::size_t i = 0; i < entries.size(); ++i) {
         out << "  \"" << entries[i].first << "\": " << entries[i].second
             << (i + 1 < entries.size() ? ",\n" : "\n");

@@ -1,0 +1,35 @@
+#pragma once
+// GCNT_DEBUG_ASSERT(cond, msg): bounds/invariant checks on the hot
+// accessors (Matrix::at/row, CSR index walks) that compile to nothing in
+// Release builds. Enabled when GCNT_DEBUG_ASSERTS is defined — the top
+// CMakeLists defines it for Debug configurations — so the Release hot
+// paths stay branch-free while Debug (and the sanitizer CI legs, which
+// build Debug) catches out-of-range indices at the accessor instead of
+// as a downstream heap corruption.
+//
+// Failure aborts (it does not throw): these guard noexcept accessors and
+// an out-of-range index is a bug, not a recoverable condition. The
+// message goes to stderr so death tests can match on it.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gcnt::detail {
+
+[[noreturn]] inline void debug_assert_fail(const char* condition,
+                                           const char* message,
+                                           const char* file, int line) {
+  std::fprintf(stderr, "GCNT_DEBUG_ASSERT failed: %s (%s) at %s:%d\n",
+               message, condition, file, line);
+  std::abort();
+}
+
+}  // namespace gcnt::detail
+
+#if defined(GCNT_DEBUG_ASSERTS)
+#define GCNT_DEBUG_ASSERT(cond, msg)                                        \
+  ((cond) ? (void)0                                                         \
+          : ::gcnt::detail::debug_assert_fail(#cond, msg, __FILE__, __LINE__))
+#else
+#define GCNT_DEBUG_ASSERT(cond, msg) ((void)0)
+#endif

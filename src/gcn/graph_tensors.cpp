@@ -1,10 +1,152 @@
 #include "gcn/graph_tensors.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
+#include "common/log.h"
+#include "common/stats.h"
 #include "common/trace.h"
 
 namespace gcnt {
+
+namespace {
+
+// -1 = no programmatic override (fall back to GCNT_REORDER / off).
+std::atomic<int> reorder_override{-1};
+
+GraphReorder env_reorder() {
+  static const GraphReorder cached = [] {
+    const char* env = std::getenv("GCNT_REORDER");
+    if (env == nullptr || *env == '\0' || std::strcmp(env, "off") == 0) {
+      return GraphReorder::kOff;
+    }
+    if (std::strcmp(env, "rcm") == 0) return GraphReorder::kRcm;
+    log_warn("unknown GCNT_REORDER value '", env,
+             "' (want off|rcm); reordering stays off");
+    return GraphReorder::kOff;
+  }();
+  return cached;
+}
+
+/// Reverse Cuthill-McKee over the symmetrized pred+succ adjacency.
+/// Fully deterministic: BFS components start at the unvisited node of
+/// minimum (degree, id) and neighbors are visited in ascending
+/// (degree, id) order. Returns the compute order (position -> node).
+std::vector<std::uint32_t> rcm_order(std::size_t n, const CooMatrix& pred_coo,
+                                     const CooMatrix& succ_coo) {
+  std::vector<std::vector<std::uint32_t>> adjacency(n);
+  const auto add_edges = [&](const CooMatrix& coo) {
+    for (std::size_t k = 0; k < coo.nnz(); ++k) {
+      const std::uint32_t r = coo.row_index[k];
+      const std::uint32_t c = coo.col_index[k];
+      if (r == c) continue;
+      adjacency[r].push_back(c);
+      adjacency[c].push_back(r);
+    }
+  };
+  add_edges(pred_coo);
+  add_edges(succ_coo);
+  for (auto& neighbors : adjacency) {
+    std::sort(neighbors.begin(), neighbors.end());
+    neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
+                    neighbors.end());
+  }
+
+  const auto degree_less = [&](std::uint32_t a, std::uint32_t b) {
+    const std::size_t da = adjacency[a].size();
+    const std::size_t db = adjacency[b].size();
+    return da != db ? da < db : a < b;
+  };
+  std::vector<std::uint32_t> starts(n);
+  for (std::uint32_t v = 0; v < n; ++v) starts[v] = v;
+  std::sort(starts.begin(), starts.end(), degree_less);
+
+  std::vector<std::uint32_t> order;
+  order.reserve(n);
+  std::vector<std::uint8_t> visited(n, 0);
+  std::vector<std::uint32_t> neighbors;
+  for (const std::uint32_t start : starts) {
+    if (visited[start]) continue;
+    visited[start] = 1;
+    std::size_t head = order.size();
+    order.push_back(start);
+    while (head < order.size()) {
+      const std::uint32_t v = order[head++];
+      neighbors.clear();
+      for (const std::uint32_t u : adjacency[v]) {
+        if (!visited[u]) neighbors.push_back(u);
+      }
+      std::sort(neighbors.begin(), neighbors.end(), degree_less);
+      for (const std::uint32_t u : neighbors) {
+        visited[u] = 1;
+        order.push_back(u);
+      }
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+/// Maps COO coordinates through row_of, preserving tuple order — so the
+/// CSR built from the result accumulates each row's entries in exactly
+/// the order the unpermuted CSR would (bitwise-identical SpMM rows).
+CooMatrix permute_coo(const CooMatrix& coo,
+                      const std::vector<std::uint32_t>& row_of) {
+  CooMatrix out(coo.rows, coo.cols);
+  out.row_index.reserve(coo.nnz());
+  out.col_index.reserve(coo.nnz());
+  out.values = coo.values;
+  for (std::size_t k = 0; k < coo.nnz(); ++k) {
+    out.row_index.push_back(row_of[coo.row_index[k]]);
+    out.col_index.push_back(row_of[coo.col_index[k]]);
+  }
+  return out;
+}
+
+}  // namespace
+
+GraphReorder graph_reorder() {
+  const int forced = reorder_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<GraphReorder>(forced);
+  return env_reorder();
+}
+
+void set_graph_reorder(GraphReorder reorder) {
+  reorder_override.store(static_cast<int>(reorder), std::memory_order_relaxed);
+}
+
+void reset_graph_reorder() {
+  reorder_override.store(-1, std::memory_order_relaxed);
+}
+
+void gather_compute_rows(const GraphTensors& tensors, const Matrix& node_major,
+                         Matrix& out) {
+  if (!tensors.reordered()) {
+    out.copy_from(node_major);
+    return;
+  }
+  out.resize(node_major.rows(), node_major.cols());
+  for (std::size_t p = 0; p < node_major.rows(); ++p) {
+    const float* in = node_major.row(tensors.node_of(p));
+    std::copy(in, in + node_major.cols(), out.row(p));
+  }
+}
+
+void scatter_compute_rows(const GraphTensors& tensors,
+                          const Matrix& compute_major, Matrix& out) {
+  if (!tensors.reordered()) {
+    out.copy_from(compute_major);
+    return;
+  }
+  out.resize(compute_major.rows(), compute_major.cols());
+  for (std::size_t p = 0; p < compute_major.rows(); ++p) {
+    const float* in = compute_major.row(p);
+    std::copy(in, in + compute_major.cols(), out.row(tensors.node_of(p)));
+  }
+}
 
 float transform_feature(double raw) noexcept {
   return static_cast<float>(std::log1p(raw));
@@ -43,8 +185,29 @@ void GraphTensors::rebuild_csr() {
   if (pred_coo.cols < n) pred_coo.cols = n;
   if (succ_coo.rows < n) succ_coo.rows = n;
   if (succ_coo.cols < n) succ_coo.cols = n;
-  pred = CsrMatrix::from_coo(pred_coo);
-  succ = CsrMatrix::from_coo(succ_coo);
+
+  // Locality permutation: computed once per graph on the first rebuild
+  // (when enabled), then only extended with an identity tail as nodes are
+  // appended — never recomputed, so cached incremental state stays valid.
+  if (!compute_row.empty()) {
+    for (auto v = static_cast<std::uint32_t>(compute_row.size()); v < n; ++v) {
+      compute_row.push_back(v);
+      compute_node.push_back(v);
+    }
+  } else if (graph_reorder() == GraphReorder::kRcm && n > 0) {
+    compute_node = rcm_order(n, pred_coo, succ_coo);
+    compute_row.assign(n, 0);
+    for (std::uint32_t p = 0; p < n; ++p) compute_row[compute_node[p]] = p;
+  }
+  StatsRegistry::instance().gauge("graph.reorder").set(reordered() ? 1 : 0);
+
+  if (reordered()) {
+    pred = CsrMatrix::from_coo(permute_coo(pred_coo, compute_row));
+    succ = CsrMatrix::from_coo(permute_coo(succ_coo, compute_row));
+  } else {
+    pred = CsrMatrix::from_coo(pred_coo);
+    succ = CsrMatrix::from_coo(succ_coo);
+  }
   pred_t = pred.transpose();
   succ_t = succ.transpose();
 }

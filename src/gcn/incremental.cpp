@@ -10,15 +10,15 @@ namespace gcnt {
 
 namespace {
 
-/// Copies the listed rows of `src` into a compact rows.size() x cols
-/// matrix.
-Matrix gather_rows(const Matrix& src, const std::vector<NodeId>& rows) {
-  Matrix out(rows.size(), src.cols());
+/// Copies the listed rows of `src` into `out`, reshaped (capacity-
+/// reusing) to a compact rows.size() x cols matrix.
+void gather_rows(const Matrix& src, const std::vector<NodeId>& rows,
+                 Matrix& out) {
+  out.resize(rows.size(), src.cols());
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const float* in = src.row(rows[i]);
     std::copy(in, in + src.cols(), out.row(i));
   }
-  return out;
 }
 
 /// Writes compact row i back to dst.row(rows[i]).
@@ -60,6 +60,8 @@ std::vector<NodeId> DirtyConeTracker::affected(const GraphTensors& tensors,
     throw std::invalid_argument(
         "DirtyConeTracker::affected: tensors need rebuild_csr()");
   }
+  // The BFS runs in CSR (compute) row space; seeds map in through the
+  // locality permutation and results map back out to node ids below.
   std::vector<std::uint8_t> visited(n, 0);
   std::vector<NodeId> frontier;
   frontier.reserve(seeds_.size());
@@ -67,9 +69,10 @@ std::vector<NodeId> DirtyConeTracker::affected(const GraphTensors& tensors,
     if (v >= n) {
       throw std::out_of_range("DirtyConeTracker::affected: seed out of range");
     }
-    if (!visited[v]) {
-      visited[v] = 1;
-      frontier.push_back(v);
+    const NodeId row = tensors.row_of(v);
+    if (!visited[row]) {
+      visited[row] = 1;
+      frontier.push_back(row);
     }
   }
 
@@ -98,9 +101,10 @@ std::vector<NodeId> DirtyConeTracker::affected(const GraphTensors& tensors,
   }
 
   std::vector<NodeId> result;
-  for (NodeId v = 0; v < n; ++v) {
-    if (visited[v]) result.push_back(v);
+  for (NodeId row = 0; row < n; ++row) {
+    if (visited[row]) result.push_back(tensors.node_of(row));
   }
+  if (tensors.reordered()) std::sort(result.begin(), result.end());
   return result;
 }
 
@@ -117,40 +121,38 @@ const Matrix& IncrementalGcnEngine::refresh(const GraphTensors& tensors) {
 
   // Mirrors GcnModel::run_forward kernel-for-kernel so the cached
   // embeddings (and logits) are bit-identical to a plain infer().
-  embeddings_.clear();
-  Matrix embedding = tensors.features;
-  embeddings_.push_back(embedding);
-  for (const Linear& encoder : model_->encoders()) {
-    Matrix pred_sum;
-    Matrix succ_sum;
-    tensors.pred.spmm(embedding, pred_sum);
-    tensors.succ.spmm(embedding, succ_sum);
-    Matrix aggregated = embedding;
-    aggregated.axpy(wp, pred_sum);
-    aggregated.axpy(ws, succ_sum);
+  const auto& encoders = model_->encoders();
+  embeddings_.resize(encoders.size() + 1);
+  Matrix* emb = &ws_.ping;
+  Matrix* alt = &ws_.pong;
+  gather_compute_rows(tensors, tensors.features, *emb);
+  embeddings_[0].copy_from(*emb);
+  for (std::size_t d = 0; d < encoders.size(); ++d) {
+    tensors.pred.spmm(*emb, ws_.pred_sum);
+    tensors.succ.spmm(*emb, ws_.succ_sum);
+    ws_.aggregated.copy_from(*emb);
+    ws_.aggregated.axpy(wp, ws_.pred_sum);
+    ws_.aggregated.axpy(ws, ws_.succ_sum);
 
-    Matrix pre_activation;
-    encoder.forward(aggregated, pre_activation);
-    Matrix activated;
-    Relu::forward(pre_activation, activated);
-    embeddings_.push_back(activated);
-    embedding = std::move(activated);
+    encoders[d].forward_relu(ws_.aggregated, *alt);
+    embeddings_[d + 1].copy_from(*alt);
+    std::swap(emb, alt);
   }
 
-  Matrix hidden = std::move(embedding);
   const auto& fc = model_->fc_layers();
   for (std::size_t i = 0; i < fc.size(); ++i) {
-    Matrix out;
-    fc[i].forward(hidden, out);
     if (i + 1 < fc.size()) {
-      Matrix activated;
-      Relu::forward(out, activated);
-      hidden = std::move(activated);
+      fc[i].forward_relu(*emb, *alt);
+      std::swap(emb, alt);
+    } else if (tensors.reordered()) {
+      // Cached embeddings stay in compute order; logits scatter back to
+      // node order (the boundary every caller sees).
+      fc[i].forward(*emb, *alt);
+      scatter_compute_rows(tensors, *alt, logits_);
     } else {
-      hidden = std::move(out);
+      fc[i].forward(*emb, logits_);
     }
   }
-  logits_ = std::move(hidden);
   cached_nodes_ = tensors.node_count();
   last_was_full_ = true;
   last_dirty_rows_ = cached_nodes_;
@@ -194,50 +196,49 @@ const Matrix& IncrementalGcnEngine::update(const GraphTensors& tensors,
   grow_rows(logits_, n, logits_.cols());
   cached_nodes_ = n;
 
-  // E_0 rows come straight from the (already updated) feature matrix.
+  // E_0 rows come straight from the (already updated) feature matrix;
+  // the cached layers live in compute row order.
   for (const NodeId v : dirty) {
     const float* in = tensors.features.row(v);
-    std::copy(in, in + tensors.features.cols(), embeddings_[0].row(v));
+    std::copy(in, in + tensors.features.cols(),
+              embeddings_[0].row(tensors.row_of(v)));
   }
   if (dirty.empty()) return logits_;
+  dirty_rows_.resize(dirty.size());
+  for (std::size_t i = 0; i < dirty.size(); ++i) {
+    dirty_rows_[i] = tensors.row_of(dirty[i]);
+  }
 
   // Re-propagate the dirty rows layer by layer. A clean row's inputs are
   // all clean (the dirty set is the D-hop closure), so reading the cached
   // E_{d-1} for neighbors is exact; and every kernel here preserves the
   // whole-graph per-row accumulation order, so each recomputed row is
   // bit-identical to a full forward.
-  Matrix compact = gather_rows(embeddings_[0], dirty);
+  Matrix* emb = &ws_.ping;
+  Matrix* alt = &ws_.pong;
+  gather_rows(embeddings_[0], dirty_rows_, *emb);
   for (std::size_t d = 0; d < encoders.size(); ++d) {
-    Matrix pred_sum;
-    Matrix succ_sum;
-    tensors.pred.spmm_rows(dirty, embeddings_[d], pred_sum);
-    tensors.succ.spmm_rows(dirty, embeddings_[d], succ_sum);
-    Matrix aggregated = std::move(compact);
-    aggregated.axpy(wp, pred_sum);
-    aggregated.axpy(ws, succ_sum);
+    tensors.pred.spmm_rows(dirty_rows_, embeddings_[d], ws_.pred_sum);
+    tensors.succ.spmm_rows(dirty_rows_, embeddings_[d], ws_.succ_sum);
+    ws_.aggregated.copy_from(*emb);
+    ws_.aggregated.axpy(wp, ws_.pred_sum);
+    ws_.aggregated.axpy(ws, ws_.succ_sum);
 
-    Matrix pre_activation;
-    encoders[d].forward(aggregated, pre_activation);
-    Matrix activated;
-    Relu::forward(pre_activation, activated);
-    scatter_rows(activated, dirty, embeddings_[d + 1]);
-    compact = std::move(activated);
+    encoders[d].forward_relu(ws_.aggregated, *alt);
+    scatter_rows(*alt, dirty_rows_, embeddings_[d + 1]);
+    std::swap(emb, alt);
   }
 
   const auto& fc = model_->fc_layers();
-  Matrix hidden = std::move(compact);
   for (std::size_t i = 0; i < fc.size(); ++i) {
-    Matrix out;
-    fc[i].forward(hidden, out);
     if (i + 1 < fc.size()) {
-      Matrix activated;
-      Relu::forward(out, activated);
-      hidden = std::move(activated);
+      fc[i].forward_relu(*emb, *alt);
+      std::swap(emb, alt);
     } else {
-      hidden = std::move(out);
+      fc[i].forward(*emb, *alt);
+      scatter_rows(*alt, dirty, logits_);
     }
   }
-  scatter_rows(hidden, dirty, logits_);
   return logits_;
 }
 

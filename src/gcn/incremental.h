@@ -24,6 +24,7 @@
 
 #include "gcn/graph_tensors.h"
 #include "gcn/model.h"
+#include "gcn/workspace.h"
 
 namespace gcnt {
 
@@ -101,6 +102,11 @@ class IncrementalGcnEngine {
   IncrementalGcnOptions options_;
   std::vector<Matrix> embeddings_;  ///< E_0 .. E_D, whole-graph rows
   Matrix logits_;
+  /// Scratch reused by refresh()/update(); with a stable graph size the
+  /// steady-state re-propagation allocates nothing.
+  ForwardWorkspace ws_;
+  /// Dirty node ids mapped into compute row order (reused scratch).
+  std::vector<NodeId> dirty_rows_;
   std::size_t cached_nodes_ = 0;  ///< 0 = no valid cache
   bool last_was_full_ = false;
   std::size_t last_dirty_rows_ = 0;

@@ -30,72 +30,82 @@ GcnModel::GcnModel(const GcnConfig& config)
   fc_.emplace_back(in_dim, config_.num_classes, rng);
 }
 
-Matrix GcnModel::run_forward(const GraphTensors& graph, Cache* cache) const {
+void GcnModel::run_forward(const GraphTensors& graph, Cache* cache,
+                           ForwardWorkspace& ws, Matrix& out) const {
   TraceSpan span(cache ? "gcn.forward" : "gcn.infer");
   span.arg("nodes", static_cast<double>(graph.node_count()));
   const float wp = w_pr();
-  const float ws = w_su();
+  const float wsu = w_su();
 
-  Matrix embedding = graph.features;
+  // Ping-pong the activations through the workspace: after one warm-up
+  // pass per graph, the whole forward allocates nothing. All internal
+  // activations live in compute (possibly reordered) row order; only the
+  // gather here and the scatter of the logits touch the permutation.
+  Matrix* emb = &ws.ping;
+  Matrix* alt = &ws.pong;
+  gather_compute_rows(graph, graph.features, *emb);
   if (cache) {
-    cache->embeddings.clear();
-    cache->aggregated.clear();
-    cache->pred_sums.clear();
-    cache->succ_sums.clear();
-    cache->fc_inputs.clear();
-    cache->fc_outputs.clear();
-    cache->embeddings.push_back(embedding);
+    cache->embeddings.resize(encoders_.size() + 1);
+    cache->aggregated.resize(encoders_.size());
+    cache->pred_sums.resize(encoders_.size());
+    cache->succ_sums.resize(encoders_.size());
+    cache->fc_inputs.resize(fc_.size());
+    cache->fc_outputs.resize(fc_.size() - 1);
+    cache->embeddings[0].copy_from(*emb);
   }
 
-  for (const Linear& encoder : encoders_) {
+  for (std::size_t d = 0; d < encoders_.size(); ++d) {
     // Aggregation (Eq. 1): G = E + w_pr * P*E + w_su * S*E.
-    Matrix pred_sum;
-    Matrix succ_sum;
-    graph.pred.spmm(embedding, pred_sum);
-    graph.succ.spmm(embedding, succ_sum);
-    Matrix aggregated = embedding;
-    aggregated.axpy(wp, pred_sum);
-    aggregated.axpy(ws, succ_sum);
+    graph.pred.spmm(*emb, ws.pred_sum);
+    graph.succ.spmm(*emb, ws.succ_sum);
+    ws.aggregated.copy_from(*emb);
+    ws.aggregated.axpy(wp, ws.pred_sum);
+    ws.aggregated.axpy(wsu, ws.succ_sum);
 
-    // Encoding: E = ReLU(G * W + b).
-    Matrix pre_activation;
-    encoder.forward(aggregated, pre_activation);
-    Matrix activated;
-    Relu::forward(pre_activation, activated);
+    // Encoding: E = ReLU(G * W + b), fused into one output pass.
+    encoders_[d].forward_relu(ws.aggregated, *alt);
 
     if (cache) {
-      cache->pred_sums.push_back(std::move(pred_sum));
-      cache->succ_sums.push_back(std::move(succ_sum));
-      cache->aggregated.push_back(std::move(aggregated));
-      cache->embeddings.push_back(activated);
+      cache->pred_sums[d].copy_from(ws.pred_sum);
+      cache->succ_sums[d].copy_from(ws.succ_sum);
+      cache->aggregated[d].copy_from(ws.aggregated);
+      cache->embeddings[d + 1].copy_from(*alt);
     }
-    embedding = std::move(activated);
+    std::swap(emb, alt);
   }
 
-  // FC head: ReLU between hidden layers, raw logits at the end.
-  Matrix hidden = std::move(embedding);
+  // FC head: fused ReLU between hidden layers; the final layer writes
+  // the raw logits straight into `out`.
   for (std::size_t i = 0; i < fc_.size(); ++i) {
-    if (cache) cache->fc_inputs.push_back(hidden);
-    Matrix out;
-    fc_[i].forward(hidden, out);
+    if (cache) cache->fc_inputs[i].copy_from(*emb);
     if (i + 1 < fc_.size()) {
-      Matrix activated;
-      Relu::forward(out, activated);
-      if (cache) cache->fc_outputs.push_back(activated);
-      hidden = std::move(activated);
+      fc_[i].forward_relu(*emb, *alt);
+      if (cache) cache->fc_outputs[i].copy_from(*alt);
+      std::swap(emb, alt);
+    } else if (graph.reordered()) {
+      fc_[i].forward(*emb, *alt);
+      scatter_compute_rows(graph, *alt, out);
     } else {
-      hidden = std::move(out);
+      fc_[i].forward(*emb, out);
     }
   }
-  return hidden;
 }
 
 Matrix GcnModel::forward(const GraphTensors& graph) {
-  return run_forward(graph, &cache_);
+  Matrix out;
+  run_forward(graph, &cache_, ws_, out);
+  return out;
 }
 
 Matrix GcnModel::infer(const GraphTensors& graph) const {
-  return run_forward(graph, nullptr);
+  Matrix out;
+  run_forward(graph, nullptr, ws_, out);
+  return out;
+}
+
+void GcnModel::infer(const GraphTensors& graph, ForwardWorkspace& ws,
+                     Matrix& out) const {
+  run_forward(graph, nullptr, ws, out);
 }
 
 void GcnModel::backward(const GraphTensors& graph, const Matrix& dlogits) {
@@ -103,8 +113,11 @@ void GcnModel::backward(const GraphTensors& graph, const Matrix& dlogits) {
   if (cache_.fc_inputs.size() != fc_.size()) {
     throw std::logic_error("GcnModel::backward without matching forward");
   }
-  // FC head, in reverse.
-  Matrix grad = dlogits;
+  // FC head, in reverse. Cached activations are in compute row order, so
+  // the incoming node-order logit gradients gather through the
+  // permutation first (identity copy when not reordered).
+  Matrix grad;
+  gather_compute_rows(graph, dlogits, grad);
   for (std::size_t i = fc_.size(); i-- > 0;) {
     Matrix dinput;
     fc_[i].backward(cache_.fc_inputs[i], grad, dinput);

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "gcn/graph_tensors.h"
+#include "gcn/workspace.h"
 #include "nn/layers.h"
 #include "nn/loss.h"
 
@@ -57,6 +58,13 @@ class GcnModel {
   /// Inference-only forward (no caching); cheaper on big graphs.
   Matrix infer(const GraphTensors& graph) const;
 
+  /// Zero-allocation inference: writes logits into `out` using the
+  /// caller's workspace. After one warm-up call per graph, steady-state
+  /// calls perform no heap allocations (see gcn/workspace.h). Use
+  /// distinct workspaces for concurrent callers.
+  void infer(const GraphTensors& graph, ForwardWorkspace& ws,
+             Matrix& out) const;
+
   /// Positive-class probability per node.
   std::vector<float> predict_positive_probability(const GraphTensors& graph) const;
 
@@ -81,9 +89,11 @@ class GcnModel {
   const std::vector<Linear>& fc_layers() const noexcept { return fc_; }
 
  private:
-  /// Shared forward; fills `cache` when non-null.
+  /// Shared forward; fills `cache` when non-null. Scratch lives in `ws`,
+  /// logits land in `out` (the last FC layer writes them directly).
   struct Cache;
-  Matrix run_forward(const GraphTensors& graph, Cache* cache) const;
+  void run_forward(const GraphTensors& graph, Cache* cache,
+                   ForwardWorkspace& ws, Matrix& out) const;
 
   GcnConfig config_;
   Param w_pr_;
@@ -100,6 +110,10 @@ class GcnModel {
     std::vector<Matrix> fc_outputs;  ///< post-ReLU output of hidden FCs
   };
   Cache cache_;
+  /// Scratch for forward()/infer(graph); mutable so const inference can
+  /// reuse it. Makes those entry points non-thread-safe per model — use
+  /// the explicit-workspace infer overload for concurrent callers.
+  mutable ForwardWorkspace ws_;
 };
 
 }  // namespace gcnt

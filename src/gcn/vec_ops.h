@@ -1,11 +1,15 @@
 #pragma once
 // Small row-vector helpers shared by the per-node inference engines
 // (recursive baseline, GraphSAGE-style sampled baseline, OPI impact
-// evaluation). Whole-graph paths use the Matrix kernels instead.
+// evaluation). Whole-graph paths use the Matrix kernels instead. The
+// inner loops run on the same runtime-dispatched SIMD microkernels
+// (tensor/simd/simd.h) as the Matrix kernels, so per-node and
+// whole-graph engines always execute on the same target.
 
 #include <vector>
 
 #include "nn/layers.h"
+#include "tensor/simd/simd.h"
 
 namespace gcnt {
 
@@ -14,26 +18,23 @@ inline std::vector<float> apply_linear_row(const Linear& layer,
                                            const std::vector<float>& in) {
   const Matrix& w = layer.weight.value;
   const Matrix& b = layer.bias.value;
-  std::vector<float> out(w.cols());
-  for (std::size_t j = 0; j < w.cols(); ++j) out[j] = b.at(0, j);
+  const SimdOps& ops = simd_ops();
+  std::vector<float> out(b.row(0), b.row(0) + w.cols());
   for (std::size_t i = 0; i < w.rows(); ++i) {
     const float x = in[i];
     if (x == 0.0f) continue;
-    const float* wrow = w.row(i);
-    for (std::size_t j = 0; j < w.cols(); ++j) out[j] += x * wrow[j];
+    ops.axpy(out.data(), w.row(i), x, w.cols());
   }
   return out;
 }
 
 inline void relu_row(std::vector<float>& v) {
-  for (float& x : v) {
-    if (x < 0.0f) x = 0.0f;
-  }
+  simd_ops().relu(v.data(), v.size());
 }
 
 inline void axpy_row(std::vector<float>& acc, float alpha,
                      const std::vector<float>& x) {
-  for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += alpha * x[i];
+  simd_ops().axpy(acc.data(), x.data(), alpha, acc.size());
 }
 
 /// Applies a model's FC head to a single embedding row.

@@ -1,0 +1,55 @@
+#pragma once
+// ForwardWorkspace: the preallocated scratch buffers a whole-graph (or
+// compact dirty-row) GCN forward pass needs — the two aggregation sums,
+// the aggregated matrix, and a ping-pong pair of activation buffers.
+//
+// Matrix::resize() and Matrix::copy_from() reuse the underlying
+// allocation whenever the new element count fits in capacity(), so after
+// one warm-up pass over a graph every subsequent forward through the
+// same workspace performs zero heap allocations (until the graph grows).
+// The trainer, GcnModel::forward/infer, and IncrementalGcnEngine all
+// keep a workspace alive across calls for exactly this reason.
+//
+// poll_allocations() lets tests assert the contract: it counts
+// capacity-growth events across all buffers since the previous poll.
+//
+// A workspace is not thread-safe; concurrent forward passes must use
+// distinct workspaces (results are identical — buffers never affect
+// values, only where they live).
+
+#include <cstddef>
+
+#include "tensor/matrix.h"
+
+namespace gcnt {
+
+class ForwardWorkspace {
+ public:
+  Matrix pred_sum;    ///< P * E_{d-1} (or its dirty-row slice)
+  Matrix succ_sum;    ///< S * E_{d-1} (or its dirty-row slice)
+  Matrix aggregated;  ///< G_d = E + w_pr*pred_sum + w_su*succ_sum
+  Matrix ping;        ///< activation ping-pong buffer A
+  Matrix pong;        ///< activation ping-pong buffer B
+
+  /// Number of buffer reallocation (capacity-growth) events across all
+  /// five buffers since the previous poll. Call once after warm-up to
+  /// drain the initial growth; a zero return after further passes proves
+  /// those passes allocated nothing.
+  std::size_t poll_allocations() noexcept {
+    const Matrix* buffers[] = {&pred_sum, &succ_sum, &aggregated, &ping,
+                               &pong};
+    std::size_t events = 0;
+    for (std::size_t i = 0; i < 5; ++i) {
+      if (buffers[i]->capacity() > capacities_[i]) {
+        capacities_[i] = buffers[i]->capacity();
+        ++events;
+      }
+    }
+    return events;
+  }
+
+ private:
+  std::size_t capacities_[5] = {0, 0, 0, 0, 0};
+};
+
+}  // namespace gcnt

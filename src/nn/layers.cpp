@@ -11,12 +11,11 @@ Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng)
 }
 
 void Linear::forward(const Matrix& x, Matrix& y) const {
-  gemm(x, weight.value, y, false, false);
-  for (std::size_t r = 0; r < y.rows(); ++r) {
-    float* yrow = y.row(r);
-    const float* b = bias.value.row(0);
-    for (std::size_t c = 0; c < y.cols(); ++c) yrow[c] += b[c];
-  }
+  gemm_bias_act(x, weight.value, bias.value, y, /*relu=*/false);
+}
+
+void Linear::forward_relu(const Matrix& x, Matrix& y) const {
+  gemm_bias_act(x, weight.value, bias.value, y, /*relu=*/true);
 }
 
 void Linear::backward(const Matrix& x, const Matrix& dy, Matrix& dx) {

@@ -35,6 +35,11 @@ class Linear {
 
   void forward(const Matrix& x, Matrix& y) const;
 
+  /// Fused y = ReLU(x * W + b) in one output pass (gemm_bias_act).
+  /// Bitwise identical to forward() followed by Relu::forward(); pairs
+  /// with Relu::backward, which masks on the forward *output*.
+  void forward_relu(const Matrix& x, Matrix& y) const;
+
   /// Accumulates dW/db from (x, dy) and writes dx. `dx` may alias nothing.
   void backward(const Matrix& x, const Matrix& dy, Matrix& dx);
 

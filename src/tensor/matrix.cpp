@@ -6,6 +6,7 @@
 
 #include "common/parallel.h"
 #include "common/trace.h"
+#include "tensor/simd/simd.h"
 
 namespace gcnt {
 
@@ -27,13 +28,11 @@ void Matrix::axpy(float alpha, const Matrix& other) {
   if (rows_ != other.rows_ || cols_ != other.cols_) {
     throw std::invalid_argument("axpy: shape mismatch");
   }
-  for (std::size_t i = 0; i < data_.size(); ++i) {
-    data_[i] += alpha * other.data_[i];
-  }
+  simd_ops().axpy(data_.data(), other.data_.data(), alpha, data_.size());
 }
 
 void Matrix::scale(float alpha) noexcept {
-  for (float& x : data_) x *= alpha;
+  simd_ops().scale(data_.data(), alpha, data_.size());
 }
 
 float Matrix::dot(const Matrix& other) const {
@@ -69,8 +68,11 @@ void gemm(const Matrix& a, const Matrix& b, Matrix& out, bool transpose_a,
   // matrix being streamed. The no-transpose-a variants partition output
   // rows across the kernel pool, the transpose-a variants output columns;
   // either way each output element is accumulated by one block in fixed
-  // ascending-p order, so results are bitwise identical for any thread
-  // count (see common/parallel.h).
+  // ascending-p order (the uniform fp32 policy documented in matrix.h),
+  // so results are bitwise identical for any thread count (see
+  // common/parallel.h). The contiguous inner loops run on the dispatched
+  // SIMD microkernels.
+  const SimdOps& ops = simd_ops();
   if (!transpose_a && !transpose_b) {
     parallel_blocks(m, kMinParallelDim, [&](std::size_t i0, std::size_t i1) {
       for (std::size_t i = i0; i < i1; ++i) {
@@ -79,8 +81,7 @@ void gemm(const Matrix& a, const Matrix& b, Matrix& out, bool transpose_a,
         for (std::size_t p = 0; p < k; ++p) {
           const float av = alpha * arow[p];
           if (av == 0.0f) continue;
-          const float* brow = b.row(p);
-          for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+          ops.axpy(orow, b.row(p), av, n);
         }
       }
     });
@@ -92,8 +93,7 @@ void gemm(const Matrix& a, const Matrix& b, Matrix& out, bool transpose_a,
         for (std::size_t i = 0; i < m; ++i) {
           const float av = alpha * arow[i];
           if (av == 0.0f) continue;
-          float* orow = out.row(i);
-          for (std::size_t j = j0; j < j1; ++j) orow[j] += av * brow[j];
+          ops.axpy(out.row(i) + j0, brow + j0, av, j1 - j0);
         }
       }
     });
@@ -103,16 +103,15 @@ void gemm(const Matrix& a, const Matrix& b, Matrix& out, bool transpose_a,
         const float* arow = a.row(i);
         float* orow = out.row(i);
         for (std::size_t j = 0; j < n; ++j) {
-          const float* brow = b.row(j);  // b is n x k
-          double acc = 0.0;
-          for (std::size_t p = 0; p < k; ++p) {
-            acc += static_cast<double>(arow[p]) * brow[p];
-          }
-          orow[j] += alpha * static_cast<float>(acc);
+          // fp32 ascending-p accumulation like the other variants (this
+          // one historically accumulated in double — unified in PR 5).
+          orow[j] += alpha * ops.dot(arow, b.row(j), k);  // b is n x k
         }
       }
     });
   } else {
+    // Double-transpose streams b with stride k — no contiguous run for a
+    // microkernel, so this stays a scalar loop (same ascending-p policy).
     parallel_blocks(n, kMinParallelDim, [&](std::size_t j0, std::size_t j1) {
       for (std::size_t p = 0; p < k; ++p) {
         const float* arow = a.row(p);  // a is k x m
@@ -127,6 +126,40 @@ void gemm(const Matrix& a, const Matrix& b, Matrix& out, bool transpose_a,
       }
     });
   }
+}
+
+void gemm_bias_act(const Matrix& a, const Matrix& b, const Matrix& bias,
+                   Matrix& out, bool relu) {
+  GCNT_KERNEL_SCOPE("gemm_bias_act");
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  if (k != b.rows()) {
+    throw std::invalid_argument("gemm_bias_act: inner dimension mismatch");
+  }
+  if (bias.rows() != 1 || bias.cols() != n) {
+    throw std::invalid_argument("gemm_bias_act: bias shape mismatch");
+  }
+  out.resize(m, n, 0.0f);
+  const SimdOps& ops = simd_ops();
+  const float* bias_row = bias.row(0);
+  parallel_blocks(m, kMinParallelDim, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      const float* arow = a.row(i);
+      float* orow = out.row(i);
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        ops.axpy(orow, b.row(p), av, n);
+      }
+      // Epilogue as soon as the row completes, while it is still hot.
+      if (relu) {
+        ops.bias_relu(orow, bias_row, n);
+      } else {
+        ops.bias_add(orow, bias_row, n);
+      }
+    }
+  });
 }
 
 Matrix matmul(const Matrix& a, const Matrix& b) {

@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/debug_assert.h"
 #include "common/rng.h"
 
 namespace gcnt {
@@ -22,13 +23,19 @@ class Matrix {
   bool empty() const noexcept { return data_.empty(); }
 
   float& at(std::size_t r, std::size_t c) noexcept {
+    GCNT_DEBUG_ASSERT(r < rows_ && c < cols_, "Matrix::at out of range");
     return data_[r * cols_ + c];
   }
   float at(std::size_t r, std::size_t c) const noexcept {
+    GCNT_DEBUG_ASSERT(r < rows_ && c < cols_, "Matrix::at out of range");
     return data_[r * cols_ + c];
   }
-  float* row(std::size_t r) noexcept { return data_.data() + r * cols_; }
+  float* row(std::size_t r) noexcept {
+    GCNT_DEBUG_ASSERT(r < rows_, "Matrix::row out of range");
+    return data_.data() + r * cols_;
+  }
   const float* row(std::size_t r) const noexcept {
+    GCNT_DEBUG_ASSERT(r < rows_, "Matrix::row out of range");
     return data_.data() + r * cols_;
   }
   float* data() noexcept { return data_.data(); }
@@ -37,10 +44,26 @@ class Matrix {
   void fill(float value) noexcept {
     std::fill(data_.begin(), data_.end(), value);
   }
+  /// Reshapes and fills. Reuses the existing allocation when the new
+  /// element count fits in capacity() — the ForwardWorkspace zero-alloc
+  /// contract relies on this.
   void resize(std::size_t rows, std::size_t cols, float fill = 0.0f) {
     rows_ = rows;
     cols_ = cols;
     data_.assign(rows * cols, fill);
+  }
+
+  /// Allocated element capacity (>= size()).
+  std::size_t capacity() const noexcept { return data_.capacity(); }
+  /// Grows capacity to at least `elements` without changing the shape.
+  void reserve(std::size_t elements) { data_.reserve(elements); }
+
+  /// Becomes a copy of `other`, reusing this matrix's allocation when it
+  /// is large enough (operator= may reallocate; this never shrinks).
+  void copy_from(const Matrix& other) {
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    data_.assign(other.data_.begin(), other.data_.end());
   }
 
   /// Xavier/Glorot uniform initialization (for layer weights).
@@ -64,8 +87,30 @@ class Matrix {
 
 /// out = alpha * op(a) * op(b) + beta * out, with op = optional transpose.
 /// `out` is resized to the result shape when beta == 0.
+///
+/// Accumulation policy (uniform across all four transpose variants):
+/// every output element accumulates its k products in float32, in fixed
+/// ascending-p order, through the runtime-dispatched SIMD microkernels
+/// (tensor/simd/simd.h). The row-update variants fold alpha into the
+/// streamed a-element; the inner-product variant (!transpose_a &&
+/// transpose_b) applies alpha to the completed dot product — at
+/// alpha == 1 all variants are bitwise identical on the scalar target.
+/// For a fixed dispatch target results are bitwise identical across
+/// thread counts; across targets (scalar vs avx2) they differ only by
+/// FMA contraction / dot-product lane blocking, within the tolerance
+/// documented in docs/API.md ("SIMD backend").
 void gemm(const Matrix& a, const Matrix& b, Matrix& out, bool transpose_a,
           bool transpose_b, float alpha = 1.0f, float beta = 0.0f);
+
+/// Fused dense layer: out = act(a * b + bias), with bias a 1 x n row
+/// broadcast over output rows and act = ReLU when `relu` (identity
+/// otherwise). The epilogue runs on each output row right after its
+/// k-loop completes — one pass over the output instead of three
+/// (gemm write, bias pass, ReLU pass) — and applies the exact same
+/// per-element operation sequence, so the result is bitwise identical
+/// to gemm + bias add + Relu::forward.
+void gemm_bias_act(const Matrix& a, const Matrix& b, const Matrix& bias,
+                   Matrix& out, bool relu);
 
 /// Convenience: a * b.
 Matrix matmul(const Matrix& a, const Matrix& b);

@@ -1,0 +1,142 @@
+// AVX2 + FMA microkernels. This translation unit is the only one
+// compiled with -mavx2 -mfma (see src/tensor/CMakeLists.txt); nothing
+// here runs unless the dispatcher verified CPUID support, so the rest of
+// the binary stays executable on baseline x86-64 (and other ISAs compile
+// the stub at the bottom).
+//
+// Lane discipline: the elementwise ops (axpy, bias epilogues, relu,
+// scale) map vector lanes one-to-one onto output elements — lane i only
+// ever reads/writes element i — so they are bitwise deterministic for
+// any thread count or tile width, and differ from the scalar target only
+// by FMA's single rounding. dot() is the one reassociating kernel: four
+// 8-lane accumulators reduced in a fixed tree, documented as
+// tolerance-only across targets.
+
+#include "tensor/simd/simd.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace gcnt {
+// Scalar tails use std::fmaf so an element gets the same single-rounded
+// contraction whether a tile/loop boundary lands it in a vector lane or
+// in the tail — this is what keeps SpMM bitwise identical across column
+// tile widths on this target.
+namespace {
+
+void avx2_axpy(float* y, const float* x, float a, std::size_t n) {
+  const __m256 va = _mm256_set1_ps(a);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256 y0 = _mm256_loadu_ps(y + i);
+    const __m256 y1 = _mm256_loadu_ps(y + i + 8);
+    _mm256_storeu_ps(y + i, _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i), y0));
+    _mm256_storeu_ps(y + i + 8,
+                     _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i + 8), y1));
+  }
+  for (; i + 8 <= n; i += 8) {
+    const __m256 y0 = _mm256_loadu_ps(y + i);
+    _mm256_storeu_ps(y + i, _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i), y0));
+  }
+  for (; i < n; ++i) y[i] = std::fmaf(a, x[i], y[i]);
+}
+
+float avx2_dot(const float* a, const float* b, std::size_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  __m256 acc2 = _mm256_setzero_ps();
+  __m256 acc3 = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+    acc2 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 16),
+                           _mm256_loadu_ps(b + i + 16), acc2);
+    acc3 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 24),
+                           _mm256_loadu_ps(b + i + 24), acc3);
+  }
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+  }
+  // Fixed reduction tree: (0+1) + (2+3), then horizontal sum.
+  const __m256 acc = _mm256_add_ps(_mm256_add_ps(acc0, acc1),
+                                   _mm256_add_ps(acc2, acc3));
+  const __m128 low = _mm256_castps256_ps128(acc);
+  const __m128 high = _mm256_extractf128_ps(acc, 1);
+  __m128 sum = _mm_add_ps(low, high);
+  sum = _mm_add_ps(sum, _mm_movehl_ps(sum, sum));
+  sum = _mm_add_ss(sum, _mm_movehdup_ps(sum));
+  float result = _mm_cvtss_f32(sum);
+  for (; i < n; ++i) result = std::fmaf(a[i], b[i], result);
+  return result;
+}
+
+void avx2_bias_add(float* y, const float* bias, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        y + i, _mm256_add_ps(_mm256_loadu_ps(y + i), _mm256_loadu_ps(bias + i)));
+  }
+  for (; i < n; ++i) y[i] += bias[i];
+}
+
+void avx2_bias_relu(float* y, const float* bias, std::size_t n) {
+  const __m256 zero = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v =
+        _mm256_add_ps(_mm256_loadu_ps(y + i), _mm256_loadu_ps(bias + i));
+    _mm256_storeu_ps(y + i, _mm256_max_ps(v, zero));
+  }
+  for (; i < n; ++i) {
+    const float v = y[i] + bias[i];
+    y[i] = v > 0.0f ? v : 0.0f;
+  }
+}
+
+void avx2_relu(float* y, std::size_t n) {
+  const __m256 zero = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_max_ps(_mm256_loadu_ps(y + i), zero));
+  }
+  for (; i < n; ++i) y[i] = y[i] > 0.0f ? y[i] : 0.0f;
+}
+
+void avx2_scale(float* y, float a, std::size_t n) {
+  const __m256 va = _mm256_set1_ps(a);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_mul_ps(_mm256_loadu_ps(y + i), va));
+  }
+  for (; i < n; ++i) y[i] *= a;
+}
+
+}  // namespace
+
+namespace simd_detail {
+
+const SimdOps kAvx2Ops = {
+    "avx2",        avx2_axpy, avx2_dot, avx2_bias_add,
+    avx2_bias_relu, avx2_relu, avx2_scale,
+};
+
+}  // namespace simd_detail
+}  // namespace gcnt
+
+#else  // !(__AVX2__ && __FMA__): non-x86 or toolchain without the flags.
+
+namespace gcnt::simd_detail {
+
+const SimdOps kAvx2Ops = {nullptr, nullptr, nullptr, nullptr,
+                          nullptr, nullptr, nullptr};
+
+}  // namespace gcnt::simd_detail
+
+#endif

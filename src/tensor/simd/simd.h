@@ -1,0 +1,100 @@
+#pragma once
+// Vectorized microkernel backend for the dense/sparse hot loops.
+//
+// Every inner loop the compute kernels spend their time in (GEMM row
+// update, SpMM row accumulation, dot products, the bias/ReLU epilogues,
+// and the vec_ops.h row helpers) funnels through one table of function
+// pointers — SimdOps — resolved once per process by runtime CPU
+// detection. Two implementations are built into every binary:
+//
+//   * scalar — portable fixed-width-blocked loops, no ISA requirements.
+//     The per-element accumulation order is exactly the historical
+//     scalar kernels', so results on this target reproduce pre-SIMD
+//     builds bit-for-bit.
+//   * avx2   — AVX2 + FMA intrinsics (x86-64 only), compiled in a
+//     separate translation unit with -mavx2 -mfma and only ever invoked
+//     after a CPUID check, so the binary stays runnable on older CPUs.
+//
+// Target resolution, highest priority first:
+//   1. set_simd_target(t)  — programmatic override (tests, benches)
+//   2. GCNT_SIMD=auto|avx2|scalar — environment, read once per process
+//      (an unavailable request logs a warning and falls back to scalar)
+//   3. best target the CPU supports
+//
+// Determinism contract (see docs/API.md "SIMD backend"):
+//   * For a FIXED target, every kernel built on these ops is bitwise
+//     deterministic across thread counts, SpMM tile widths, and runs —
+//     vector lanes map one-to-one onto output elements for the
+//     elementwise ops (axpy, bias/ReLU epilogues, scale), so no
+//     floating-point reassociation happens there at all.
+//   * ACROSS targets results differ within a small tolerance: the AVX2
+//     ops contract multiply-add pairs to FMA (one rounding instead of
+//     two) and dot() accumulates in lane-blocked partial sums.
+//
+// The active target is published to the stats registry as the
+// "simd.target" gauge (0 = scalar, 1 = avx2) and recorded by the bench
+// JSON writer as "schema.simd" so perf results always carry the path
+// that produced them.
+
+#include <cstddef>
+
+namespace gcnt {
+
+enum class SimdTarget : int {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+/// The microkernel table. All pointers are always non-null.
+struct SimdOps {
+  /// Human-readable target name ("scalar", "avx2").
+  const char* name;
+
+  /// y[i] += a * x[i] for i in [0, n).
+  void (*axpy)(float* y, const float* x, float a, std::size_t n);
+
+  /// sum of a[i] * b[i] over [0, n), fp32 accumulation. The scalar
+  /// target sums in ascending-i order; AVX2 sums lane-blocked partials.
+  float (*dot)(const float* a, const float* b, std::size_t n);
+
+  /// y[i] += bias[i] (row-broadcast bias epilogue).
+  void (*bias_add)(float* y, const float* bias, std::size_t n);
+
+  /// y[i] = max(y[i] + bias[i], 0) — fused bias + ReLU epilogue.
+  void (*bias_relu)(float* y, const float* bias, std::size_t n);
+
+  /// y[i] = max(y[i], 0) in place.
+  void (*relu)(float* y, std::size_t n);
+
+  /// y[i] *= a.
+  void (*scale)(float* y, float a, std::size_t n);
+};
+
+/// The resolved microkernel table (override > GCNT_SIMD > CPU detect).
+/// Cheap enough to call per kernel invocation: one relaxed atomic load.
+const SimdOps& simd_ops();
+
+/// The resolved dispatch target.
+SimdTarget simd_target();
+
+/// Name of the resolved dispatch target ("scalar" / "avx2").
+const char* simd_target_name();
+
+/// True when this host can execute `target`.
+bool simd_target_available(SimdTarget target);
+
+/// Forces the dispatch target. Returns false (and changes nothing) when
+/// the host cannot execute it. Must not race with running kernels.
+bool set_simd_target(SimdTarget target);
+
+/// Drops the programmatic override; resolution falls back to
+/// GCNT_SIMD / CPU detection on next use.
+void reset_simd_target();
+
+namespace simd_detail {
+/// The two built-in tables (kernels_scalar.cpp / kernels_avx2.cpp).
+extern const SimdOps kScalarOps;
+extern const SimdOps kAvx2Ops;  ///< name == nullptr when compiled out
+}  // namespace simd_detail
+
+}  // namespace gcnt

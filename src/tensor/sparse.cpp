@@ -6,8 +6,10 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/debug_assert.h"
 #include "common/parallel.h"
 #include "common/trace.h"
+#include "tensor/simd/simd.h"
 
 namespace gcnt {
 
@@ -39,14 +41,22 @@ void count_occurrences(const std::vector<std::uint32_t>& index,
                        std::vector<std::uint32_t>& counts) {
   const BlockPlan plan = plan_blocks(index.size(), kMinParallelNnz);
   if (plan.count <= 1) {
-    for (std::uint32_t i : index) ++counts[i + 1];
+    for (std::uint32_t i : index) {
+      GCNT_DEBUG_ASSERT(i + 1 < counts.size(),
+                        "count_occurrences: index out of range");
+      ++counts[i + 1];
+    }
     return;
   }
   std::vector<std::vector<std::uint32_t>> local(plan.count);
   run_blocks(plan, [&](std::size_t block, std::size_t begin, std::size_t end) {
     auto& histogram = local[block];
     histogram.assign(counts.size(), 0);
-    for (std::size_t k = begin; k < end; ++k) ++histogram[index[k] + 1];
+    for (std::size_t k = begin; k < end; ++k) {
+      GCNT_DEBUG_ASSERT(index[k] + 1 < counts.size(),
+                        "count_occurrences: index out of range");
+      ++histogram[index[k] + 1];
+    }
   });
   parallel_blocks(counts.size(), kMinParallelRows,
                   [&](std::size_t begin, std::size_t end) {
@@ -148,13 +158,9 @@ void CsrMatrix::spmm(const Matrix& dense, Matrix& out, float alpha,
   }
   const std::size_t n = dense.cols();
   if (beta == 0.0f) {
-    if (out.empty()) {
-      out.resize(rows_, n, 0.0f);
-    } else if (out.rows() != rows_ || out.cols() != n) {
-      throw std::invalid_argument("spmm: output shape mismatch");
-    } else {
-      out.fill(0.0f);
-    }
+    // Like gemm: beta == 0 always reshapes (reusing capacity), so a
+    // workspace buffer can be fed back across layers of different width.
+    out.resize(rows_, n, 0.0f);
   } else {
     if (out.rows() != rows_ || out.cols() != n) {
       throw std::invalid_argument("spmm: output shape mismatch");
@@ -169,6 +175,7 @@ void CsrMatrix::spmm(const Matrix& dense, Matrix& out, float alpha,
   // per pass, keeping the high-reuse rows resident in cache when the
   // dense operand is wide.
   const std::size_t tile = std::min(spmm_tile_cols(), n);
+  const SimdOps& ops = simd_ops();
   parallel_blocks(
       rows_, kMinParallelRows,
       [&](std::size_t row_begin, std::size_t row_end) {
@@ -177,11 +184,10 @@ void CsrMatrix::spmm(const Matrix& dense, Matrix& out, float alpha,
           for (std::size_t r = row_begin; r < row_end; ++r) {
             float* orow = out.row(r);
             for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+              GCNT_DEBUG_ASSERT(col_index_[k] < cols_,
+                                "spmm: column index out of range");
               const float av = alpha * values_[k];
-              const float* drow = dense.row(col_index_[k]);
-              for (std::size_t j = j0; j < j1; ++j) {
-                orow[j] += av * drow[j];
-              }
+              ops.axpy(orow + j0, dense.row(col_index_[k]) + j0, av, j1 - j0);
             }
           }
         }
@@ -204,6 +210,7 @@ void CsrMatrix::spmm_rows(const std::vector<std::uint32_t>& row_ids,
   out.resize(row_ids.size(), n, 0.0f);
   // Same ascending-k per-element order as spmm(), so compact row i is
   // bit-identical to full-output row row_ids[i] for any thread count.
+  const SimdOps& ops = simd_ops();
   parallel_blocks(row_ids.size(), kMinParallelRows,
                   [&](std::size_t begin, std::size_t end) {
                     for (std::size_t i = begin; i < end; ++i) {
@@ -211,14 +218,52 @@ void CsrMatrix::spmm_rows(const std::vector<std::uint32_t>& row_ids,
                       float* orow = out.row(i);
                       for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1];
                            ++k) {
+                        GCNT_DEBUG_ASSERT(col_index_[k] < cols_,
+                                          "spmm_rows: column index out of "
+                                          "range");
                         const float av = alpha * values_[k];
-                        const float* drow = dense.row(col_index_[k]);
-                        for (std::size_t j = 0; j < n; ++j) {
-                          orow[j] += av * drow[j];
-                        }
+                        ops.axpy(orow, dense.row(col_index_[k]), av, n);
                       }
                     }
                   });
+}
+
+void CsrMatrix::spmm_bias_relu(const Matrix& dense, const Matrix& bias,
+                               Matrix& out) const {
+  GCNT_KERNEL_SCOPE("spmm_bias_relu");
+  if (dense.rows() != cols_) {
+    throw std::invalid_argument("spmm_bias_relu: dimension mismatch");
+  }
+  const std::size_t n = dense.cols();
+  if (bias.rows() != 1 || bias.cols() != n) {
+    throw std::invalid_argument("spmm_bias_relu: bias shape mismatch");
+  }
+  out.resize(rows_, n, 0.0f);
+  // Same row-block x column-tile walk as spmm(); the bias+ReLU epilogue
+  // runs on each (row, tile) slice right after its nonzero loop, while
+  // the slice is still cache-hot. Each slice is written by exactly one
+  // block and the epilogue is elementwise, so the bitwise guarantees of
+  // spmm() carry over unchanged.
+  const std::size_t tile = std::min(spmm_tile_cols(), n);
+  const SimdOps& ops = simd_ops();
+  const float* bias_row = bias.row(0);
+  parallel_blocks(
+      rows_, kMinParallelRows,
+      [&](std::size_t row_begin, std::size_t row_end) {
+        for (std::size_t j0 = 0; j0 < n; j0 += tile) {
+          const std::size_t j1 = std::min(n, j0 + tile);
+          for (std::size_t r = row_begin; r < row_end; ++r) {
+            float* orow = out.row(r);
+            for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+              GCNT_DEBUG_ASSERT(col_index_[k] < cols_,
+                                "spmm_bias_relu: column index out of range");
+              ops.axpy(orow + j0, dense.row(col_index_[k]) + j0, values_[k],
+                       j1 - j0);
+            }
+            ops.bias_relu(orow + j0, bias_row + j0, j1 - j0);
+          }
+        }
+      });
 }
 
 CsrMatrix CsrMatrix::transpose() const {

@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "common/metrics.h"
+#include "common/parallel.h"
 #include "data/dataset.h"
 #include "gcn/model.h"
 #include "gcn/multistage.h"
@@ -683,6 +684,87 @@ TEST(MultiStage, SurvivorsShrinkAcrossStages) {
   ASSERT_EQ(survivors.size(), 2u);
   EXPECT_LT(survivors[0], n.size());  // stage 1 filtered something
   EXPECT_LE(survivors[1], survivors[0]);
+}
+
+TEST(ForwardWorkspace, SteadyStateInferAllocatesNothing) {
+  GeneratorConfig config;
+  config.seed = 19;
+  config.target_gates = 800;
+  config.primary_inputs = 16;
+  config.primary_outputs = 8;
+  const Netlist n = generate_circuit(config);
+  const auto tensors = build_graph_tensors(n);
+  const GcnModel model(tiny_config(2));
+
+  // First pass per graph grows the workspace buffers; every pass after
+  // that must reuse their capacity — zero heap allocations.
+  ForwardWorkspace ws;
+  Matrix out;
+  model.infer(tensors, ws, out);
+  const Matrix reference = out;
+  EXPECT_EQ(reference, model.infer(tensors)) << "overloads must agree";
+  (void)ws.poll_allocations();  // drain the warm-up growth events
+  const std::size_t logits_capacity = out.capacity();
+  for (int pass = 0; pass < 3; ++pass) {
+    model.infer(tensors, ws, out);
+    EXPECT_EQ(ws.poll_allocations(), 0u) << "pass " << pass;
+    EXPECT_EQ(out.capacity(), logits_capacity) << "pass " << pass;
+    EXPECT_EQ(out, reference) << "pass " << pass;
+  }
+}
+
+TEST(GraphReorder, RcmInferenceBitwiseMatchesUnordered) {
+  GeneratorConfig config;
+  config.seed = 57;
+  config.target_gates = 1500;
+  config.primary_inputs = 24;
+  config.primary_outputs = 10;
+  config.flip_flops = 16;
+  const Netlist n = generate_circuit(config);
+
+  set_graph_reorder(GraphReorder::kOff);
+  const auto plain = build_graph_tensors(n);
+  set_graph_reorder(GraphReorder::kRcm);
+  const auto reordered = build_graph_tensors(n);
+  reset_graph_reorder();
+
+  ASSERT_FALSE(plain.reordered());
+  ASSERT_TRUE(reordered.reordered());
+  // The RCM permutation is a genuine (non-identity) bijection.
+  const std::size_t nodes = reordered.node_count();
+  ASSERT_EQ(reordered.compute_row.size(), nodes);
+  ASSERT_EQ(reordered.compute_node.size(), nodes);
+  bool nontrivial = false;
+  for (std::uint32_t p = 0; p < nodes; ++p) {
+    ASSERT_EQ(reordered.compute_row[reordered.compute_node[p]], p);
+    nontrivial |= reordered.compute_node[p] != p;
+  }
+  EXPECT_TRUE(nontrivial);
+  // Every API boundary stays node-ordered — only the CSR forms permute.
+  EXPECT_EQ(plain.features, reordered.features);
+  EXPECT_EQ(plain.labels, reordered.labels);
+
+  // Reordering is invisible bit-for-bit: the permuted CSR preserves each
+  // row's accumulation order, and the logits scatter back to node order.
+  const GcnModel model(tiny_config(2));
+  const Matrix baseline = model.infer(plain);
+  EXPECT_EQ(baseline, model.infer(reordered));
+
+  set_kernel_threads(8);
+  EXPECT_EQ(baseline, model.infer(reordered)) << "thread invariance";
+  set_kernel_threads(0);
+}
+
+TEST(GraphReorder, GatherScatterRoundTrip) {
+  set_graph_reorder(GraphReorder::kRcm);
+  const auto tensors = build_graph_tensors(tiny_circuit());
+  reset_graph_reorder();
+  ASSERT_TRUE(tensors.reordered());
+
+  Matrix compute_major, node_major;
+  gather_compute_rows(tensors, tensors.features, compute_major);
+  scatter_compute_rows(tensors, compute_major, node_major);
+  EXPECT_EQ(tensors.features, node_major);
 }
 
 }  // namespace

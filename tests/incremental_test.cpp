@@ -326,5 +326,45 @@ TEST(Incremental, CpiFlowIdenticalWithAndWithoutIncremental) {
             incremental.final_positive_predictions);
 }
 
+TEST(Incremental, RcmReorderingKeepsIncrementalBitIdentical) {
+  // Under RCM reordering the cached embeddings live in compute row order
+  // and appended nodes extend the permutation with an identity tail; the
+  // incremental path must stay bit-identical to a full infer, which in
+  // turn must match a never-reordered run.
+  set_graph_reorder(GraphReorder::kRcm);
+  Netlist netlist = test_netlist(51, 1200);
+  ScoapMeasures scoap = compute_scoap(netlist);
+  std::vector<std::uint32_t> levels = netlist.logic_levels();
+  GraphTensors tensors = build_graph_tensors(netlist, scoap, levels);
+  reset_graph_reorder();
+  ASSERT_TRUE(tensors.reordered());
+
+  const GcnModel model(small_config(2));
+  IncrementalGcnEngine engine(model, IncrementalGcnOptions{2.0});
+  engine.refresh(tensors);
+  EXPECT_EQ(engine.logits(), model.infer(tensors));
+
+  DirtyConeTracker tracker;
+  const auto targets = op_targets(netlist, 12);
+  ASSERT_EQ(targets.size(), 12u);
+  insert_ops(netlist, tensors, scoap, levels, targets, tracker);
+  ASSERT_TRUE(tensors.reordered());  // identity-tail extension survived
+
+  const auto dirty = tracker.affected(tensors, model.config().depth);
+  engine.update(tensors, dirty);
+  EXPECT_FALSE(engine.last_was_full());
+  EXPECT_EQ(engine.logits(), model.infer(tensors));
+
+  // Same graph rebuilt without any reordering: logits agree bitwise.
+  GraphTensors plain = tensors;
+  plain.compute_row.clear();
+  plain.compute_node.clear();
+  set_graph_reorder(GraphReorder::kOff);
+  plain.rebuild_csr();
+  reset_graph_reorder();
+  ASSERT_FALSE(plain.reordered());
+  EXPECT_EQ(engine.logits(), model.infer(plain));
+}
+
 }  // namespace
 }  // namespace gcnt

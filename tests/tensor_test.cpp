@@ -213,16 +213,22 @@ TEST(Csr, SpmmDimensionMismatchThrows) {
   EXPECT_THROW(csr.spmm(x, out), std::invalid_argument);
 }
 
-TEST(Csr, SpmmBetaZeroValidatesAllocatedOutput) {
+TEST(Csr, SpmmBetaZeroReshapesOutputLikeGemm) {
   CooMatrix coo(2, 2);
   coo.add(0, 0, 1.0f);
   coo.add(1, 1, 1.0f);
   const CsrMatrix identity = CsrMatrix::from_coo(coo);
   Matrix x(2, 3, 1.0f);
-  // A wrongly-shaped, already-allocated output must throw rather than be
-  // silently resized.
+  // beta == 0 reshapes any output to the result shape, reusing its
+  // allocation — same contract as gemm, so a workspace buffer can carry
+  // across layers of different width.
   Matrix wrong(4, 7, 0.0f);
-  EXPECT_THROW(identity.spmm(x, wrong), std::invalid_argument);
+  const std::size_t cap = wrong.capacity();
+  identity.spmm(x, wrong);
+  EXPECT_EQ(wrong.rows(), 2u);
+  EXPECT_EQ(wrong.cols(), 3u);
+  EXPECT_EQ(wrong.capacity(), cap);  // shrink reuses the allocation
+  expect_near(wrong, x);
   // A correctly-shaped output is reused: stale contents are overwritten.
   Matrix reused(2, 3, 99.0f);
   identity.spmm(x, reused);
@@ -231,6 +237,9 @@ TEST(Csr, SpmmBetaZeroValidatesAllocatedOutput) {
   Matrix fresh;
   identity.spmm(x, fresh);
   expect_near(fresh, x);
+  // beta != 0 still validates: the output's existing values are inputs.
+  Matrix accum(4, 7, 0.0f);
+  EXPECT_THROW(identity.spmm(x, accum, 1.0f, 0.5f), std::invalid_argument);
 }
 
 /// Builds a pseudo-random sparse matrix with ~nnz entries.
