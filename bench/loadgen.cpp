@@ -1,0 +1,367 @@
+// Load generator for the `gcnt serve` daemon: replays a mixed
+// infer / append-observe workload against a running server at a target
+// QPS from several client threads, and reports p50/p99 latency and
+// sustained throughput as bench JSON (schema v4, "serve.*" keys) for
+// tools/bench_gate.
+//
+//   loadgen (--socket path | --port P)
+//           [--sessions N] [--gates G] [--seed S]
+//           [--requests N] [--threads T] [--qps Q]
+//           [--edit-every K] [--reload] [--shutdown]
+//           [--expect-overload] [--json out.json]
+//
+// Default mode loads --sessions circuits as resident sessions, then
+// issues --requests total requests round-robin across --threads
+// connections: every --edit-every'th request on a session inserts an
+// observation point (the incremental path), the rest are whole-graph
+// infers. --qps 0 runs unpaced (throughput mode). --reload issues one
+// model hot-reload at the halfway point — latency of requests riding
+// across the swap is included in the percentiles, which is the point.
+//
+// --expect-overload instead runs the admission-control probe: on one
+// connection it pipelines two slow session loads (the first occupies a
+// worker, the second the queue) followed by a ping burst, and requires
+// at least one typed `resource` rejection. Exit code 1 when the daemon
+// misbehaves in either mode (unexpected error kind, no rejection in the
+// overload probe, reload generation not advancing).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/error.h"
+#include "common/timer.h"
+#include "gen/generator.h"
+#include "netlist/bench_io.h"
+#include "serve/client.h"
+
+namespace {
+
+using namespace gcnt;
+
+struct Options {
+  std::string socket;
+  int port = -1;
+  std::size_t sessions = 2;
+  std::size_t gates = 2000;
+  std::uint64_t seed = 9;
+  std::size_t requests = 200;
+  std::size_t threads = 2;
+  double qps = 0.0;  // 0 = unpaced
+  std::size_t edit_every = 16;
+  bool reload = false;
+  bool do_shutdown = false;
+  bool expect_overload = false;
+  std::string json;
+};
+
+Options parse(int argc, char** argv) {
+  Options options;
+  std::map<std::string, std::string> kv;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw Error(ErrorKind::kUsage, "unexpected argument " + arg);
+    }
+    arg = arg.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      kv[arg] = argv[++i];
+    } else {
+      kv[arg] = "1";
+    }
+  }
+  const auto get = [&](const char* key, const std::string& fallback) {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : it->second;
+  };
+  options.socket = get("socket", "");
+  options.port = std::stoi(get("port", "-1"));
+  options.sessions = std::stoull(get("sessions", "2"));
+  options.gates = std::stoull(get("gates", "2000"));
+  options.seed = std::stoull(get("seed", "9"));
+  options.requests = std::stoull(get("requests", "200"));
+  options.threads = std::max<std::size_t>(1, std::stoull(get("threads", "2")));
+  options.qps = std::stod(get("qps", "0"));
+  options.edit_every = std::stoull(get("edit-every", "16"));
+  options.reload = kv.count("reload") > 0;
+  options.do_shutdown = kv.count("shutdown") > 0;
+  options.expect_overload = kv.count("expect-overload") > 0;
+  options.json = get("json", "");
+  if (options.socket.empty() && options.port < 0) {
+    throw Error(ErrorKind::kUsage, "loadgen needs --socket or --port");
+  }
+  return options;
+}
+
+serve::ServeClient connect(const Options& options) {
+  return options.socket.empty()
+             ? serve::ServeClient::connect_tcp(options.port)
+             : serve::ServeClient::connect_unix(options.socket);
+}
+
+/// Valid observation-point targets in the canonical (round-tripped)
+/// netlist, spread across the graph so the edits touch distinct cones.
+std::vector<NodeId> observe_targets(const Netlist& netlist,
+                                    std::size_t count) {
+  std::vector<NodeId> targets;
+  const std::size_t step =
+      std::max<std::size_t>(1, netlist.size() / (count * 4 + 1));
+  for (NodeId v = 0; v < netlist.size() && targets.size() < count;
+       v += static_cast<NodeId>(step)) {
+    const CellType t = netlist.type(v);
+    if (is_sink(t) || t == CellType::kInput) continue;
+    targets.push_back(v);
+  }
+  return targets;
+}
+
+double percentile(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted_ms.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_ms.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_ms[lo] * (1.0 - frac) + sorted_ms[hi] * frac;
+}
+
+int run_overload_probe(const Options& options) {
+  // Two pipelined loads occupy the worker and (with --queue 1 on the
+  // server) the queue; the ping burst behind them must see typed
+  // `resource` rejections from admission control.
+  GeneratorConfig config;
+  config.seed = options.seed;
+  config.target_gates = std::max<std::size_t>(options.gates, 40000);
+  const std::string big = write_bench_string(generate_circuit(config));
+
+  serve::ServeClient client = connect(options);
+  const auto send_load = [&](const std::string& name, std::uint32_t id) {
+    serve::Frame frame;
+    frame.opcode = static_cast<std::uint8_t>(serve::Op::kLoadSession);
+    frame.request_id = id;
+    serve::WireWriter writer(frame.body);
+    writer.str(name);
+    writer.u8(1);  // inline .bench text
+    writer.str(big);
+    writer.u8(0);
+    serve::write_frame(client.write_fd(), frame);
+  };
+  send_load("overload1", 1);
+  send_load("overload2", 2);
+  const std::size_t pings = std::min<std::size_t>(options.requests, 64);
+  for (std::size_t i = 0; i < pings; ++i) {
+    serve::Frame frame;
+    frame.opcode = static_cast<std::uint8_t>(serve::Op::kPing);
+    frame.request_id = static_cast<std::uint32_t>(100 + i);
+    serve::write_frame(client.write_fd(), frame);
+  }
+
+  std::size_t ok = 0, rejected = 0;
+  bool first_load_ok = false;
+  for (std::size_t i = 0; i < pings + 2; ++i) {
+    serve::Frame response;
+    ErrorKind kind = ErrorKind::kInternal;
+    std::string message;
+    if (serve::read_frame(client.write_fd(), response, kind, message) !=
+        serve::ReadStatus::kFrame) {
+      std::cerr << "loadgen: transport failure mid-probe: " << message
+                << "\n";
+      return 1;
+    }
+    serve::WireReader reader(response.body);
+    const std::uint8_t status = reader.u8();
+    if (status == serve::kStatusOk) {
+      ++ok;
+      if (response.request_id == 1) first_load_ok = true;
+    } else if (serve::error_kind_for_status(status) ==
+               ErrorKind::kResource) {
+      ++rejected;
+    } else {
+      std::cerr << "loadgen: unexpected error reply: " << reader.str()
+                << "\n";
+      return 1;
+    }
+  }
+  client.close_session("overload1");
+  try {
+    client.close_session("overload2");  // may have been rejected
+  } catch (const Error&) {
+  }
+  std::cout << "overload probe: " << ok << " ok, " << rejected
+            << " rejected (queue-full resource errors)\n";
+  if (!first_load_ok) {
+    std::cerr << "loadgen: first load should have been admitted\n";
+    return 1;
+  }
+  if (rejected == 0) {
+    std::cerr << "loadgen: expected at least one overload rejection\n";
+    return 1;
+  }
+  return 0;
+}
+
+struct SessionPlan {
+  std::string name;
+  std::vector<NodeId> targets;       ///< valid OP targets, used once each
+  std::atomic<std::size_t> cursor{0};
+};
+
+int run_mixed(const Options& options) {
+  // Prepare canonical circuits and load them as resident sessions.
+  std::vector<std::unique_ptr<SessionPlan>> plans;
+  {
+    serve::ServeClient setup = connect(options);
+    for (std::size_t s = 0; s < options.sessions; ++s) {
+      GeneratorConfig config;
+      config.seed = options.seed + s;
+      config.target_gates = options.gates;
+      const std::string text =
+          write_bench_string(generate_circuit(config));
+      const Netlist canonical = read_bench_string(text);
+      auto plan = std::make_unique<SessionPlan>();
+      plan->name = "lg" + std::to_string(s);
+      plan->targets = observe_targets(canonical, 256);
+      setup.load_session_inline(plan->name, text, /*standardize=*/false);
+      plans.push_back(std::move(plan));
+    }
+  }
+
+  std::atomic<std::size_t> ticket{0};
+  std::atomic<std::size_t> ok{0}, edits{0}, rejected{0}, errors{0};
+  std::atomic<std::uint64_t> reload_generation{0};
+  std::vector<std::vector<double>> latencies(options.threads);
+  const std::size_t reload_ticket =
+      options.reload ? options.requests / 2 : options.requests + 1;
+
+  Timer wall;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < options.threads; ++t) {
+    threads.emplace_back([&, t] {
+      serve::ServeClient client = connect(options);
+      std::vector<double>& mine = latencies[t];
+      for (;;) {
+        const std::size_t n = ticket.fetch_add(1);
+        if (n >= options.requests) return;
+        if (options.qps > 0.0) {
+          std::this_thread::sleep_until(
+              start + std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(
+                              static_cast<double>(n) / options.qps)));
+        }
+        SessionPlan& plan = *plans[n % plans.size()];
+        const bool edit =
+            options.edit_every > 0 && n % options.edit_every == 1;
+        Timer latency;
+        try {
+          if (n == reload_ticket) {
+            reload_generation.store(client.reload());
+          } else if (edit) {
+            const std::size_t i = plan.cursor.fetch_add(1);
+            if (i < plan.targets.size()) {
+              client.append_observe(plan.name, plan.targets[i]);
+              edits.fetch_add(1);
+            } else {
+              client.infer(plan.name);  // targets exhausted
+            }
+          } else {
+            const Matrix logits = client.infer(plan.name);
+            if (logits.rows() == 0) {
+              errors.fetch_add(1);
+              continue;
+            }
+          }
+          mine.push_back(latency.milliseconds());
+          ok.fetch_add(1);
+        } catch (const Error& e) {
+          if (e.kind() == ErrorKind::kResource) {
+            rejected.fetch_add(1);
+          } else {
+            errors.fetch_add(1);
+            std::cerr << "loadgen: request " << n << " failed ["
+                      << error_kind_name(e.kind()) << "]: " << e.what()
+                      << "\n";
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double elapsed = wall.seconds();
+
+  std::vector<double> all;
+  for (const auto& per_thread : latencies) {
+    all.insert(all.end(), per_thread.begin(), per_thread.end());
+  }
+  std::sort(all.begin(), all.end());
+  const double p50 = percentile(all, 0.50);
+  const double p99 = percentile(all, 0.99);
+  const double qps =
+      elapsed > 0.0 ? static_cast<double>(ok.load()) / elapsed : 0.0;
+
+  std::cout << "loadgen: " << ok.load() << "/" << options.requests
+            << " ok (" << edits.load() << " edits, " << rejected.load()
+            << " overload-rejected, " << errors.load() << " errors) in "
+            << elapsed << "s\n"
+            << "  p50 " << p50 << " ms, p99 " << p99 << " ms, sustained "
+            << qps << " qps\n";
+  if (options.reload) {
+    std::cout << "  hot reload -> generation " << reload_generation.load()
+              << "\n";
+  }
+
+  int rc = 0;
+  if (errors.load() != 0) rc = 1;
+  if (options.reload && reload_generation.load() < 2) {
+    std::cerr << "loadgen: hot reload did not advance the generation\n";
+    rc = 1;
+  }
+
+  if (options.do_shutdown) {
+    serve::ServeClient finisher = connect(options);
+    finisher.shutdown();
+  }
+
+  if (!options.json.empty()) {
+    const bool written = bench::write_bench_json(
+        options.json,
+        {{"serve.qps", qps},
+         {"serve.p50_ms", p50},
+         {"serve.p99_ms", p99},
+         {"serve.requests", static_cast<double>(options.requests)},
+         {"serve.edits", static_cast<double>(edits.load())},
+         {"serve.overload_rejected",
+          static_cast<double>(rejected.load())},
+         {"serve.errors", static_cast<double>(errors.load())}});
+    if (!written) {
+      std::cerr << "loadgen: cannot write " << options.json << "\n";
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options options = parse(argc, argv);
+    return options.expect_overload ? run_overload_probe(options)
+                                   : run_mixed(options);
+  } catch (const Error& e) {
+    std::cerr << "loadgen: [" << error_kind_name(e.kind()) << "] "
+              << e.what() << "\n";
+    return exit_code_for(e.kind());
+  } catch (const std::exception& e) {
+    std::cerr << "loadgen: " << e.what() << "\n";
+    return 1;
+  }
+}

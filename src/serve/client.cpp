@@ -1,0 +1,216 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace gcnt::serve {
+
+ServeClient ServeClient::connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw Error(ErrorKind::kIo, "socket() failed");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    throw Error(ErrorKind::kUsage, "unix socket path too long");
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw Error(ErrorKind::kIo, "cannot connect to " + path + ": " + why);
+  }
+  return ServeClient(fd, fd, true);
+}
+
+ServeClient ServeClient::connect_tcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw Error(ErrorKind::kIo, "socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw Error(ErrorKind::kIo, "cannot connect to 127.0.0.1:" +
+                                    std::to_string(port) + ": " + why);
+  }
+  return ServeClient(fd, fd, true);
+}
+
+ServeClient ServeClient::from_fds(int read_fd, int write_fd, bool owns_fds) {
+  return ServeClient(read_fd, write_fd, owns_fds);
+}
+
+ServeClient::ServeClient(ServeClient&& other) noexcept
+    : read_fd_(std::exchange(other.read_fd_, -1)),
+      write_fd_(std::exchange(other.write_fd_, -1)),
+      owns_fds_(other.owns_fds_),
+      next_request_id_(other.next_request_id_) {}
+
+ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    read_fd_ = std::exchange(other.read_fd_, -1);
+    write_fd_ = std::exchange(other.write_fd_, -1);
+    owns_fds_ = other.owns_fds_;
+    next_request_id_ = other.next_request_id_;
+  }
+  return *this;
+}
+
+ServeClient::~ServeClient() { close(); }
+
+void ServeClient::close() noexcept {
+  if (read_fd_ < 0) return;
+  if (owns_fds_) {
+    ::close(read_fd_);
+    if (write_fd_ != read_fd_) ::close(write_fd_);
+  }
+  read_fd_ = -1;
+  write_fd_ = -1;
+}
+
+std::string ServeClient::call(Op op, const std::string& body) {
+  Frame request;
+  request.version = kProtocolVersion;
+  request.opcode = static_cast<std::uint8_t>(op);
+  request.request_id = next_request_id_++;
+  request.body = body;
+  write_frame(write_fd_, request);
+
+  Frame response;
+  ErrorKind kind = ErrorKind::kInternal;
+  std::string message;
+  const ReadStatus status = read_frame(read_fd_, response, kind, message);
+  if (status == ReadStatus::kEof) {
+    throw Error(ErrorKind::kIo, "server closed the connection");
+  }
+  if (status == ReadStatus::kError) throw Error(kind, message);
+  if (!response.is_response() ||
+      response.request_id != request.request_id) {
+    throw Error(ErrorKind::kCorrupt,
+                "response does not match the outstanding request");
+  }
+  WireReader reader(response.body);
+  const std::uint8_t wire = reader.u8();
+  if (wire != kStatusOk) {
+    throw Error(error_kind_for_status(wire), reader.str());
+  }
+  return response.body.substr(1);
+}
+
+void ServeClient::ping() { call(Op::kPing); }
+
+ServeClient::SessionInfo ServeClient::load_session_file(
+    const std::string& name, const std::string& path, bool standardize) {
+  std::string body;
+  WireWriter writer(body);
+  writer.str(name);
+  writer.u8(0);  // source 0: server-side file path
+  writer.str(path);
+  writer.u8(standardize ? 1 : 0);
+  const std::string payload = call(Op::kLoadSession, body);
+  WireReader reader(payload);
+  SessionInfo info;
+  info.nodes = reader.u32();
+  info.edges = reader.u32();
+  return info;
+}
+
+ServeClient::SessionInfo ServeClient::load_session_inline(
+    const std::string& name, const std::string& bench_text,
+    bool standardize) {
+  std::string body;
+  WireWriter writer(body);
+  writer.str(name);
+  writer.u8(1);  // source 1: inline .bench text
+  writer.str(bench_text);
+  writer.u8(standardize ? 1 : 0);
+  const std::string payload = call(Op::kLoadSession, body);
+  WireReader reader(payload);
+  SessionInfo info;
+  info.nodes = reader.u32();
+  info.edges = reader.u32();
+  return info;
+}
+
+Matrix ServeClient::infer(const std::string& session) {
+  std::string body;
+  WireWriter writer(body);
+  writer.str(session);
+  const std::string payload = call(Op::kInfer, body);
+  WireReader reader(payload);
+  const std::uint32_t rows = reader.u32();
+  const std::uint32_t cols = reader.u32();
+  Matrix logits(rows, cols);
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    float* row = logits.row(r);
+    for (std::uint32_t c = 0; c < cols; ++c) row[c] = reader.f32();
+  }
+  return logits;
+}
+
+ServeClient::ObserveResult ServeClient::append_observe(
+    const std::string& session, NodeId target) {
+  std::string body;
+  WireWriter writer(body);
+  writer.str(session);
+  writer.u32(target);
+  const std::string payload = call(Op::kAppendObserve, body);
+  WireReader reader(payload);
+  ObserveResult result;
+  result.op = reader.u32();
+  result.node_count = reader.u32();
+  return result;
+}
+
+ServeClient::ControlResult ServeClient::append_control(
+    const std::string& session, NodeId target, bool drive_to_one) {
+  std::string body;
+  WireWriter writer(body);
+  writer.str(session);
+  writer.u32(target);
+  writer.u8(drive_to_one ? 1 : 0);
+  const std::string payload = call(Op::kAppendControl, body);
+  WireReader reader(payload);
+  ControlResult result;
+  result.control = reader.u32();
+  result.gate = reader.u32();
+  result.inverter = reader.u32();
+  return result;
+}
+
+std::string ServeClient::stats_json() {
+  const std::string payload = call(Op::kStats);
+  WireReader reader(payload);
+  return reader.str();
+}
+
+std::uint64_t ServeClient::reload(const std::string& path) {
+  std::string body;
+  WireWriter writer(body);
+  writer.str(path);
+  const std::string payload = call(Op::kReloadModel, body);
+  WireReader reader(payload);
+  return reader.u64();
+}
+
+void ServeClient::close_session(const std::string& name) {
+  std::string body;
+  WireWriter writer(body);
+  writer.str(name);
+  call(Op::kCloseSession, body);
+}
+
+void ServeClient::shutdown() { call(Op::kShutdown); }
+
+}  // namespace gcnt::serve

@@ -1,0 +1,104 @@
+#pragma once
+// Blocking client for the `gcnt serve` protocol, used by bench/loadgen,
+// the integration tests, and scripting against a running daemon.
+//
+// One client drives one connection with one outstanding request at a
+// time (the daemon batches across connections, not within one). Error
+// responses are re-thrown as the gcnt::Error the server raised, so a
+// caller sees the same taxonomy whether it links the engine directly or
+// talks to a daemon.
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.h"
+#include "netlist/netlist.h"
+#include "serve/protocol.h"
+#include "tensor/matrix.h"
+
+namespace gcnt::serve {
+
+class ServeClient {
+ public:
+  /// Connects to a Unix domain socket. Throws Error{kIo} on failure.
+  static ServeClient connect_unix(const std::string& path);
+
+  /// Connects to 127.0.0.1:<port>. Throws Error{kIo} on failure.
+  static ServeClient connect_tcp(int port);
+
+  /// Wraps existing descriptors (e.g. pipes to a --stdio child). The fds
+  /// are closed on destruction only when `owns_fds`.
+  static ServeClient from_fds(int read_fd, int write_fd, bool owns_fds);
+
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&& other) noexcept;
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+  ~ServeClient();
+
+  /// Sends one request and blocks for its response. Returns the response
+  /// payload after the status byte. An error response is re-thrown as
+  /// Error{<its wire status>, <its message>}; transport failures throw
+  /// Error{kIo}; a response that does not match the request throws
+  /// Error{kCorrupt}.
+  std::string call(Op op, const std::string& body = {});
+
+  void ping();
+
+  struct SessionInfo {
+    std::uint32_t nodes = 0;
+    std::uint32_t edges = 0;
+  };
+  /// Loads a netlist resident in the daemon from a server-side file path
+  /// (.bench, or .v for Verilog).
+  SessionInfo load_session_file(const std::string& name,
+                                const std::string& path, bool standardize);
+  /// Loads from .bench text carried inline in the request.
+  SessionInfo load_session_inline(const std::string& name,
+                                  const std::string& bench_text,
+                                  bool standardize);
+
+  /// Whole-graph logits (node order, N x num_classes).
+  Matrix infer(const std::string& session);
+
+  struct ObserveResult {
+    NodeId op = kInvalidNode;       ///< new observation-point node
+    std::uint32_t node_count = 0;   ///< session size after the insert
+  };
+  ObserveResult append_observe(const std::string& session, NodeId target);
+
+  struct ControlResult {
+    NodeId control = kInvalidNode;
+    NodeId gate = kInvalidNode;
+    NodeId inverter = kInvalidNode;  ///< kInvalidNode for OR-type points
+  };
+  ControlResult append_control(const std::string& session, NodeId target,
+                               bool drive_to_one);
+
+  /// The daemon's stats registry as JSON.
+  std::string stats_json();
+
+  /// Hot-reloads the model (empty path = re-read the current artifact).
+  /// Returns the new model generation.
+  std::uint64_t reload(const std::string& path = {});
+
+  void close_session(const std::string& name);
+
+  /// Asks the daemon to shut down cleanly (acknowledged before it does).
+  void shutdown();
+
+  /// Raw write descriptor — lets tests inject malformed bytes.
+  int write_fd() const noexcept { return write_fd_; }
+
+ private:
+  ServeClient(int read_fd, int write_fd, bool owns_fds)
+      : read_fd_(read_fd), write_fd_(write_fd), owns_fds_(owns_fds) {}
+  void close() noexcept;
+
+  int read_fd_ = -1;
+  int write_fd_ = -1;
+  bool owns_fds_ = true;
+  std::uint32_t next_request_id_ = 1;
+};
+
+}  // namespace gcnt::serve

@@ -1,0 +1,272 @@
+#include "serve/protocol.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace gcnt::serve {
+
+std::uint8_t wire_status(ErrorKind kind) noexcept {
+  switch (kind) {
+    case ErrorKind::kIo:
+      return 1;
+    case ErrorKind::kCorrupt:
+      return 2;
+    case ErrorKind::kVersion:
+      return 3;
+    case ErrorKind::kResource:
+      return 4;
+    case ErrorKind::kUsage:
+      return 5;
+    case ErrorKind::kInternal:
+      return 6;
+  }
+  return 6;
+}
+
+ErrorKind error_kind_for_status(std::uint8_t status) noexcept {
+  switch (status) {
+    case 1:
+      return ErrorKind::kIo;
+    case 2:
+      return ErrorKind::kCorrupt;
+    case 3:
+      return ErrorKind::kVersion;
+    case 4:
+      return ErrorKind::kResource;
+    case 5:
+      return ErrorKind::kUsage;
+    default:
+      return ErrorKind::kInternal;
+  }
+}
+
+namespace {
+
+void append_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+std::uint32_t load_u32(const char* p) noexcept {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+}  // namespace
+
+std::string encode_frame(const Frame& frame) {
+  if (frame.body.size() > kMaxFramePayload - kFrameHeaderBytes) {
+    throw Error(ErrorKind::kUsage,
+                "frame body of " + std::to_string(frame.body.size()) +
+                    " bytes exceeds the frame payload limit");
+  }
+  const std::uint32_t payload =
+      static_cast<std::uint32_t>(kFrameHeaderBytes + frame.body.size());
+  std::string out;
+  out.reserve(4 + payload);
+  append_u32(out, payload);
+  out.push_back(static_cast<char>(frame.version));
+  out.push_back(static_cast<char>(frame.opcode));
+  out.push_back('\0');  // reserved
+  out.push_back('\0');
+  append_u32(out, frame.request_id);
+  out.append(frame.body);
+  return out;
+}
+
+DecodeResult decode_frame(std::string_view buffer, Frame& out,
+                          std::size_t& consumed, ErrorKind& kind,
+                          std::string& message) {
+  if (buffer.size() < 4) return DecodeResult::kNeedMore;
+  const std::uint32_t payload = load_u32(buffer.data());
+  if (payload > kMaxFramePayload) {
+    kind = ErrorKind::kCorrupt;
+    message = "frame length " + std::to_string(payload) +
+              " exceeds the " + std::to_string(kMaxFramePayload) +
+              "-byte payload limit";
+    return DecodeResult::kMalformed;
+  }
+  if (payload < kFrameHeaderBytes) {
+    kind = ErrorKind::kCorrupt;
+    message = "frame payload of " + std::to_string(payload) +
+              " bytes is shorter than the frame header";
+    return DecodeResult::kMalformed;
+  }
+  if (buffer.size() < 4 + static_cast<std::size_t>(payload)) {
+    return DecodeResult::kNeedMore;
+  }
+  const char* p = buffer.data() + 4;
+  out.version = static_cast<std::uint8_t>(p[0]);
+  out.opcode = static_cast<std::uint8_t>(p[1]);
+  out.request_id = load_u32(p + 4);
+  out.body.assign(p + kFrameHeaderBytes, payload - kFrameHeaderBytes);
+  consumed = 4 + static_cast<std::size_t>(payload);
+  return DecodeResult::kFrame;
+}
+
+Frame make_error_response(const Frame& request, ErrorKind kind,
+                          const std::string& message) {
+  Frame response;
+  response.opcode = request.opcode | kResponseBit;
+  response.request_id = request.request_id;
+  WireWriter writer(response.body);
+  writer.u8(wire_status(kind));
+  writer.str(message);
+  return response;
+}
+
+Frame make_ok_response(const Frame& request, std::string payload) {
+  Frame response;
+  response.opcode = request.opcode | kResponseBit;
+  response.request_id = request.request_id;
+  response.body.reserve(1 + payload.size());
+  response.body.push_back(static_cast<char>(kStatusOk));
+  response.body.append(payload);
+  return response;
+}
+
+void WireWriter::u32(std::uint32_t v) { append_u32(*out_, v); }
+
+void WireWriter::u64(std::uint64_t v) {
+  append_u32(*out_, static_cast<std::uint32_t>(v & 0xffffffffu));
+  append_u32(*out_, static_cast<std::uint32_t>(v >> 32));
+}
+
+void WireWriter::f32(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  append_u32(*out_, bits);
+}
+
+void WireWriter::str(std::string_view v) {
+  if (v.size() > kMaxFramePayload) {
+    throw Error(ErrorKind::kUsage, "string field exceeds the frame limit");
+  }
+  append_u32(*out_, static_cast<std::uint32_t>(v.size()));
+  out_->append(v);
+}
+
+void WireReader::need(std::size_t bytes) const {
+  if (cursor_ + bytes > data_.size()) {
+    throw Error(ErrorKind::kCorrupt, "truncated message body");
+  }
+}
+
+std::uint8_t WireReader::u8() {
+  need(1);
+  return static_cast<std::uint8_t>(data_[cursor_++]);
+}
+
+std::uint32_t WireReader::u32() {
+  need(4);
+  const std::uint32_t v = load_u32(data_.data() + cursor_);
+  cursor_ += 4;
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  const std::uint64_t lo = u32();
+  const std::uint64_t hi = u32();
+  return lo | (hi << 32);
+}
+
+float WireReader::f32() {
+  const std::uint32_t bits = u32();
+  float v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::string WireReader::str() {
+  const std::uint32_t len = u32();
+  need(len);
+  std::string v(data_.substr(cursor_, len));
+  cursor_ += len;
+  return v;
+}
+
+namespace {
+
+/// Reads exactly `n` bytes. Returns n on success, 0 on immediate EOF,
+/// -1 on I/O error, and the partial count on EOF mid-read.
+std::ptrdiff_t read_exact(int fd, char* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, buf + got, n - got);
+    if (r == 0) return static_cast<std::ptrdiff_t>(got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return static_cast<std::ptrdiff_t>(got);
+}
+
+}  // namespace
+
+ReadStatus read_frame(int fd, Frame& out, ErrorKind& kind,
+                      std::string& message) {
+  char prefix[4];
+  const std::ptrdiff_t got = read_exact(fd, prefix, sizeof prefix);
+  if (got == 0) return ReadStatus::kEof;
+  if (got < 0) {
+    kind = ErrorKind::kIo;
+    message = std::string("read failed: ") + std::strerror(errno);
+    return ReadStatus::kError;
+  }
+  if (got < static_cast<std::ptrdiff_t>(sizeof prefix)) {
+    kind = ErrorKind::kCorrupt;
+    message = "truncated frame length prefix";
+    return ReadStatus::kError;
+  }
+  const std::uint32_t payload = load_u32(prefix);
+  if (payload > kMaxFramePayload || payload < kFrameHeaderBytes) {
+    kind = ErrorKind::kCorrupt;
+    message = payload > kMaxFramePayload
+                  ? "frame length " + std::to_string(payload) +
+                        " exceeds the payload limit"
+                  : "frame payload shorter than the frame header";
+    return ReadStatus::kError;
+  }
+  std::string buf(payload, '\0');
+  const std::ptrdiff_t body = read_exact(fd, buf.data(), payload);
+  if (body < 0) {
+    kind = ErrorKind::kIo;
+    message = std::string("read failed: ") + std::strerror(errno);
+    return ReadStatus::kError;
+  }
+  if (body < static_cast<std::ptrdiff_t>(payload)) {
+    kind = ErrorKind::kCorrupt;
+    message = "truncated frame payload (stream ended mid-frame)";
+    return ReadStatus::kError;
+  }
+  out.version = static_cast<std::uint8_t>(buf[0]);
+  out.opcode = static_cast<std::uint8_t>(buf[1]);
+  out.request_id = load_u32(buf.data() + 4);
+  out.body.assign(buf, kFrameHeaderBytes, buf.size() - kFrameHeaderBytes);
+  return ReadStatus::kFrame;
+}
+
+void write_frame(int fd, const Frame& frame) {
+  const std::string bytes = encode_frame(frame);
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t w = ::write(fd, bytes.data() + sent, bytes.size() - sent);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw Error(ErrorKind::kIo,
+                  std::string("write failed: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+}
+
+}  // namespace gcnt::serve

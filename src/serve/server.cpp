@@ -1,0 +1,673 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.h"
+#include "common/stats.h"
+#include "common/trace.h"
+#include "netlist/bench_io.h"
+#include "netlist/verilog_io.h"
+
+namespace gcnt::serve {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool is_verilog_path(const std::string& path) {
+  return path.size() >= 2 && path.compare(path.size() - 2, 2, ".v") == 0;
+}
+
+Netlist read_netlist_source(std::uint8_t source, const std::string& data) {
+  if (source == 0) {  // server-side file path
+    std::ifstream in(data);
+    if (!in) throw Error(ErrorKind::kIo, "cannot open " + data);
+    return is_verilog_path(data) ? read_verilog(in, data)
+                                 : read_bench(in, data);
+  }
+  if (source == 1) {  // inline .bench text
+    std::istringstream in(data);
+    return read_bench(in, "<inline>");
+  }
+  throw Error(ErrorKind::kUsage,
+              "unknown netlist source kind " + std::to_string(source));
+}
+
+/// Ops whose body begins with a session-name string (pre-parsed by the
+/// reader so the worker can batch without decoding bodies twice).
+bool has_session_name(std::uint8_t opcode) noexcept {
+  switch (static_cast<Op>(opcode)) {
+    case Op::kLoadSession:
+    case Op::kInfer:
+    case Op::kAppendObserve:
+    case Op::kAppendControl:
+    case Op::kCloseSession:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool known_opcode(std::uint8_t opcode) noexcept {
+  switch (static_cast<Op>(opcode)) {
+    case Op::kPing:
+    case Op::kLoadSession:
+    case Op::kInfer:
+    case Op::kAppendObserve:
+    case Op::kAppendControl:
+    case Op::kStats:
+    case Op::kReloadModel:
+    case Op::kCloseSession:
+    case Op::kShutdown:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void ServeServer::Connection::send(const Frame& frame) {
+  std::lock_guard<std::mutex> lock(write_mutex);
+  if (closed.load()) throw Error(ErrorKind::kIo, "connection closed");
+  write_frame(write_fd, frame);
+}
+
+void ServeServer::Connection::close() noexcept {
+  if (closed.exchange(true)) return;
+  // shutdown() wakes a reader blocked in read(); harmless ENOTSOCK on
+  // pipe fds (stdio mode, where the fds are borrowed anyway).
+  ::shutdown(read_fd, SHUT_RDWR);
+  if (owns_fds) {
+    ::close(read_fd);
+    if (write_fd != read_fd) ::close(write_fd);
+  }
+}
+
+ServeServer::ServeServer(ServeOptions options)
+    : options_(std::move(options)) {
+  if (options_.workers == 0) options_.workers = 1;
+  if (options_.queue_limit == 0) options_.queue_limit = 1;
+  if (options_.batch_limit == 0) options_.batch_limit = 1;
+}
+
+ServeServer::~ServeServer() {
+  begin_shutdown();
+  if (acceptor_.joinable()) acceptor_.join();
+  queue_ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto& conn : connections_) conn->close();
+  }
+  for (std::thread& reader : readers_) {
+    if (reader.joinable()) reader.join();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (!options_.unix_socket.empty()) ::unlink(options_.unix_socket.c_str());
+}
+
+void ServeServer::start() {
+  const int transports = (options_.unix_socket.empty() ? 0 : 1) +
+                         (options_.tcp_port >= 0 ? 1 : 0) +
+                         (options_.stdio ? 1 : 0);
+  if (transports != 1) {
+    throw Error(ErrorKind::kUsage,
+                "serve needs exactly one of --socket, --port, --stdio");
+  }
+  if (options_.model_path.empty()) {
+    throw Error(ErrorKind::kUsage, "serve needs --model <artifact>");
+  }
+  // A peer that disconnects mid-reply must surface as Error{kIo} from
+  // write(), not kill the daemon with SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  models_ = std::make_unique<ModelRegistry>(options_.model_path);
+
+  if (!options_.unix_socket.empty()) {
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      throw Error(ErrorKind::kIo, "socket() failed");
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_socket.size() >= sizeof(addr.sun_path)) {
+      throw Error(ErrorKind::kUsage, "unix socket path too long");
+    }
+    std::strncpy(addr.sun_path, options_.unix_socket.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(options_.unix_socket.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(listen_fd_, 64) != 0) {
+      throw Error(ErrorKind::kIo, "cannot bind unix socket " +
+                                      options_.unix_socket + ": " +
+                                      std::strerror(errno));
+    }
+  } else if (options_.tcp_port >= 0) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      throw Error(ErrorKind::kIo, "socket() failed");
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(options_.tcp_port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(listen_fd_, 64) != 0) {
+      throw Error(ErrorKind::kIo,
+                  "cannot bind 127.0.0.1:" +
+                      std::to_string(options_.tcp_port) + ": " +
+                      std::strerror(errno));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    bound_tcp_port_ = ntohs(bound.sin_port);
+  }
+
+  StatsRegistry::instance().gauge("serve.workers").set(
+      static_cast<std::int64_t>(options_.workers));
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+  if (listen_fd_ >= 0) {
+    acceptor_ = std::thread([this] { acceptor_loop(); });
+  }
+  log_info("serve: ready (",
+           options_.stdio
+               ? std::string("stdio")
+               : (!options_.unix_socket.empty()
+                      ? "unix " + options_.unix_socket
+                      : "tcp 127.0.0.1:" + std::to_string(bound_tcp_port_)),
+           ", ", options_.workers, " workers, queue ", options_.queue_limit,
+           ")");
+}
+
+void ServeServer::run_stdio() {
+  auto conn = std::make_shared<Connection>();
+  conn->read_fd = 0;
+  conn->write_fd = 1;
+  conn->owns_fds = false;  // stdin/stdout are borrowed from the process
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections_.push_back(conn);
+  }
+  pump_connection(conn);
+  begin_shutdown();
+}
+
+void ServeServer::wait() {
+  if (acceptor_.joinable()) {
+    acceptor_.join();
+  } else {
+    // stdio mode: run_stdio() already pumped to EOF / shutdown; spin
+    // lightly for a signal-driven stop otherwise.
+    while (!shutting_down_.load()) {
+      if (stop_requested_.load()) begin_shutdown();
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  queue_ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto& conn : connections_) conn->close();
+  }
+  for (std::thread& reader : readers_) {
+    if (reader.joinable()) reader.join();
+  }
+  readers_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!options_.unix_socket.empty()) ::unlink(options_.unix_socket.c_str());
+  log_info("serve: shutdown complete");
+}
+
+std::size_t ServeServer::session_count() const {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  return sessions_.size();
+}
+
+void ServeServer::begin_shutdown() {
+  stop_requested_.store(true);
+  if (shutting_down_.exchange(true)) return;
+  queue_ready_.notify_all();
+}
+
+void ServeServer::acceptor_loop() {
+  trace_set_thread_name("serve-accept");
+  while (!stop_requested_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready <= 0) continue;  // timeout, EINTR: re-check the stop flag
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    auto conn = std::make_shared<Connection>();
+    conn->read_fd = fd;
+    conn->write_fd = fd;
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections_.push_back(conn);
+    readers_.emplace_back(
+        [this, conn = std::move(conn)] { connection_loop(conn); });
+  }
+  begin_shutdown();
+}
+
+void ServeServer::connection_loop(std::shared_ptr<Connection> conn) {
+  trace_set_thread_name("serve-reader");
+  pump_connection(conn);
+  conn->close();
+}
+
+void ServeServer::pump_connection(const std::shared_ptr<Connection>& conn) {
+  static Counter& malformed =
+      StatsRegistry::instance().counter("serve.malformed_frames");
+  while (!shutting_down_.load()) {
+    Frame frame;
+    ErrorKind kind = ErrorKind::kInternal;
+    std::string message;
+    const ReadStatus status =
+        read_frame(conn->read_fd, frame, kind, message);
+    if (status == ReadStatus::kEof) return;
+    if (status == ReadStatus::kError) {
+      // Framing is broken: the stream cannot be resynced. Report the
+      // typed error best-effort and drop the connection; resident
+      // sessions are server-scoped and unaffected.
+      malformed.add();
+      if (kind != ErrorKind::kIo) {
+        try {
+          Frame bad;  // no request context survives a framing error
+          conn->send(make_error_response(bad, kind, message));
+        } catch (const Error&) {
+        }
+      }
+      return;
+    }
+    if (frame.version != kProtocolVersion) {
+      try {
+        conn->send(make_error_response(
+            frame, ErrorKind::kVersion,
+            "protocol version " + std::to_string(frame.version) +
+                " unsupported (want " + std::to_string(kProtocolVersion) +
+                ")"));
+      } catch (const Error&) {
+        return;
+      }
+      continue;
+    }
+    if (!known_opcode(frame.opcode)) {
+      try {
+        conn->send(make_error_response(
+            frame, ErrorKind::kUsage,
+            "unknown opcode " + std::to_string(frame.opcode)));
+      } catch (const Error&) {
+        return;
+      }
+      continue;
+    }
+    if (static_cast<Op>(frame.opcode) == Op::kShutdown) {
+      // Handled inline so shutdown is never rejected by a full queue.
+      try {
+        conn->send(make_ok_response(frame, {}));
+      } catch (const Error&) {
+      }
+      begin_shutdown();
+      return;
+    }
+    Request request;
+    request.conn = conn;
+    if (has_session_name(frame.opcode)) {
+      try {
+        WireReader reader(frame.body);
+        request.session = reader.str();
+      } catch (const Error& e) {
+        try {
+          conn->send(make_error_response(frame, e.kind(), e.what()));
+        } catch (const Error&) {
+          return;
+        }
+        continue;
+      }
+    }
+    request.frame = std::move(frame);
+    enqueue(std::move(request));
+  }
+}
+
+void ServeServer::enqueue(Request request) {
+  static Counter& rejected =
+      StatsRegistry::instance().counter("serve.overload_rejected");
+  static Gauge& depth = StatsRegistry::instance().gauge("serve.queue_depth");
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (!shutting_down_.load() && queue_.size() < options_.queue_limit) {
+      queue_.push_back(std::move(request));
+      depth.set(static_cast<std::int64_t>(queue_.size()));
+      queue_ready_.notify_one();
+      return;
+    }
+  }
+  // Admission control: reply immediately with the typed `resource`
+  // error instead of queueing (or accepting work during shutdown).
+  rejected.add();
+  const std::string reason =
+      shutting_down_.load()
+          ? "server is shutting down"
+          : "server overloaded: request queue full (" +
+                std::to_string(options_.queue_limit) + ")";
+  try {
+    request.conn->send(
+        make_error_response(request.frame, ErrorKind::kResource, reason));
+  } catch (const Error&) {
+  }
+}
+
+void ServeServer::worker_loop(std::size_t index) {
+  trace_set_thread_name("serve-worker");
+  (void)index;
+  ForwardWorkspace ws;  // reused across every request this worker runs
+  static Gauge& depth = StatsRegistry::instance().gauge("serve.queue_depth");
+  for (;;) {
+    Request request;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_ready_.wait(lock, [this] {
+        return !queue_.empty() || shutting_down_.load();
+      });
+      if (queue_.empty()) {
+        if (shutting_down_.load()) return;  // drained
+        continue;
+      }
+      request = std::move(queue_.front());
+      queue_.pop_front();
+      depth.set(static_cast<std::int64_t>(queue_.size()));
+    }
+    dispatch(request, ws);
+  }
+}
+
+void ServeServer::dispatch(const Request& request, ForwardWorkspace& ws) {
+  static Counter& requests =
+      StatsRegistry::instance().counter("serve.requests");
+  static Counter& errors = StatsRegistry::instance().counter("serve.errors");
+  static Histogram& latency =
+      StatsRegistry::instance().histogram("serve.request_ns");
+  requests.add();
+  const std::uint64_t began = now_ns();
+  try {
+    TraceSpan span("serve.request");
+    span.arg("op", static_cast<double>(request.frame.opcode));
+    switch (static_cast<Op>(request.frame.opcode)) {
+      case Op::kPing:
+        request.conn->send(make_ok_response(request.frame, {}));
+        break;
+      case Op::kInfer:
+        handle_infer(request, ws);
+        break;
+      case Op::kLoadSession:
+        request.conn->send(make_ok_response(
+            request.frame, handle_load_session(request.frame)));
+        break;
+      case Op::kAppendObserve:
+        request.conn->send(make_ok_response(
+            request.frame, handle_append_observe(request.frame)));
+        break;
+      case Op::kAppendControl:
+        request.conn->send(make_ok_response(
+            request.frame, handle_append_control(request.frame)));
+        break;
+      case Op::kStats:
+        request.conn->send(
+            make_ok_response(request.frame, handle_stats()));
+        break;
+      case Op::kReloadModel:
+        request.conn->send(
+            make_ok_response(request.frame, handle_reload(request.frame)));
+        break;
+      case Op::kCloseSession:
+        request.conn->send(make_ok_response(
+            request.frame, handle_close_session(request.frame)));
+        break;
+      case Op::kShutdown:
+        break;  // answered by the reader
+    }
+  } catch (const Error& e) {
+    errors.add();
+    try {
+      request.conn->send(
+          make_error_response(request.frame, e.kind(), e.what()));
+    } catch (const Error&) {
+    }
+  } catch (const std::bad_alloc&) {
+    errors.add();
+    try {
+      request.conn->send(make_error_response(
+          request.frame, ErrorKind::kResource, "out of memory"));
+    } catch (const Error&) {
+    }
+  } catch (const std::exception& e) {
+    errors.add();
+    try {
+      request.conn->send(
+          make_error_response(request.frame, ErrorKind::kInternal, e.what()));
+    } catch (const Error&) {
+    }
+  }
+  latency.record(now_ns() - began);
+}
+
+void ServeServer::handle_infer(const Request& request, ForwardWorkspace& ws) {
+  static Counter& batched =
+      StatsRegistry::instance().counter("serve.batched_infers");
+  // Claim every queued infer for the same session: one forward pass (or
+  // cache hit) answers the whole batch.
+  std::vector<Request> batch;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    for (auto it = queue_.begin();
+         it != queue_.end() && batch.size() + 1 < options_.batch_limit;) {
+      if (static_cast<Op>(it->frame.opcode) == Op::kInfer &&
+          it->session == request.session) {
+        batch.push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  batched.add(batch.size());
+
+  std::string payload;
+  ErrorKind error_kind = ErrorKind::kInternal;
+  std::string error_message;
+  bool ok = true;
+  try {
+    const std::shared_ptr<ServeSession> session =
+        find_session(request.session);
+    if (!session) {
+      throw Error(ErrorKind::kUsage,
+                  "unknown session '" + request.session + "'");
+    }
+    const ModelRegistry::Snapshot snapshot = models_->snapshot();
+    std::lock_guard<std::mutex> lock(session->mutex());
+    const Matrix& logits = session->logits(snapshot, ws);
+    WireWriter writer(payload);
+    writer.u32(static_cast<std::uint32_t>(logits.rows()));
+    writer.u32(static_cast<std::uint32_t>(logits.cols()));
+    payload.reserve(payload.size() +
+                    logits.rows() * logits.cols() * sizeof(float));
+    for (std::size_t r = 0; r < logits.rows(); ++r) {
+      const float* row = logits.row(r);
+      for (std::size_t c = 0; c < logits.cols(); ++c) writer.f32(row[c]);
+    }
+  } catch (const Error& e) {
+    ok = false;
+    error_kind = e.kind();
+    error_message = e.what();
+  } catch (const std::exception& e) {
+    ok = false;
+    error_kind = ErrorKind::kInternal;
+    error_message = e.what();
+  }
+
+  const auto reply = [&](const Request& r) {
+    try {
+      r.conn->send(ok ? make_ok_response(r.frame, payload)
+                      : make_error_response(r.frame, error_kind,
+                                            error_message));
+    } catch (const Error&) {
+    }
+  };
+  reply(request);
+  for (const Request& r : batch) reply(r);
+  if (!ok) {
+    throw Error(error_kind, error_message);  // counted by dispatch()
+  }
+}
+
+std::string ServeServer::handle_load_session(const Frame& frame) {
+  WireReader reader(frame.body);
+  const std::string name = reader.str();
+  const std::uint8_t source = reader.u8();
+  const std::string data = reader.str();
+  const bool standardize = reader.u8() != 0;
+  if (name.empty()) {
+    throw Error(ErrorKind::kUsage, "session name must not be empty");
+  }
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    if (sessions_.count(name) != 0) {
+      throw Error(ErrorKind::kUsage,
+                  "session '" + name + "' already exists");
+    }
+    if (sessions_.size() >= options_.max_sessions) {
+      throw Error(ErrorKind::kResource,
+                  "session limit reached (" +
+                      std::to_string(options_.max_sessions) + ")");
+    }
+  }
+  // Build outside the lock (SCOAP + tensors dominate); publish after.
+  auto session = std::make_shared<ServeSession>(
+      name, read_netlist_source(source, data), standardize);
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  if (sessions_.count(name) != 0) {
+    throw Error(ErrorKind::kUsage, "session '" + name + "' already exists");
+  }
+  if (sessions_.size() >= options_.max_sessions) {
+    throw Error(ErrorKind::kResource,
+                "session limit reached (" +
+                    std::to_string(options_.max_sessions) + ")");
+  }
+  std::string payload;
+  WireWriter writer(payload);
+  writer.u32(static_cast<std::uint32_t>(session->node_count()));
+  writer.u32(static_cast<std::uint32_t>(session->edge_count()));
+  sessions_.emplace(name, std::move(session));
+  StatsRegistry::instance().gauge("serve.sessions").set(
+      static_cast<std::int64_t>(sessions_.size()));
+  return payload;
+}
+
+std::string ServeServer::handle_append_observe(const Frame& frame) {
+  WireReader reader(frame.body);
+  const std::string name = reader.str();
+  const NodeId target = reader.u32();
+  const std::shared_ptr<ServeSession> session = find_session(name);
+  if (!session) {
+    throw Error(ErrorKind::kUsage, "unknown session '" + name + "'");
+  }
+  std::lock_guard<std::mutex> lock(session->mutex());
+  const NodeId op = session->append_observe(target);
+  std::string payload;
+  WireWriter writer(payload);
+  writer.u32(op);
+  writer.u32(static_cast<std::uint32_t>(session->node_count()));
+  return payload;
+}
+
+std::string ServeServer::handle_append_control(const Frame& frame) {
+  WireReader reader(frame.body);
+  const std::string name = reader.str();
+  const NodeId target = reader.u32();
+  const bool drive_to_one = reader.u8() != 0;
+  const std::shared_ptr<ServeSession> session = find_session(name);
+  if (!session) {
+    throw Error(ErrorKind::kUsage, "unknown session '" + name + "'");
+  }
+  std::lock_guard<std::mutex> lock(session->mutex());
+  const Netlist::ControlPoint cp =
+      session->append_control(target, drive_to_one);
+  std::string payload;
+  WireWriter writer(payload);
+  writer.u32(cp.control);
+  writer.u32(cp.gate);
+  writer.u32(cp.inverter);
+  return payload;
+}
+
+std::string ServeServer::handle_stats() {
+  std::ostringstream json;
+  StatsRegistry::instance().write_json(json);
+  std::string payload;
+  WireWriter writer(payload);
+  writer.str(json.str());
+  return payload;
+}
+
+std::string ServeServer::handle_reload(const Frame& frame) {
+  WireReader reader(frame.body);
+  const std::string path = reader.str();
+  const std::uint64_t generation = models_->reload(path);
+  std::string payload;
+  WireWriter writer(payload);
+  writer.u64(generation);
+  return payload;
+}
+
+std::string ServeServer::handle_close_session(const Frame& frame) {
+  WireReader reader(frame.body);
+  const std::string name = reader.str();
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  if (sessions_.erase(name) == 0) {
+    throw Error(ErrorKind::kUsage, "unknown session '" + name + "'");
+  }
+  StatsRegistry::instance().gauge("serve.sessions").set(
+      static_cast<std::int64_t>(sessions_.size()));
+  return {};
+}
+
+std::shared_ptr<ServeSession> ServeServer::find_session(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  const auto it = sessions_.find(name);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+}  // namespace gcnt::serve

@@ -1,0 +1,149 @@
+#pragma once
+// The `gcnt serve` daemon: loads model artifacts once, keeps netlists
+// resident as named sessions, and serves framed requests over a Unix or
+// TCP socket (or a stdin/stdout pipe pair for tests and scripting).
+//
+// Architecture:
+//
+//   acceptor thread ── accept() ──> one reader thread per connection
+//        reader: read_frame -> admission control -> bounded queue
+//   worker pool (N threads, each with a reusable ForwardWorkspace)
+//        worker: pop -> batch same-session infers -> dispatch -> reply
+//
+// Admission control: the request queue is bounded; when it is full the
+// reader replies immediately with a typed `resource` error ("server
+// overloaded") instead of queueing — callers see the same ErrorKind
+// taxonomy (and therefore the same exit codes) as the rest of the
+// system. Batching: a worker that pops an infer request also claims
+// every queued infer for the same session (up to batch_limit) and
+// answers them all from one forward pass / cache hit.
+//
+// Shutdown is always clean: a kShutdown request, request_stop() (the
+// CLI's signal handler), or EOF in stdio mode stop the acceptor, drain
+// the queue, answer everything in flight, and join all threads.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gcn/workspace.h"
+#include "serve/protocol.h"
+#include "serve/session.h"
+
+namespace gcnt::serve {
+
+struct ServeOptions {
+  std::string model_path;  ///< required: initial model artifact
+
+  // Exactly one transport:
+  std::string unix_socket;  ///< bind a Unix domain socket at this path
+  int tcp_port = -1;        ///< bind 127.0.0.1:<port> (0 = ephemeral)
+  bool stdio = false;       ///< single connection on fds 0/1
+
+  std::size_t workers = 2;       ///< request worker threads
+  std::size_t queue_limit = 64;  ///< admission bound on queued requests
+  std::size_t batch_limit = 16;  ///< max same-session infers per batch
+  std::size_t max_sessions = 64;
+};
+
+class ServeServer {
+ public:
+  explicit ServeServer(ServeOptions options);
+  ~ServeServer();
+
+  ServeServer(const ServeServer&) = delete;
+  ServeServer& operator=(const ServeServer&) = delete;
+
+  /// Binds the configured transport and starts the acceptor + workers.
+  /// Throws Error{kUsage} on a bad configuration, Error{kIo} when the
+  /// socket cannot be bound. In stdio mode, starts workers only; call
+  /// run_stdio() to pump the connection.
+  void start();
+
+  /// Blocks until shutdown completes (kShutdown request, request_stop(),
+  /// or stdio EOF), then joins every thread.
+  void wait();
+
+  /// Requests shutdown from another thread or a signal handler (only
+  /// sets an atomic flag; the acceptor notices within its poll tick).
+  void request_stop() noexcept { stop_requested_.store(true); }
+
+  /// Pumps the stdio connection on the calling thread until EOF or
+  /// shutdown (stdio mode only).
+  void run_stdio();
+
+  /// Bound TCP port (after start(); useful with tcp_port = 0).
+  int bound_tcp_port() const noexcept { return bound_tcp_port_; }
+
+  std::size_t session_count() const;
+
+ private:
+  struct Connection {
+    int read_fd = -1;
+    int write_fd = -1;
+    bool owns_fds = true;
+    std::mutex write_mutex;
+    std::atomic<bool> closed{false};
+
+    void send(const Frame& frame);
+    void close() noexcept;
+    ~Connection() { close(); }
+  };
+
+  struct Request {
+    std::shared_ptr<Connection> conn;
+    Frame frame;
+    std::string session;  ///< pre-parsed session name ("" when none)
+  };
+
+  void acceptor_loop();
+  void connection_loop(std::shared_ptr<Connection> conn);
+  void worker_loop(std::size_t index);
+  /// Reads frames from `conn` until EOF/shutdown; enqueues requests.
+  void pump_connection(const std::shared_ptr<Connection>& conn);
+  /// Admission control; replies with a typed error when not admitted.
+  void enqueue(Request request);
+  void dispatch(const Request& request, ForwardWorkspace& ws);
+  /// Answers `request` plus every batched same-session infer.
+  void handle_infer(const Request& request, ForwardWorkspace& ws);
+
+  std::string handle_load_session(const Frame& frame);
+  std::string handle_append_observe(const Frame& frame);
+  std::string handle_append_control(const Frame& frame);
+  std::string handle_stats();
+  std::string handle_reload(const Frame& frame);
+  std::string handle_close_session(const Frame& frame);
+
+  std::shared_ptr<ServeSession> find_session(const std::string& name);
+  void begin_shutdown();
+
+  ServeOptions options_;
+  std::unique_ptr<ModelRegistry> models_;
+
+  mutable std::mutex sessions_mutex_;
+  std::map<std::string, std::shared_ptr<ServeSession>> sessions_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_ready_;
+  std::deque<Request> queue_;
+
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> shutting_down_{false};
+
+  int listen_fd_ = -1;
+  int bound_tcp_port_ = -1;
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  std::mutex connections_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::thread> readers_;
+};
+
+}  // namespace gcnt::serve

@@ -1,0 +1,120 @@
+#pragma once
+// Resident state of the `gcnt serve` daemon: the hot-reloadable model
+// registry and named netlist sessions.
+//
+// A session keeps a netlist, its SCOAP measures, its GraphTensors and the
+// last-forward caches resident between requests, so an infer request on a
+// warm session is a cache hit and an append-observe request costs one
+// dirty-cone re-propagation (gcn/incremental.h) instead of a full reload
+// + forward the single-shot CLI pays. Logits are bit-identical to
+// `GcnModel::infer` on tensors freshly built from the same netlist —
+// serving changes where the bits are computed, never which bits
+// (pinned by tests/serve_server_test.cpp).
+//
+// The registry owns the current model behind a shared_ptr; reload()
+// re-reads the artifact (checksum-verified by load_model_file) and swaps
+// atomically under a mutex. Sessions compare generations per request and
+// rebuild their inference caches on the first request after a swap, so
+// in-flight requests finish on the model they started with.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "gcn/graph_tensors.h"
+#include "gcn/incremental.h"
+#include "gcn/model.h"
+#include "gcn/workspace.h"
+#include "netlist/netlist.h"
+#include "scoap/scoap.h"
+
+namespace gcnt::serve {
+
+/// Process-wide model state with atomic hot reload.
+class ModelRegistry {
+ public:
+  struct Snapshot {
+    std::shared_ptr<const GcnModel> model;
+    std::uint64_t generation = 0;
+  };
+
+  /// Loads the initial model (generation 1). Throws like load_model_file.
+  explicit ModelRegistry(std::string path);
+
+  Snapshot snapshot() const;
+
+  /// Re-reads the artifact at `path` (or the construction path when
+  /// empty), verifies it, and swaps it in. The old model stays alive
+  /// until the last session snapshot drops it. Returns the new
+  /// generation; on failure the current model is untouched.
+  std::uint64_t reload(const std::string& path = {});
+
+ private:
+  mutable std::mutex mutex_;
+  std::string path_;
+  std::shared_ptr<const GcnModel> model_;
+  std::uint64_t generation_ = 1;
+};
+
+/// One resident netlist. All request handling happens under mutex();
+/// distinct sessions serve concurrently (per-session engines and
+/// workspaces, shared kernel pool underneath).
+class ServeSession {
+ public:
+  ServeSession(std::string name, Netlist netlist, bool standardize);
+
+  const std::string& name() const noexcept { return name_; }
+  std::mutex& mutex() noexcept { return mutex_; }
+  std::size_t node_count() const noexcept { return netlist_.size(); }
+  std::size_t edge_count() const noexcept { return netlist_.edge_count(); }
+
+  /// Whole-graph logits (node order, N x num_classes) for the model in
+  /// `snapshot`. Warm sessions with no pending edits return the cached
+  /// matrix; pending observe/control edits re-propagate only the dirty
+  /// cone; a model-generation change rebuilds the caches. `ws` is the
+  /// calling worker's reusable scratch (used for full forwards).
+  const Matrix& logits(const ModelRegistry::Snapshot& snapshot,
+                       ForwardWorkspace& ws);
+
+  /// Inserts an observation point on `target` and applies the
+  /// incremental tensor update. Throws Error{kUsage} for an invalid
+  /// target. Returns the new OP node id.
+  NodeId append_observe(NodeId target);
+
+  /// Inserts a control point on `target`. The fanout rewiring makes the
+  /// delta non-append-only, so the next logits() diffs a rebuilt tensor
+  /// set against the cached one (same scheme as run_gcn_cpi).
+  Netlist::ControlPoint append_control(NodeId target, bool drive_to_one);
+
+ private:
+  void ensure_model(const ModelRegistry::Snapshot& snapshot);
+
+  std::string name_;
+  std::mutex mutex_;
+  Netlist netlist_;
+  bool standardize_ = false;
+  ScoapMeasures scoap_;
+  std::vector<std::uint32_t> levels_;
+  GraphTensors tensors_;
+  DirtyConeTracker tracker_;
+  bool structural_rebuild_ = false;  ///< control-point fanout rewiring
+  bool csr_stale_ = false;           ///< appended COO tuples not yet in CSR
+
+  std::shared_ptr<const GcnModel> model_;  ///< engine's model stays alive
+  std::uint64_t model_generation_ = 0;
+  /// Pure-infer cache: sessions that were never edited skip the
+  /// per-layer embedding cache entirely — the full forward runs through
+  /// the calling worker's ForwardWorkspace and only the logits persist.
+  Matrix plain_logits_;
+  bool have_plain_ = false;
+
+  /// Cached-embedding engine; constructed lazily on the first edited
+  /// forward, dropped on model reload.
+  std::unique_ptr<IncrementalGcnEngine> engine_;
+  bool have_cache_ = false;
+};
+
+}  // namespace gcnt::serve

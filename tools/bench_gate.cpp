@@ -10,8 +10,10 @@
 // ("BM_Spmm,BM_EncoderGemm,BM_CooToCsr") for a per-kernel breakdown —
 // entries matching none of the prefixes are reported for context but
 // never fail. Keys are "<benchmark name>.items_per_second" (higher is
-// better); keys ending in ".real_time_ns" compare inverted (lower is
-// better). Keys starting with "schema." are metadata, never compared.
+// better); keys ending in ".real_time_ns" or "_ms" compare inverted
+// (lower is better — the latter covers the serve loadgen's latency
+// percentiles, e.g. "serve.p99_ms"; "serve.qps" stays higher-is-better).
+// Keys starting with "schema." are metadata, never compared.
 // Baseline keys missing from the current run are skipped with a note, so
 // a filtered CI run gates only what it measured.
 
@@ -61,9 +63,16 @@ bool parse_flat_json(const std::string& path,
 }
 
 bool lower_is_better(const std::string& key) {
-  const std::string suffix = ".real_time_ns";
-  return key.size() >= suffix.size() &&
-         key.compare(key.size() - suffix.size(), suffix.size(), suffix) == 0;
+  // Latency-style keys compare inverted: google-benchmark "...real_time_ns"
+  // and the serve loadgen's millisecond percentiles ("serve.p99_ms").
+  for (const std::string suffix : {".real_time_ns", "_ms"}) {
+    if (key.size() >= suffix.size() &&
+        key.compare(key.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      return true;
+    }
+  }
+  return false;
 }
 
 std::vector<std::string> split_prefixes(const std::string& list) {

@@ -11,6 +11,12 @@
 //                 [--journal [file]] [--resume]
 //   gcnt flow     [design.bench] [--gates N] [--epochs E] [--atpg]
 //                 [--checkpoint base] [--resume]
+//   gcnt serve    --model model.txt (--socket path | --port P | --stdio)
+//                 [--workers N] [--queue N] [--batch N] [--max-sessions N]
+//
+// `serve` runs the inference daemon: model loaded once, netlists resident
+// as named sessions, requests framed over the socket (src/serve/). SIGINT
+// or SIGTERM shuts it down cleanly; see docs/API.md ("Serving").
 //
 // --resume continues an interrupted train/opi/flow run from its
 // checkpoint / insertion journal (crash-safe: every artifact is written
@@ -27,6 +33,7 @@
 // anything else as ISCAS .bench.
 
 #include <algorithm>
+#include <csignal>
 #include <cstring>
 #include <map>
 #include <fstream>
@@ -50,6 +57,7 @@
 #include "gen/generator.h"
 #include "netlist/bench_io.h"
 #include "netlist/verilog_io.h"
+#include "serve/server.h"
 
 namespace {
 
@@ -361,6 +369,45 @@ int cmd_flow(const Args& args) {
   return 0;
 }
 
+serve::ServeServer* g_serve_server = nullptr;
+
+// Only sets an atomic flag; the daemon's acceptor notices within its
+// poll tick and runs the real shutdown from a normal thread.
+void handle_stop_signal(int) {
+  if (g_serve_server != nullptr) g_serve_server->request_stop();
+}
+
+int cmd_serve(const Args& args) {
+  serve::ServeOptions options;
+  options.model_path = args.get("model", "");
+  options.unix_socket = args.get("socket", "");
+  if (args.has("port")) {
+    options.tcp_port = static_cast<int>(args.get_size("port", 0));
+  }
+  options.stdio = args.has("stdio");
+  options.workers = args.get_size("workers", 2);
+  options.queue_limit = args.get_size("queue", 64);
+  options.batch_limit = args.get_size("batch", 16);
+  options.max_sessions = args.get_size("max-sessions", 64);
+
+  serve::ServeServer server(std::move(options));
+  server.start();
+  g_serve_server = &server;
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  if (args.has("port")) {
+    // Scripts using --port 0 read the ephemeral port from stdout.
+    std::cout << "listening on 127.0.0.1:" << server.bound_tcp_port()
+              << std::endl;
+  }
+  if (args.has("stdio")) server.run_stdio();
+  server.wait();
+  g_serve_server = nullptr;
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  return 0;
+}
+
 int usage() {
   std::cerr << "usage: gcnt <command> [args]\n"
             << "  generate --gates N --seed S --out design.bench\n"
@@ -375,6 +422,10 @@ int usage() {
             << "           [--journal [file]] [--resume]\n"
             << "  flow     [<netlist>] [--gates N] [--epochs E] [--atpg]\n"
             << "           [--checkpoint base] [--resume]\n"
+            << "  serve    --model model.txt (--socket path | --port P | "
+               "--stdio)\n"
+            << "           [--workers N] [--queue N] [--batch N] "
+               "[--max-sessions N]\n"
             << "global flags: --trace out.json | --stats | --stats-json "
                "out.json\n"
             << "netlists ending in .v are treated as structural Verilog\n"
@@ -392,6 +443,7 @@ int dispatch(const Args& args) {
   if (args.command == "train") return cmd_train(args);
   if (args.command == "opi") return cmd_opi(args);
   if (args.command == "flow") return cmd_flow(args);
+  if (args.command == "serve") return cmd_serve(args);
   return usage();
 }
 
