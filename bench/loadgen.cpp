@@ -17,6 +17,8 @@
 // infers. --qps 0 runs unpaced (throughput mode). --reload issues one
 // model hot-reload at the halfway point — latency of requests riding
 // across the swap is included in the percentiles, which is the point.
+// After the run a kMetrics scrape reports the server-side queue-wait
+// p99 (emitted as the serve.queue_wait_p99_us JSON key).
 //
 // --expect-overload instead runs the admission-control probe: on one
 // connection it pipelines two slow session loads (the first occupies a
@@ -38,6 +40,7 @@
 
 #include "bench_common.h"
 #include "common/error.h"
+#include "common/stats.h"
 #include "common/timer.h"
 #include "gen/generator.h"
 #include "netlist/bench_io.h"
@@ -325,6 +328,30 @@ int run_mixed(const Options& options) {
     rc = 1;
   }
 
+  // Server-side queue-wait p99 from a kMetrics scrape: the client-side
+  // percentiles above include the network and decode, this one isolates
+  // time spent waiting in the daemon's bounded queue.
+  double queue_wait_p99_us = 0.0;
+  try {
+    serve::ServeClient scraper = connect(options);
+    const serve::ServeClient::MetricsResult metrics = scraper.metrics();
+    std::map<std::string, double> series;
+    std::string parse_error;
+    if (parse_prometheus_text(metrics.exposition, series, parse_error)) {
+      const auto it =
+          series.find("gcnt_serve_queue_wait_us{quantile=\"0.99\"}");
+      if (it != series.end()) queue_wait_p99_us = it->second;
+      std::cout << "  server queue-wait p99 " << queue_wait_p99_us
+                << " us (" << series.size() << " metric series)\n";
+    } else {
+      std::cerr << "loadgen: bad metrics exposition: " << parse_error << "\n";
+      rc = 1;
+    }
+  } catch (const Error& e) {
+    std::cerr << "loadgen: metrics scrape failed: " << e.what() << "\n";
+    rc = 1;
+  }
+
   if (options.do_shutdown) {
     serve::ServeClient finisher = connect(options);
     finisher.shutdown();
@@ -340,7 +367,8 @@ int run_mixed(const Options& options) {
          {"serve.edits", static_cast<double>(edits.load())},
          {"serve.overload_rejected",
           static_cast<double>(rejected.load())},
-         {"serve.errors", static_cast<double>(errors.load())}});
+         {"serve.errors", static_cast<double>(errors.load())},
+         {"serve.queue_wait_p99_us", queue_wait_p99_us}});
     if (!written) {
       std::cerr << "loadgen: cannot write " << options.json << "\n";
       rc = 1;

@@ -1,0 +1,241 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace gcnt::json {
+
+void write_escaped(std::ostream& out, std::string_view text) {
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out << buf;
+    } else {
+      out << c;
+    }
+  }
+}
+
+std::string escaped(std::string_view text) {
+  std::ostringstream out;
+  write_escaped(out, text);
+  return out.str();
+}
+
+const Value* Value::find(const std::string& key) const {
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool parse(Value& out, std::string& error) {
+    if (!parse_value(out, error)) return false;
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      error = "trailing characters at offset " + std::to_string(pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool fail(std::string& error, const std::string& what) {
+    error = what + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  bool expect(char c, std::string& error) {
+    skip_whitespace();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return fail(error, std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool parse_value(Value& out, std::string& error) {
+    skip_whitespace();
+    if (pos_ >= text_.size()) return fail(error, "unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(out, error);
+    if (c == '[') return parse_array(out, error);
+    if (c == '"') {
+      out.type = Value::Type::kString;
+      return parse_string(out.text, error);
+    }
+    if (c == 't' || c == 'f') return parse_keyword(out, error);
+    if (c == 'n') return parse_keyword(out, error);
+    return parse_number(out, error);
+  }
+
+  bool parse_keyword(Value& out, std::string& error) {
+    const auto match = [&](const char* word) {
+      const std::size_t len = std::char_traits<char>::length(word);
+      if (text_.compare(pos_, len, word) != 0) return false;
+      pos_ += len;
+      return true;
+    };
+    if (match("true")) {
+      out.type = Value::Type::kBool;
+      out.boolean = true;
+      return true;
+    }
+    if (match("false")) {
+      out.type = Value::Type::kBool;
+      out.boolean = false;
+      return true;
+    }
+    if (match("null")) {
+      out.type = Value::Type::kNull;
+      return true;
+    }
+    return fail(error, "invalid literal");
+  }
+
+  bool parse_number(Value& out, std::string& error) {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    out.number = std::strtod(start, &end);
+    if (end == start) return fail(error, "invalid number");
+    pos_ += static_cast<std::size_t>(end - start);
+    out.type = Value::Type::kNumber;
+    return true;
+  }
+
+  bool parse_string(std::string& out, std::string& error) {
+    if (!expect('"', error)) return false;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail(error, "bad \\u escape");
+            // Decode BMP escapes so control characters round-trip through
+            // the \u00xx form the writers emit; anything wider than one
+            // byte is validation-irrelevant and kept as '?'.
+            unsigned code = 0;
+            for (std::size_t k = 0; k < 4; ++k) {
+              const char h = text_[pos_ + k];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return fail(error, "bad \\u escape");
+              }
+            }
+            out += code < 0x80 ? static_cast<char>(code) : '?';
+            pos_ += 4;
+            break;
+          }
+          default:
+            return fail(error, "bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return fail(error, "unterminated string");
+  }
+
+  bool parse_array(Value& out, std::string& error) {
+    out.type = Value::Type::kArray;
+    if (!expect('[', error)) return false;
+    skip_whitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      Value element;
+      if (!parse_value(element, error)) return false;
+      out.array.push_back(std::move(element));
+      skip_whitespace();
+      if (pos_ >= text_.size()) return fail(error, "unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail(error, "expected ',' or ']'");
+    }
+  }
+
+  bool parse_object(Value& out, std::string& error) {
+    out.type = Value::Type::kObject;
+    if (!expect('{', error)) return false;
+    skip_whitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      std::string key;
+      if (!parse_string(key, error)) return false;
+      if (!expect(':', error)) return false;
+      Value value;
+      if (!parse_value(value, error)) return false;
+      out.object.emplace_back(std::move(key), std::move(value));
+      skip_whitespace();
+      if (pos_ >= text_.size()) return fail(error, "unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        skip_whitespace();
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail(error, "expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool parse(const std::string& text, Value& out, std::string& error) {
+  return Parser(text).parse(out, error);
+}
+
+}  // namespace gcnt::json

@@ -1,0 +1,41 @@
+#pragma once
+// Minimal JSON utilities shared by the observability exporters and the
+// validation tools: RFC 8259 string escaping (used by the trace writer,
+// the stats JSON export, and the serve access log) and a small
+// recursive-descent parser (full syntax, no streaming) used to validate
+// what those writers produced.
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gcnt::json {
+
+/// Writes `text` with '"', '\\', and control characters escaped so the
+/// result is a valid JSON string body (quotes not included).
+void write_escaped(std::ostream& out, std::string_view text);
+
+/// Returns the escaped form of `text` (quotes not included).
+std::string escaped(std::string_view text);
+
+/// One parsed JSON value. Object member order is preserved.
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  /// First member named `key`, or nullptr (objects only).
+  const Value* find(const std::string& key) const;
+};
+
+/// Parses `text` as exactly one JSON value (trailing non-whitespace is an
+/// error). Returns false with a position-annotated `error` on failure.
+bool parse(const std::string& text, Value& out, std::string& error);
+
+}  // namespace gcnt::json

@@ -1,10 +1,14 @@
 #include "common/stats.h"
 
+#include <algorithm>
+#include <cctype>
 #include <cstdlib>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <ostream>
+
+#include "common/json.h"
 
 namespace gcnt {
 
@@ -162,22 +166,27 @@ void StatsRegistry::write_text(std::ostream& out) const {
 }
 
 void StatsRegistry::write_json(std::ostream& out) const {
+  // Stat names are caller-controlled strings; escape them so a hostile
+  // name (quotes, backslashes, control bytes) still yields valid JSON.
   const StatsSnapshot snap = snapshot();
   out << "{\n  \"counters\": {";
   for (std::size_t i = 0; i < snap.counters.size(); ++i) {
-    out << (i == 0 ? "\n" : ",\n") << "    \"" << snap.counters[i].first
-        << "\": " << snap.counters[i].second;
+    out << (i == 0 ? "\n" : ",\n") << "    \"";
+    json::write_escaped(out, snap.counters[i].first);
+    out << "\": " << snap.counters[i].second;
   }
   out << (snap.counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
   for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
-    out << (i == 0 ? "\n" : ",\n") << "    \"" << snap.gauges[i].first
-        << "\": " << snap.gauges[i].second;
+    out << (i == 0 ? "\n" : ",\n") << "    \"";
+    json::write_escaped(out, snap.gauges[i].first);
+    out << "\": " << snap.gauges[i].second;
   }
   out << (snap.gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
   for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
     const auto& h = snap.histograms[i];
-    out << (i == 0 ? "\n" : ",\n") << "    \"" << h.name
-        << "\": {\"count\": " << h.count << ", \"sum\": " << h.sum
+    out << (i == 0 ? "\n" : ",\n") << "    \"";
+    json::write_escaped(out, h.name);
+    out << "\": {\"count\": " << h.count << ", \"sum\": " << h.sum
         << ", \"min\": " << h.min << ", \"max\": " << h.max
         << ", \"buckets\": {";
     for (std::size_t b = 0; b < h.buckets.size(); ++b) {
@@ -187,6 +196,175 @@ void StatsRegistry::write_json(std::ostream& out) const {
     out << "}}";
   }
   out << (snap.histograms.empty() ? "" : "\n  ") << "}\n}\n";
+}
+
+double histogram_quantile(const StatsSnapshot::HistogramValue& hist,
+                          double q) {
+  if (hist.count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(hist.count);
+  std::uint64_t cumulative = 0;
+  double value = static_cast<double>(hist.max);
+  for (const auto& [lower, n] : hist.buckets) {
+    if (n == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += n;
+    if (static_cast<double>(cumulative) < target) continue;
+    if (lower == 0) {
+      value = 0.0;  // bucket 0 holds exact zeros; nothing to interpolate
+    } else {
+      // Uniform-within-bucket interpolation over [lower, 2*lower).
+      const double fraction =
+          std::clamp((target - before) / static_cast<double>(n), 0.0, 1.0);
+      value = static_cast<double>(lower) * (1.0 + fraction);
+    }
+    break;
+  }
+  return std::clamp(value, static_cast<double>(hist.min),
+                    static_cast<double>(hist.max));
+}
+
+StatsSnapshot snapshot_delta(const StatsSnapshot& prev,
+                             const StatsSnapshot& cur) {
+  StatsSnapshot delta;
+  std::map<std::string, std::uint64_t> prev_counters(prev.counters.begin(),
+                                                     prev.counters.end());
+  delta.counters.reserve(cur.counters.size());
+  for (const auto& [name, value] : cur.counters) {
+    const auto it = prev_counters.find(name);
+    delta.counters.emplace_back(
+        name, value - (it == prev_counters.end() ? 0 : it->second));
+  }
+  delta.gauges = cur.gauges;  // instantaneous values have no window
+  std::map<std::string, const StatsSnapshot::HistogramValue*> prev_hists;
+  for (const auto& h : prev.histograms) prev_hists[h.name] = &h;
+  delta.histograms.reserve(cur.histograms.size());
+  for (const auto& h : cur.histograms) {
+    StatsSnapshot::HistogramValue windowed;
+    windowed.name = h.name;
+    windowed.min = h.min;  // superset of the window's range (see header)
+    windowed.max = h.max;
+    const auto it = prev_hists.find(h.name);
+    const StatsSnapshot::HistogramValue* old =
+        it == prev_hists.end() ? nullptr : it->second;
+    windowed.count = h.count - (old ? old->count : 0);
+    windowed.sum = h.sum - (old ? old->sum : 0);
+    for (const auto& [lower, n] : h.buckets) {
+      std::uint64_t previous = 0;
+      if (old != nullptr) {
+        for (const auto& [old_lower, old_n] : old->buckets) {
+          if (old_lower == lower) {
+            previous = old_n;
+            break;
+          }
+        }
+      }
+      if (n - previous != 0) windowed.buckets.emplace_back(lower, n - previous);
+    }
+    delta.histograms.push_back(std::move(windowed));
+  }
+  return delta;
+}
+
+namespace {
+
+/// "serve.queue_depth" -> "gcnt_serve_queue_depth"; anything outside
+/// [A-Za-z0-9_] becomes '_' so every stat name is a legal metric name.
+std::string prometheus_name(const std::string& name) {
+  std::string out = "gcnt_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void write_summary_quantiles(std::ostream& out, const std::string& metric,
+                             const StatsSnapshot::HistogramValue& hist) {
+  for (const double q : {0.5, 0.9, 0.99}) {
+    out << metric << "{quantile=\"" << q << "\"} "
+        << histogram_quantile(hist, q) << "\n";
+  }
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& out, const StatsSnapshot& cur,
+                      const StatsSnapshot* prev) {
+  const StatsSnapshot delta =
+      prev != nullptr ? snapshot_delta(*prev, cur) : StatsSnapshot{};
+  std::map<std::string, std::uint64_t> counter_deltas(delta.counters.begin(),
+                                                      delta.counters.end());
+  for (const auto& [name, value] : cur.counters) {
+    const std::string metric = prometheus_name(name);
+    out << "# TYPE " << metric << "_total counter\n"
+        << metric << "_total " << value << "\n";
+    if (prev != nullptr) {
+      out << "# TYPE " << metric << "_delta gauge\n"
+          << metric << "_delta " << counter_deltas[name] << "\n";
+    }
+  }
+  for (const auto& [name, value] : cur.gauges) {
+    const std::string metric = prometheus_name(name);
+    out << "# TYPE " << metric << " gauge\n" << metric << " " << value
+        << "\n";
+  }
+  std::map<std::string, const StatsSnapshot::HistogramValue*> windowed;
+  for (const auto& h : delta.histograms) windowed[h.name] = &h;
+  for (const auto& h : cur.histograms) {
+    const std::string metric = prometheus_name(h.name);
+    out << "# TYPE " << metric << " summary\n";
+    write_summary_quantiles(out, metric, h);
+    out << metric << "_sum " << h.sum << "\n"
+        << metric << "_count " << h.count << "\n";
+    if (prev != nullptr) {
+      const auto it = windowed.find(h.name);
+      if (it != windowed.end()) {
+        out << "# TYPE " << metric << "_window summary\n";
+        write_summary_quantiles(out, metric + "_window", *it->second);
+        out << metric << "_window_count " << it->second->count << "\n";
+      }
+    }
+  }
+}
+
+bool parse_prometheus_text(const std::string& text,
+                           std::map<std::string, double>& out,
+                           std::string& error) {
+  std::size_t begin = 0;
+  std::size_t line_no = 0;
+  while (begin <= text.size()) {
+    const std::size_t newline = text.find('\n', begin);
+    const std::size_t end = newline == std::string::npos ? text.size()
+                                                         : newline;
+    const std::string line = text.substr(begin, end - begin);
+    ++line_no;
+    begin = end + 1;
+    if (newline == std::string::npos && line.empty()) break;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0) {
+      error = "line " + std::to_string(line_no) + ": no value separator";
+      return false;
+    }
+    const std::string series = line.substr(0, space);
+    const char first = series[0];
+    if (!(std::isalpha(static_cast<unsigned char>(first)) || first == '_')) {
+      error = "line " + std::to_string(line_no) + ": bad metric name";
+      return false;
+    }
+    const char* value_start = line.c_str() + space + 1;
+    char* value_end = nullptr;
+    const double value = std::strtod(value_start, &value_end);
+    if (value_end == value_start || *value_end != '\0') {
+      error = "line " + std::to_string(line_no) + ": bad sample value";
+      return false;
+    }
+    out[series] = value;
+  }
+  return true;
 }
 
 KernelStats& kernel_stats(const char* name) {

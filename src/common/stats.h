@@ -18,6 +18,7 @@
 #include <bit>
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -126,6 +127,38 @@ struct StatsSnapshot {
   std::vector<std::pair<std::string, std::int64_t>> gauges;
   std::vector<HistogramValue> histograms;
 };
+
+/// Quantile estimate (q in [0, 1]) from a log2-bucket histogram value,
+/// assuming a uniform distribution within each bucket and clamping to the
+/// recorded [min, max] — so an empty histogram returns 0, a single-sample
+/// histogram returns that sample exactly, and the open-ended overflow
+/// bucket never extrapolates past the recorded maximum.
+double histogram_quantile(const StatsSnapshot::HistogramValue& hist, double q);
+
+/// Windowed view between two snapshots of the same registry: counter and
+/// histogram count/sum/bucket values become `cur - prev` (names missing
+/// from `prev` count from zero); gauges keep their current value. A
+/// windowed histogram's min/max are copied from `cur` — a superset of the
+/// window's true range, which keeps histogram_quantile's clamp sound.
+StatsSnapshot snapshot_delta(const StatsSnapshot& prev,
+                             const StatsSnapshot& cur);
+
+/// Prometheus-style text exposition of `cur`. Stat names are mangled to
+/// metric names ("serve.queue_depth" -> "gcnt_serve_queue_depth");
+/// counters gain "_total", histograms export summary quantiles
+/// (p50/p90/p99 via histogram_quantile) plus "_sum"/"_count". When `prev`
+/// is non-null, "_delta" counter series and "_window" histogram series
+/// (quantiles over the scrape interval) are emitted as well.
+void write_prometheus(std::ostream& out, const StatsSnapshot& cur,
+                      const StatsSnapshot* prev = nullptr);
+
+/// Parses "name value" / "name{labels} value" sample lines produced by
+/// write_prometheus into a flat map keyed by the full series string
+/// (labels included). Comment and blank lines are skipped. Returns false
+/// on the first malformed line, described in `error`.
+bool parse_prometheus_text(const std::string& text,
+                           std::map<std::string, double>& out,
+                           std::string& error);
 
 class StatsRegistry {
  public:

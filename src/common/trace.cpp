@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -14,12 +15,20 @@
 
 #include "common/artifact.h"
 #include "common/error.h"
+#include "common/json.h"
 
 namespace gcnt {
 
 namespace trace_detail {
 
 std::atomic<bool> enabled{false};
+
+namespace {
+std::atomic<std::uint64_t> sample_period{1};
+thread_local std::uint32_t tl_suppress_depth = 0;
+}  // namespace
+
+bool thread_suppressed() noexcept { return tl_suppress_depth != 0; }
 
 namespace {
 
@@ -94,20 +103,6 @@ ThreadBuffer& this_thread_buffer() {
   return *tl_buffer;
 }
 
-void write_json_escaped(std::ostream& out, const std::string& text) {
-  for (char c : text) {
-    if (c == '"' || c == '\\') {
-      out << '\\' << c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-      out << buf;
-    } else {
-      out << c;
-    }
-  }
-}
-
 void write_event(std::ostream& out, const Event& event, std::uint32_t tid,
                  bool& first) {
   char ts[48];
@@ -118,18 +113,18 @@ void write_event(std::ostream& out, const Event& event, std::uint32_t tid,
                 static_cast<double>(event.end_ns - event.begin_ns) / 1000.0);
   out << (first ? "\n" : ",\n") << "{\"name\":\"";
   first = false;
-  write_json_escaped(out, event.name);
+  json::write_escaped(out, event.name);
   out << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << tid << ",\"ts\":" << ts
       << ",\"dur\":" << dur;
   if (event.key0 != nullptr) {
     out << ",\"args\":{\"";
-    write_json_escaped(out, event.key0);
+    json::write_escaped(out, event.key0);
     char value[48];
     std::snprintf(value, sizeof(value), "%.17g", event.value0);
     out << "\":" << value;
     if (event.key1 != nullptr) {
       out << ",\"";
-      write_json_escaped(out, event.key1);
+      json::write_escaped(out, event.key1);
       std::snprintf(value, sizeof(value), "%.17g", event.value1);
       out << "\":" << value;
     }
@@ -153,7 +148,7 @@ void write_events(std::ostream& out) {
     std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
     out << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
         << buffer->tid << ",\"ts\":0,\"args\":{\"name\":\"";
-    write_json_escaped(out, buffer->name);
+    json::write_escaped(out, buffer->name);
     out << "\"}}";
     const std::size_t stored = buffer->ring.size();
     const std::size_t start =
@@ -183,8 +178,25 @@ bool write_and_clear(const std::string& path) {
 
 /// Applies GCNT_TRACE=<path> before main(): starts recording and writes
 /// the trace at process exit (unless trace_stop ran first).
+/// GCNT_TRACE_SAMPLE accepts "1/N" or plain "N", both meaning "trace
+/// every Nth request"; 0, 1, and garbage all mean "every request".
+std::uint64_t sample_period_from_env() {
+  const char* raw = std::getenv("GCNT_TRACE_SAMPLE");
+  if (raw == nullptr || *raw == '\0') return 1;
+  const char* cursor = raw;
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(cursor, &end, 10);
+  if (end != cursor && *end == '/') {
+    cursor = end + 1;
+    value = std::strtoull(cursor, &end, 10);
+  }
+  if (end == cursor || *end != '\0' || value == 0) return 1;
+  return static_cast<std::uint64_t>(value);
+}
+
 struct EnvInit {
   EnvInit() {
+    sample_period.store(sample_period_from_env(), std::memory_order_relaxed);
     const char* raw = std::getenv("GCNT_TRACE");
     if (raw == nullptr || *raw == '\0') return;
     registry().exit_path = raw;
@@ -273,213 +285,34 @@ std::uint64_t trace_dropped_spans() {
   return total;
 }
 
+std::uint64_t trace_sample_period() noexcept {
+  return trace_detail::sample_period.load(std::memory_order_relaxed);
+}
+
+void set_trace_sample_period(std::uint64_t period) noexcept {
+  trace_detail::sample_period.store(period == 0 ? 1 : period,
+                                    std::memory_order_relaxed);
+}
+
+TraceSuppressScope::TraceSuppressScope(bool suppress) : active_(suppress) {
+  if (active_) ++trace_detail::tl_suppress_depth;
+}
+
+TraceSuppressScope::~TraceSuppressScope() {
+  if (active_) --trace_detail::tl_suppress_depth;
+}
+
+
 // ---------------------------------------------------------------------------
-// Trace-file validation (shared by tools/trace_check and the unit tests).
-// A minimal recursive-descent JSON parser: full syntax, no streaming.
+// Trace-file validation (shared by tools/trace_check and the unit tests),
+// built on the shared common/json parser.
 
 namespace {
 
-struct JsonValue {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type = Type::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string text;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  const JsonValue* find(const std::string& key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  bool parse(JsonValue& out, std::string& error) {
-    if (!parse_value(out, error)) return false;
-    skip_whitespace();
-    if (pos_ != text_.size()) {
-      error = "trailing characters at offset " + std::to_string(pos_);
-      return false;
-    }
-    return true;
-  }
-
- private:
-  void skip_whitespace() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool fail(std::string& error, const std::string& what) {
-    error = what + " at offset " + std::to_string(pos_);
-    return false;
-  }
-
-  bool expect(char c, std::string& error) {
-    skip_whitespace();
-    if (pos_ >= text_.size() || text_[pos_] != c) {
-      return fail(error, std::string("expected '") + c + "'");
-    }
-    ++pos_;
-    return true;
-  }
-
-  bool parse_value(JsonValue& out, std::string& error) {
-    skip_whitespace();
-    if (pos_ >= text_.size()) return fail(error, "unexpected end of input");
-    const char c = text_[pos_];
-    if (c == '{') return parse_object(out, error);
-    if (c == '[') return parse_array(out, error);
-    if (c == '"') {
-      out.type = JsonValue::Type::kString;
-      return parse_string(out.text, error);
-    }
-    if (c == 't' || c == 'f') return parse_keyword(out, error);
-    if (c == 'n') return parse_keyword(out, error);
-    return parse_number(out, error);
-  }
-
-  bool parse_keyword(JsonValue& out, std::string& error) {
-    const auto match = [&](const char* word) {
-      const std::size_t len = std::char_traits<char>::length(word);
-      if (text_.compare(pos_, len, word) != 0) return false;
-      pos_ += len;
-      return true;
-    };
-    if (match("true")) {
-      out.type = JsonValue::Type::kBool;
-      out.boolean = true;
-      return true;
-    }
-    if (match("false")) {
-      out.type = JsonValue::Type::kBool;
-      out.boolean = false;
-      return true;
-    }
-    if (match("null")) {
-      out.type = JsonValue::Type::kNull;
-      return true;
-    }
-    return fail(error, "invalid literal");
-  }
-
-  bool parse_number(JsonValue& out, std::string& error) {
-    const char* start = text_.c_str() + pos_;
-    char* end = nullptr;
-    out.number = std::strtod(start, &end);
-    if (end == start) return fail(error, "invalid number");
-    pos_ += static_cast<std::size_t>(end - start);
-    out.type = JsonValue::Type::kNumber;
-    return true;
-  }
-
-  bool parse_string(std::string& out, std::string& error) {
-    if (!expect('"', error)) return false;
-    out.clear();
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return true;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) break;
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'n': out += '\n'; break;
-          case 'r': out += '\r'; break;
-          case 't': out += '\t'; break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) return fail(error, "bad \\u escape");
-            // Decoded code point is irrelevant for validation; keep ASCII.
-            out += '?';
-            pos_ += 4;
-            break;
-          }
-          default:
-            return fail(error, "bad escape");
-        }
-      } else {
-        out += c;
-      }
-    }
-    return fail(error, "unterminated string");
-  }
-
-  bool parse_array(JsonValue& out, std::string& error) {
-    out.type = JsonValue::Type::kArray;
-    if (!expect('[', error)) return false;
-    skip_whitespace();
-    if (pos_ < text_.size() && text_[pos_] == ']') {
-      ++pos_;
-      return true;
-    }
-    for (;;) {
-      JsonValue element;
-      if (!parse_value(element, error)) return false;
-      out.array.push_back(std::move(element));
-      skip_whitespace();
-      if (pos_ >= text_.size()) return fail(error, "unterminated array");
-      if (text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (text_[pos_] == ']') {
-        ++pos_;
-        return true;
-      }
-      return fail(error, "expected ',' or ']'");
-    }
-  }
-
-  bool parse_object(JsonValue& out, std::string& error) {
-    out.type = JsonValue::Type::kObject;
-    if (!expect('{', error)) return false;
-    skip_whitespace();
-    if (pos_ < text_.size() && text_[pos_] == '}') {
-      ++pos_;
-      return true;
-    }
-    for (;;) {
-      std::string key;
-      if (!parse_string(key, error)) return false;
-      if (!expect(':', error)) return false;
-      JsonValue value;
-      if (!parse_value(value, error)) return false;
-      out.object.emplace_back(std::move(key), std::move(value));
-      skip_whitespace();
-      if (pos_ >= text_.size()) return fail(error, "unterminated object");
-      if (text_[pos_] == ',') {
-        ++pos_;
-        skip_whitespace();
-        continue;
-      }
-      if (text_[pos_] == '}') {
-        ++pos_;
-        return true;
-      }
-      return fail(error, "expected ',' or '}'");
-    }
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
-const JsonValue* require_field(const JsonValue& event, const char* key,
-                               JsonValue::Type type, std::size_t index,
-                               std::string& error) {
-  const JsonValue* field = event.find(key);
+const json::Value* require_field(const json::Value& event, const char* key,
+                                 json::Value::Type type, std::size_t index,
+                                 std::string& error) {
+  const json::Value* field = event.find(key);
   if (field == nullptr || field->type != type) {
     error = "event " + std::to_string(index) + ": missing or mistyped \"" +
             key + "\"";
@@ -487,6 +320,13 @@ const JsonValue* require_field(const JsonValue& event, const char* key,
   }
   return field;
 }
+
+/// One rid-carrying span, collected for request-tree validation.
+struct RidSpan {
+  std::string name;
+  double begin = 0.0;
+  double end = 0.0;
+};
 
 }  // namespace
 
@@ -501,16 +341,15 @@ TraceValidation validate_trace_file(const std::string& path) {
   buffer << in.rdbuf();
   const std::string text = buffer.str();
 
-  JsonValue root;
-  JsonParser parser(text);
-  if (!parser.parse(root, result.error)) return result;
+  json::Value root;
+  if (!json::parse(text, root, result.error)) return result;
 
-  const JsonValue* events = nullptr;
-  if (root.type == JsonValue::Type::kArray) {
+  const json::Value* events = nullptr;
+  if (root.type == json::Value::Type::kArray) {
     events = &root;  // Chrome also accepts a bare event array
-  } else if (root.type == JsonValue::Type::kObject) {
+  } else if (root.type == json::Value::Type::kObject) {
     events = root.find("traceEvents");
-    if (events == nullptr || events->type != JsonValue::Type::kArray) {
+    if (events == nullptr || events->type != json::Value::Type::kArray) {
       result.error = "top-level object has no traceEvents array";
       return result;
     }
@@ -524,30 +363,35 @@ TraceValidation validate_trace_file(const std::string& path) {
   std::vector<std::pair<double, double>> last_end;  // (tid, end) pairs
   std::set<double> span_tids;
   std::set<std::string> span_names;
+  std::map<double, std::vector<RidSpan>> rid_spans;
   for (std::size_t i = 0; i < events->array.size(); ++i) {
-    const JsonValue& event = events->array[i];
-    if (event.type != JsonValue::Type::kObject) {
+    const json::Value& event = events->array[i];
+    if (event.type != json::Value::Type::kObject) {
       result.error = "event " + std::to_string(i) + " is not an object";
       return result;
     }
-    const JsonValue* ph =
-        require_field(event, "ph", JsonValue::Type::kString, i, result.error);
+    const json::Value* ph = require_field(event, "ph",
+                                          json::Value::Type::kString, i,
+                                          result.error);
     if (ph == nullptr) return result;
-    if (require_field(event, "name", JsonValue::Type::kString, i,
+    if (require_field(event, "name", json::Value::Type::kString, i,
                       result.error) == nullptr ||
-        require_field(event, "pid", JsonValue::Type::kNumber, i,
+        require_field(event, "pid", json::Value::Type::kNumber, i,
                       result.error) == nullptr) {
       return result;
     }
-    const JsonValue* tid =
-        require_field(event, "tid", JsonValue::Type::kNumber, i, result.error);
+    const json::Value* tid = require_field(event, "tid",
+                                           json::Value::Type::kNumber, i,
+                                           result.error);
     if (tid == nullptr) return result;
     if (ph->text != "X") continue;  // metadata and other phases: no timing
 
-    const JsonValue* ts =
-        require_field(event, "ts", JsonValue::Type::kNumber, i, result.error);
-    const JsonValue* dur =
-        require_field(event, "dur", JsonValue::Type::kNumber, i, result.error);
+    const json::Value* ts = require_field(event, "ts",
+                                          json::Value::Type::kNumber, i,
+                                          result.error);
+    const json::Value* dur = require_field(event, "dur",
+                                           json::Value::Type::kNumber, i,
+                                           result.error);
     if (ts == nullptr || dur == nullptr) return result;
     if (ts->number < 0.0 || dur->number < 0.0) {
       result.error = "event " + std::to_string(i) + ": negative ts or dur";
@@ -572,6 +416,55 @@ TraceValidation validate_trace_file(const std::string& path) {
     span_tids.insert(tid->number);
     span_names.insert(event.find("name")->text);
     ++result.span_count;
+
+    const json::Value* args = event.find("args");
+    if (args != nullptr && args->type == json::Value::Type::kObject) {
+      const json::Value* rid = args->find("rid");
+      if (rid != nullptr && rid->type == json::Value::Type::kNumber) {
+        rid_spans[rid->number].push_back(
+            RidSpan{event.find("name")->text, ts->number, end});
+      }
+    }
+  }
+
+  // Request trees: exactly one serve.request root per rid; queue-wait
+  // spans hand off to it (end <= root begin), everything else nests
+  // inside it. The writer prints microseconds to 3 decimals, so 2e-3 of
+  // slack absorbs the rounding without hiding real ordering bugs.
+  constexpr double kEps = 2e-3;
+  for (const auto& [rid, spans] : rid_spans) {
+    const std::string rid_text =
+        std::to_string(static_cast<long long>(rid));
+    const RidSpan* span_root = nullptr;
+    for (const RidSpan& span : spans) {
+      if (span.name != "serve.request") continue;
+      if (span_root != nullptr) {
+        result.error = "rid " + rid_text + " has multiple serve.request roots";
+        return result;
+      }
+      span_root = &span;
+    }
+    if (span_root == nullptr) {
+      result.error = "rid " + rid_text +
+                     " has orphaned spans (no serve.request root)";
+      return result;
+    }
+    for (const RidSpan& span : spans) {
+      if (&span == span_root) continue;
+      if (span.name == "serve.queue_wait") {
+        if (span.end > span_root->begin + kEps) {
+          result.error = "rid " + rid_text +
+                         ": serve.queue_wait ends after its root begins";
+          return result;
+        }
+      } else if (span.begin + kEps < span_root->begin ||
+                 span.end > span_root->end + kEps) {
+        result.error = "rid " + rid_text + ": span \"" + span.name +
+                       "\" falls outside its serve.request root";
+        return result;
+      }
+    }
+    ++result.request_tree_count;
   }
 
   result.thread_count = span_tids.size();

@@ -32,11 +32,21 @@ std::uint64_t now_ns() noexcept;
 /// nullptr keys.
 void record(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns,
             const char* key0, double value0, const char* key1, double value1);
+
+/// True while a TraceSuppressScope is active on the calling thread.
+bool thread_suppressed() noexcept;
 }  // namespace trace_detail
 
 /// True while spans are being recorded.
 inline bool trace_enabled() noexcept {
   return trace_detail::enabled.load(std::memory_order_relaxed);
+}
+
+/// Trace-epoch timestamp for callers recording spans with explicit
+/// begin/end pairs (e.g. the serve queue-wait span, whose begin happens
+/// on the reader thread and whose end happens on a worker).
+inline std::uint64_t trace_now_ns() noexcept {
+  return trace_detail::now_ns();
 }
 
 /// Starts recording spans (idempotent).
@@ -56,11 +66,41 @@ void trace_set_thread_name(const std::string& name);
 /// Spans dropped so far because a ring buffer wrapped.
 std::uint64_t trace_dropped_spans();
 
+/// Deterministic sampling period: 1 = trace every request, N = trace
+/// every Nth. Seeded from GCNT_TRACE_SAMPLE ("1/N" or "N", read once at
+/// startup); set_trace_sample_period overrides programmatically.
+std::uint64_t trace_sample_period() noexcept;
+void set_trace_sample_period(std::uint64_t period) noexcept;
+
+/// Sampling decision for sequence number `seq`: true when tracing is
+/// enabled and `seq` lands on the sampling grid (seq % period == 0).
+/// Deterministic, so a replayed workload samples the same requests.
+inline bool trace_should_sample(std::uint64_t seq) noexcept {
+  if (!trace_enabled()) return false;
+  const std::uint64_t period = trace_sample_period();
+  return period <= 1 || seq % period == 0;
+}
+
+/// Suppresses span recording on the calling thread while alive. The
+/// serve worker wraps unsampled requests in one of these so their nested
+/// GCNT_KERNEL_SCOPE spans stay out of the trace while sampled requests
+/// record their full span tree. Nests; stats are unaffected.
+class TraceSuppressScope {
+ public:
+  explicit TraceSuppressScope(bool suppress = true);
+  ~TraceSuppressScope();
+  TraceSuppressScope(const TraceSuppressScope&) = delete;
+  TraceSuppressScope& operator=(const TraceSuppressScope&) = delete;
+
+ private:
+  bool active_;
+};
+
 /// RAII span: records [construction, destruction) on the calling thread.
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name) noexcept {
-    if (trace_enabled()) {
+    if (trace_enabled() && !trace_detail::thread_suppressed()) {
       name_ = name;
       begin_ = trace_detail::now_ns();
     }
@@ -110,7 +150,7 @@ class InstrumentScope {
       stats_->calls.add();
       stats_->latency_ns.record(end - begin_);
     }
-    if (trace_enabled()) {
+    if (trace_enabled() && !trace_detail::thread_suppressed()) {
       trace_detail::record(name_, begin_, end, nullptr, 0.0, nullptr, 0.0);
     }
   }
@@ -139,12 +179,20 @@ struct TraceValidation {
   std::string error;                 ///< first failure when !ok
   std::size_t span_count = 0;        ///< "ph":"X" events
   std::size_t thread_count = 0;      ///< distinct tids with at least 1 span
+  std::size_t request_tree_count = 0;  ///< well-formed "rid" span trees
   std::vector<std::string> names;    ///< distinct span names, sorted
 };
 
 /// Checks that `path` parses as JSON, has a traceEvents array, every span
 /// carries name/ph/pid/tid/ts/dur with dur >= 0, and per-thread span
 /// completion times (ts + dur) are monotonically non-decreasing.
+///
+/// Spans carrying a numeric "rid" arg form request trees: each rid must
+/// have exactly one "serve.request" root; "serve.queue_wait" spans must
+/// end at or before their root begins (the hand-off from the reader
+/// thread to the worker); every other rid span must nest inside its
+/// root's interval. Orphaned rid spans (no root, or outside it) fail
+/// validation; well-formed trees are counted in request_tree_count.
 TraceValidation validate_trace_file(const std::string& path);
 
 }  // namespace gcnt

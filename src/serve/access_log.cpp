@@ -1,0 +1,97 @@
+#include "serve/access_log.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/json.h"
+
+namespace gcnt::serve {
+
+std::string format_access_record(const AccessRecord& record) {
+  std::ostringstream out;
+  out << "{\"ts_us\":" << record.ts_us << ",\"rid\":" << record.rid
+      << ",\"request_id\":" << record.request_id << ",\"session\":\"";
+  json::write_escaped(out, record.session);
+  out << "\",\"op\":\"";
+  json::write_escaped(out, record.op);
+  out << "\",\"queue_wait_us\":" << record.queue_wait_us
+      << ",\"service_us\":" << record.service_us;
+  if (record.decode_us != 0 || record.forward_us != 0 ||
+      record.encode_us != 0) {
+    out << ",\"decode_us\":" << record.decode_us
+        << ",\"forward_us\":" << record.forward_us
+        << ",\"encode_us\":" << record.encode_us;
+  }
+  out << ",\"batch\":" << record.batch << ",\"bytes_in\":" << record.bytes_in
+      << ",\"bytes_out\":" << record.bytes_out << ",\"outcome\":\"";
+  json::write_escaped(out, record.outcome);
+  out << "\"";
+  if (!record.error.empty()) {
+    out << ",\"error\":\"";
+    json::write_escaped(out, record.error);
+    out << "\"";
+  }
+  out << "}";
+  return out.str();
+}
+
+AccessLog::AccessLog(const std::string& path) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+}
+
+AccessLog::~AccessLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void AccessLog::write(const AccessRecord& record) {
+  if (fd_ < 0) return;
+  std::string line = format_access_record(record);
+  line.push_back('\n');
+  // One write(2) on an O_APPEND fd: POSIX appends atomically, so lines
+  // from concurrent workers never interleave. A short write (disk full)
+  // can truncate a line but never reorder one; the daemon keeps serving.
+  std::lock_guard<std::mutex> lock(mutex_);
+  const ssize_t wrote = ::write(fd_, line.data(), line.size());
+  if (wrote == static_cast<ssize_t>(line.size())) ++lines_;
+}
+
+std::uint64_t AccessLog::lines_written() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lines_;
+}
+
+SlowRequestRing::SlowRequestRing(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  entries_.reserve(capacity_);
+}
+
+void SlowRequestRing::offer(const AccessRecord& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.size() >= capacity_ &&
+      record.service_us <= entries_.back().service_us) {
+    return;
+  }
+  const auto pos = std::upper_bound(
+      entries_.begin(), entries_.end(), record,
+      [](const AccessRecord& a, const AccessRecord& b) {
+        return a.service_us > b.service_us;
+      });
+  entries_.insert(pos, record);
+  if (entries_.size() > capacity_) entries_.pop_back();
+}
+
+std::string SlowRequestRing::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "[";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (i != 0) out += ",";
+    out += format_access_record(entries_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace gcnt::serve

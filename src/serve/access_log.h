@@ -1,0 +1,91 @@
+#pragma once
+// Structured per-request access log for the `gcnt serve` daemon, plus a
+// fixed-size ring of the slowest requests.
+//
+// Every request that received a response produces exactly one JSON line:
+//
+//   {"ts_us":...,"rid":...,"request_id":...,"session":"...","op":"...",
+//    "queue_wait_us":...,"service_us":...,"batch":...,"bytes_in":...,
+//    "bytes_out":...,"outcome":"ok"}
+//
+// `outcome` is "ok" or the typed error-kind name ("io", "corrupt",
+// "version", "resource", "usage", "internal"); error lines add an
+// "error" message field. Phase timings ("decode_us"/"forward_us"/
+// "encode_us") appear when the server measured them (the infer path).
+//
+// Each line is formatted in full, then emitted as ONE write(2) on an
+// O_APPEND descriptor — concurrent workers never interleave partial
+// lines, and `wc -l` equals the completed-request count.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gcnt::serve {
+
+/// Everything the access log and slow-request ring know about one
+/// completed request.
+struct AccessRecord {
+  std::uint64_t ts_us = 0;       ///< unix wall-clock microseconds
+  std::uint64_t rid = 0;         ///< server-assigned request sequence
+  std::uint32_t request_id = 0;  ///< client-chosen wire id
+  std::string session;           ///< "" for session-less opcodes
+  std::string op;                ///< opcode name (see op_name)
+  std::uint64_t queue_wait_us = 0;
+  std::uint64_t service_us = 0;
+  std::uint64_t decode_us = 0;   ///< phase timings; 0 when not measured
+  std::uint64_t forward_us = 0;
+  std::uint64_t encode_us = 0;
+  std::size_t batch = 1;         ///< infers answered by this forward pass
+  std::size_t bytes_in = 0;      ///< request frame bytes on the wire
+  std::size_t bytes_out = 0;     ///< response frame bytes on the wire
+  std::string outcome = "ok";    ///< "ok" or an ErrorKind name
+  std::string error;             ///< human-readable message when not ok
+};
+
+/// Serializes `record` as one JSON object (no trailing newline). Session
+/// names and error messages are escaped; hostile bytes cannot corrupt
+/// the log. Shared by AccessLog and SlowRequestRing::to_json.
+std::string format_access_record(const AccessRecord& record);
+
+/// Append-only JSON-lines log. Thread-safe; one write(2) per line.
+class AccessLog {
+ public:
+  /// Opens (or creates) `path` for appending. ok() reports failure —
+  /// the daemon logs a warning and serves without an access log rather
+  /// than refusing to start.
+  explicit AccessLog(const std::string& path);
+  ~AccessLog();
+  AccessLog(const AccessLog&) = delete;
+  AccessLog& operator=(const AccessLog&) = delete;
+
+  bool ok() const noexcept { return fd_ >= 0; }
+  void write(const AccessRecord& record);
+  std::uint64_t lines_written() const noexcept;
+
+ private:
+  int fd_ = -1;
+  mutable std::mutex mutex_;
+  std::uint64_t lines_ = 0;
+};
+
+/// Keeps the N worst requests by service time, dumpable on demand via
+/// the kMetrics opcode — the retained records carry the phase timings,
+/// so the span tree of a tail-latency request survives after the trace
+/// ring has wrapped.
+class SlowRequestRing {
+ public:
+  explicit SlowRequestRing(std::size_t capacity);
+
+  void offer(const AccessRecord& record);
+  /// JSON array, slowest first.
+  std::string to_json() const;
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<AccessRecord> entries_;  ///< sorted, slowest first
+};
+
+}  // namespace gcnt::serve

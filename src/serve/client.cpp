@@ -195,6 +195,18 @@ std::string ServeClient::stats_json() {
   return reader.str();
 }
 
+ServeClient::MetricsResult ServeClient::metrics(bool include_slow) {
+  std::string body;
+  WireWriter writer(body);
+  writer.u8(include_slow ? 0x1 : 0x0);
+  const std::string payload = call(Op::kMetrics, body);
+  WireReader reader(payload);
+  MetricsResult result;
+  result.exposition = reader.str();
+  result.slow_json = reader.str();
+  return result;
+}
+
 std::uint64_t ServeClient::reload(const std::string& path) {
   std::string body;
   WireWriter writer(body);

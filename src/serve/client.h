@@ -78,6 +78,14 @@ class ServeClient {
   /// The daemon's stats registry as JSON.
   std::string stats_json();
 
+  struct MetricsResult {
+    std::string exposition;  ///< Prometheus-style text exposition
+    std::string slow_json;   ///< slow-request ring ("" unless requested)
+  };
+  /// Scrapes the daemon's metrics (kMetrics). Counter deltas and
+  /// windowed quantiles are relative to the previous scrape by anyone.
+  MetricsResult metrics(bool include_slow = false);
+
   /// Hot-reloads the model (empty path = re-read the current artifact).
   /// Returns the new model generation.
   std::uint64_t reload(const std::string& path = {});

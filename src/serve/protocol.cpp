@@ -42,6 +42,32 @@ ErrorKind error_kind_for_status(std::uint8_t status) noexcept {
   }
 }
 
+const char* op_name(std::uint8_t opcode) noexcept {
+  switch (static_cast<Op>(opcode)) {
+    case Op::kPing:
+      return "ping";
+    case Op::kLoadSession:
+      return "load_session";
+    case Op::kInfer:
+      return "infer";
+    case Op::kAppendObserve:
+      return "append_observe";
+    case Op::kAppendControl:
+      return "append_control";
+    case Op::kStats:
+      return "stats";
+    case Op::kReloadModel:
+      return "reload_model";
+    case Op::kCloseSession:
+      return "close_session";
+    case Op::kShutdown:
+      return "shutdown";
+    case Op::kMetrics:
+      return "metrics";
+  }
+  return "unknown";
+}
+
 namespace {
 
 void append_u32(std::string& out, std::uint32_t v) {

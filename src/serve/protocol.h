@@ -48,7 +48,13 @@ enum class Op : std::uint8_t {
   kReloadModel = 7,    ///< atomically swap in a re-verified model artifact
   kCloseSession = 8,   ///< drop a resident session
   kShutdown = 9,       ///< stop accepting, drain, exit cleanly
+  kMetrics = 10,       ///< Prometheus-style exposition + slow-request ring
 };
+
+/// Stable lowercase name of a request opcode ("ping", "infer", ...);
+/// unknown opcodes return "unknown". Used for per-opcode stats names and
+/// the access-log "op" field.
+const char* op_name(std::uint8_t opcode) noexcept;
 
 /// Response status byte: 0 = ok, otherwise a stable ErrorKind encoding.
 enum : std::uint8_t { kStatusOk = 0 };

@@ -24,11 +24,34 @@ namespace gcnt::serve {
 
 namespace {
 
-std::uint64_t now_ns() {
+/// Wall-clock microseconds for access-log timestamps (span timings use
+/// the trace epoch via trace_now_ns so spans and stats agree).
+std::uint64_t unix_micros() {
   return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
           .count());
+}
+
+/// On-the-wire size of one encoded frame (length prefix + header + body).
+std::size_t frame_bytes(const Frame& frame) noexcept {
+  return 4 + kFrameHeaderBytes + frame.body.size();
+}
+
+/// Cached per-opcode request counters ("serve.op.<name>"), so the
+/// per-request cost is one relaxed add, not a registry lookup. Racing
+/// initializers resolve to the same registry slot, so the last store
+/// wins harmlessly.
+Counter& op_counter(std::uint8_t opcode) {
+  static std::atomic<Counter*> cache[256] = {};
+  std::atomic<Counter*>& slot = cache[opcode];
+  Counter* counter = slot.load(std::memory_order_acquire);
+  if (counter == nullptr) {
+    counter = &StatsRegistry::instance().counter(std::string("serve.op.") +
+                                                 op_name(opcode));
+    slot.store(counter, std::memory_order_release);
+  }
+  return *counter;
 }
 
 bool is_verilog_path(const std::string& path) {
@@ -76,6 +99,7 @@ bool known_opcode(std::uint8_t opcode) noexcept {
     case Op::kReloadModel:
     case Op::kCloseSession:
     case Op::kShutdown:
+    case Op::kMetrics:
       return true;
   }
   return false;
@@ -141,6 +165,15 @@ void ServeServer::start() {
   std::signal(SIGPIPE, SIG_IGN);
 
   models_ = std::make_unique<ModelRegistry>(options_.model_path);
+  slow_ring_ = std::make_unique<SlowRequestRing>(options_.slow_ring);
+  if (!options_.access_log.empty()) {
+    access_log_ = std::make_unique<AccessLog>(options_.access_log);
+    if (!access_log_->ok()) {
+      log_warn("serve: cannot open access log ", options_.access_log,
+               "; serving without one");
+      access_log_.reset();
+    }
+  }
 
   if (!options_.unix_socket.empty()) {
     listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
@@ -299,7 +332,8 @@ void ServeServer::pump_connection(const std::shared_ptr<Connection>& conn) {
     if (status == ReadStatus::kError) {
       // Framing is broken: the stream cannot be resynced. Report the
       // typed error best-effort and drop the connection; resident
-      // sessions are server-scoped and unaffected.
+      // sessions are server-scoped and unaffected. No access-log line:
+      // without a decodable header there is no request to attribute.
       malformed.add();
       if (kind != ErrorKind::kIo) {
         try {
@@ -310,47 +344,72 @@ void ServeServer::pump_connection(const std::shared_ptr<Connection>& conn) {
       }
       return;
     }
-    if (frame.version != kProtocolVersion) {
+
+    // Request context starts here: every decodable frame gets a
+    // server-wide sequence number, its wire size, and a deterministic
+    // sampling decision that rides with it into the worker.
+    const std::uint64_t rid = next_rid_.fetch_add(1);
+    const std::size_t bytes_in = frame_bytes(frame);
+    // Replies the reader sends itself (protocol errors, shutdown) still
+    // produce one access-log line each, so line count == reply count.
+    const auto reply_inline = [&](const Frame& response, const char* outcome,
+                                  const std::string& error) {
+      AccessRecord record;
+      record.ts_us = unix_micros();
+      record.rid = rid;
+      record.request_id = frame.request_id;
+      record.op = op_name(frame.opcode);
+      record.bytes_in = bytes_in;
+      record.bytes_out = frame_bytes(response);
+      record.outcome = outcome;
+      record.error = error;
+      bool sent = true;
       try {
-        conn->send(make_error_response(
-            frame, ErrorKind::kVersion,
-            "protocol version " + std::to_string(frame.version) +
-                " unsupported (want " + std::to_string(kProtocolVersion) +
-                ")"));
+        conn->send(response);
       } catch (const Error&) {
+        sent = false;
+      }
+      if (sent) log_access(std::move(record));
+      return sent;
+    };
+
+    if (frame.version != kProtocolVersion) {
+      const std::string error =
+          "protocol version " + std::to_string(frame.version) +
+          " unsupported (want " + std::to_string(kProtocolVersion) + ")";
+      if (!reply_inline(make_error_response(frame, ErrorKind::kVersion, error),
+                        "version", error)) {
         return;
       }
       continue;
     }
     if (!known_opcode(frame.opcode)) {
-      try {
-        conn->send(make_error_response(
-            frame, ErrorKind::kUsage,
-            "unknown opcode " + std::to_string(frame.opcode)));
-      } catch (const Error&) {
+      const std::string error =
+          "unknown opcode " + std::to_string(frame.opcode);
+      if (!reply_inline(make_error_response(frame, ErrorKind::kUsage, error),
+                        "usage", error)) {
         return;
       }
       continue;
     }
     if (static_cast<Op>(frame.opcode) == Op::kShutdown) {
       // Handled inline so shutdown is never rejected by a full queue.
-      try {
-        conn->send(make_ok_response(frame, {}));
-      } catch (const Error&) {
-      }
+      reply_inline(make_ok_response(frame, {}), "ok", {});
       begin_shutdown();
       return;
     }
     Request request;
     request.conn = conn;
+    request.rid = rid;
+    request.bytes_in = bytes_in;
+    request.sampled = trace_should_sample(rid);
     if (has_session_name(frame.opcode)) {
       try {
         WireReader reader(frame.body);
         request.session = reader.str();
       } catch (const Error& e) {
-        try {
-          conn->send(make_error_response(frame, e.kind(), e.what()));
-        } catch (const Error&) {
+        if (!reply_inline(make_error_response(frame, e.kind(), e.what()),
+                          error_kind_name(e.kind()), e.what())) {
           return;
         }
         continue;
@@ -365,6 +424,7 @@ void ServeServer::enqueue(Request request) {
   static Counter& rejected =
       StatsRegistry::instance().counter("serve.overload_rejected");
   static Gauge& depth = StatsRegistry::instance().gauge("serve.queue_depth");
+  request.enqueue_ns = trace_now_ns();
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     if (!shutting_down_.load() && queue_.size() < options_.queue_limit) {
@@ -382,10 +442,26 @@ void ServeServer::enqueue(Request request) {
           ? "server is shutting down"
           : "server overloaded: request queue full (" +
                 std::to_string(options_.queue_limit) + ")";
+  const Frame response =
+      make_error_response(request.frame, ErrorKind::kResource, reason);
+  bool sent = true;
   try {
-    request.conn->send(
-        make_error_response(request.frame, ErrorKind::kResource, reason));
+    request.conn->send(response);
   } catch (const Error&) {
+    sent = false;
+  }
+  if (sent) {
+    AccessRecord record;
+    record.ts_us = unix_micros();
+    record.rid = request.rid;
+    record.request_id = request.frame.request_id;
+    record.session = request.session;
+    record.op = op_name(request.frame.opcode);
+    record.bytes_in = request.bytes_in;
+    record.bytes_out = frame_bytes(response);
+    record.outcome = "resource";
+    record.error = reason;
+    log_access(std::move(record));
   }
 }
 
@@ -419,73 +495,130 @@ void ServeServer::dispatch(const Request& request, ForwardWorkspace& ws) {
   static Counter& errors = StatsRegistry::instance().counter("serve.errors");
   static Histogram& latency =
       StatsRegistry::instance().histogram("serve.request_ns");
+  static Histogram& queue_wait =
+      StatsRegistry::instance().histogram("serve.queue_wait_us");
+  const std::uint64_t dequeue_ns = trace_now_ns();
+  const std::uint64_t queue_wait_ns =
+      dequeue_ns > request.enqueue_ns ? dequeue_ns - request.enqueue_ns : 0;
   requests.add();
-  const std::uint64_t began = now_ns();
+  op_counter(request.frame.opcode).add();
+  queue_wait.record(queue_wait_ns / 1000);
+
+  // The queue-wait span completed at dequeue time; record it before any
+  // phase span so per-thread completion order stays monotonic. Sampling
+  // is decided per request, and an unsampled request also silences its
+  // nested GCNT_KERNEL_SCOPE spans via the suppress scope.
+  const bool tracing = request.sampled && trace_enabled();
+  if (tracing) {
+    trace_detail::record("serve.queue_wait", request.enqueue_ns, dequeue_ns,
+                         "rid", static_cast<double>(request.rid), nullptr,
+                         0.0);
+  }
+  TraceSuppressScope suppress(trace_enabled() && !request.sampled);
+
+  AccessRecord record;
+  record.rid = request.rid;
+  record.request_id = request.frame.request_id;
+  record.session = request.session;
+  record.op = op_name(request.frame.opcode);
+  record.queue_wait_us = queue_wait_ns / 1000;
+  record.bytes_in = request.bytes_in;
+
+  const auto respond = [&](Frame response) {
+    record.bytes_out = frame_bytes(response);
+    request.conn->send(response);
+  };
+  // Non-infer handlers run under one "serve.handle" child span; the
+  // infer path records finer decode/forward/encode phases itself.
+  const auto handle = [&](std::string (ServeServer::*handler)(const Frame&)) {
+    TraceSpan span("serve.handle");
+    span.arg("rid", static_cast<double>(request.rid));
+    return (this->*handler)(request.frame);
+  };
   try {
-    TraceSpan span("serve.request");
-    span.arg("op", static_cast<double>(request.frame.opcode));
     switch (static_cast<Op>(request.frame.opcode)) {
       case Op::kPing:
-        request.conn->send(make_ok_response(request.frame, {}));
+        respond(make_ok_response(request.frame, {}));
         break;
       case Op::kInfer:
-        handle_infer(request, ws);
+        handle_infer(request, ws, record);
         break;
       case Op::kLoadSession:
-        request.conn->send(make_ok_response(
-            request.frame, handle_load_session(request.frame)));
+        respond(make_ok_response(request.frame,
+                                 handle(&ServeServer::handle_load_session)));
         break;
       case Op::kAppendObserve:
-        request.conn->send(make_ok_response(
-            request.frame, handle_append_observe(request.frame)));
+        respond(make_ok_response(
+            request.frame, handle(&ServeServer::handle_append_observe)));
         break;
       case Op::kAppendControl:
-        request.conn->send(make_ok_response(
-            request.frame, handle_append_control(request.frame)));
+        respond(make_ok_response(
+            request.frame, handle(&ServeServer::handle_append_control)));
         break;
-      case Op::kStats:
-        request.conn->send(
-            make_ok_response(request.frame, handle_stats()));
+      case Op::kStats: {
+        TraceSpan span("serve.handle");
+        span.arg("rid", static_cast<double>(request.rid));
+        respond(make_ok_response(request.frame, handle_stats()));
+        break;
+      }
+      case Op::kMetrics:
+        respond(make_ok_response(request.frame,
+                                 handle(&ServeServer::handle_metrics)));
         break;
       case Op::kReloadModel:
-        request.conn->send(
-            make_ok_response(request.frame, handle_reload(request.frame)));
+        respond(make_ok_response(request.frame,
+                                 handle(&ServeServer::handle_reload)));
         break;
       case Op::kCloseSession:
-        request.conn->send(make_ok_response(
-            request.frame, handle_close_session(request.frame)));
+        respond(make_ok_response(request.frame,
+                                 handle(&ServeServer::handle_close_session)));
         break;
       case Op::kShutdown:
         break;  // answered by the reader
     }
   } catch (const Error& e) {
-    errors.add();
+    record.outcome = error_kind_name(e.kind());
+    record.error = e.what();
     try {
-      request.conn->send(
-          make_error_response(request.frame, e.kind(), e.what()));
+      respond(make_error_response(request.frame, e.kind(), e.what()));
     } catch (const Error&) {
     }
   } catch (const std::bad_alloc&) {
-    errors.add();
+    record.outcome = error_kind_name(ErrorKind::kResource);
+    record.error = "out of memory";
     try {
-      request.conn->send(make_error_response(
-          request.frame, ErrorKind::kResource, "out of memory"));
+      respond(make_error_response(request.frame, ErrorKind::kResource,
+                                  "out of memory"));
     } catch (const Error&) {
     }
   } catch (const std::exception& e) {
-    errors.add();
+    record.outcome = error_kind_name(ErrorKind::kInternal);
+    record.error = e.what();
     try {
-      request.conn->send(
-          make_error_response(request.frame, ErrorKind::kInternal, e.what()));
+      respond(make_error_response(request.frame, ErrorKind::kInternal,
+                                  e.what()));
     } catch (const Error&) {
     }
   }
-  latency.record(now_ns() - began);
+  const std::uint64_t done_ns = trace_now_ns();
+  latency.record(done_ns - dequeue_ns);
+  if (tracing) {
+    trace_detail::record("serve.request", dequeue_ns, done_ns, "rid",
+                         static_cast<double>(request.rid), "op",
+                         static_cast<double>(request.frame.opcode));
+  }
+  if (record.outcome != "ok") errors.add();
+  record.ts_us = unix_micros();
+  record.service_us = (done_ns - dequeue_ns) / 1000;
+  log_access(std::move(record));
 }
 
-void ServeServer::handle_infer(const Request& request, ForwardWorkspace& ws) {
+void ServeServer::handle_infer(const Request& request, ForwardWorkspace& ws,
+                               AccessRecord& record) {
   static Counter& batched =
       StatsRegistry::instance().counter("serve.batched_infers");
+  static Histogram& batch_size =
+      StatsRegistry::instance().histogram("serve.batch_size");
   // Claim every queued infer for the same session: one forward pass (or
   // cache hit) answers the whole batch.
   std::vector<Request> batch;
@@ -503,29 +636,55 @@ void ServeServer::handle_infer(const Request& request, ForwardWorkspace& ws) {
     }
   }
   batched.add(batch.size());
+  batch_size.record(batch.size() + 1);
+  const std::uint64_t claim_ns = trace_now_ns();
+  // A batch member's queue wait ends when the batch claims it.
+  for (const Request& r : batch) {
+    if (r.sampled && trace_enabled()) {
+      trace_detail::record("serve.queue_wait", r.enqueue_ns, claim_ns, "rid",
+                           static_cast<double>(r.rid), nullptr, 0.0);
+    }
+  }
 
   std::string payload;
   ErrorKind error_kind = ErrorKind::kInternal;
   std::string error_message;
   bool ok = true;
+  std::uint64_t decode_done_ns = claim_ns;
+  std::uint64_t forward_done_ns = claim_ns;
   try {
-    const std::shared_ptr<ServeSession> session =
-        find_session(request.session);
-    if (!session) {
-      throw Error(ErrorKind::kUsage,
-                  "unknown session '" + request.session + "'");
+    std::shared_ptr<ServeSession> session;
+    {
+      TraceSpan span("serve.decode");
+      span.arg("rid", static_cast<double>(request.rid));
+      session = find_session(request.session);
+      if (!session) {
+        throw Error(ErrorKind::kUsage,
+                    "unknown session '" + request.session + "'");
+      }
     }
+    decode_done_ns = trace_now_ns();
     const ModelRegistry::Snapshot snapshot = models_->snapshot();
     std::lock_guard<std::mutex> lock(session->mutex());
-    const Matrix& logits = session->logits(snapshot, ws);
-    WireWriter writer(payload);
-    writer.u32(static_cast<std::uint32_t>(logits.rows()));
-    writer.u32(static_cast<std::uint32_t>(logits.cols()));
-    payload.reserve(payload.size() +
-                    logits.rows() * logits.cols() * sizeof(float));
-    for (std::size_t r = 0; r < logits.rows(); ++r) {
-      const float* row = logits.row(r);
-      for (std::size_t c = 0; c < logits.cols(); ++c) writer.f32(row[c]);
+    const Matrix* logits = nullptr;
+    {
+      TraceSpan span("serve.forward");
+      span.arg("rid", static_cast<double>(request.rid));
+      logits = &session->logits(snapshot, ws);
+    }
+    forward_done_ns = trace_now_ns();
+    {
+      TraceSpan span("serve.encode");
+      span.arg("rid", static_cast<double>(request.rid));
+      WireWriter writer(payload);
+      writer.u32(static_cast<std::uint32_t>(logits->rows()));
+      writer.u32(static_cast<std::uint32_t>(logits->cols()));
+      payload.reserve(payload.size() +
+                      logits->rows() * logits->cols() * sizeof(float));
+      for (std::size_t r = 0; r < logits->rows(); ++r) {
+        const float* row = logits->row(r);
+        for (std::size_t c = 0; c < logits->cols(); ++c) writer.f32(row[c]);
+      }
     }
   } catch (const Error& e) {
     ok = false;
@@ -536,19 +695,57 @@ void ServeServer::handle_infer(const Request& request, ForwardWorkspace& ws) {
     error_kind = ErrorKind::kInternal;
     error_message = e.what();
   }
+  const std::uint64_t encode_done_ns = trace_now_ns();
+  record.decode_us = (decode_done_ns - claim_ns) / 1000;
+  record.forward_us = (forward_done_ns - decode_done_ns) / 1000;
+  record.encode_us = (encode_done_ns - forward_done_ns) / 1000;
+  record.batch = batch.size() + 1;
+  if (!ok) {
+    record.outcome = error_kind_name(error_kind);
+    record.error = error_message;
+  }
 
-  const auto reply = [&](const Request& r) {
+  const auto response_for = [&](const Frame& frame) {
+    return ok ? make_ok_response(frame, payload)
+              : make_error_response(frame, error_kind, error_message);
+  };
+  {
+    const Frame response = response_for(request.frame);
+    record.bytes_out = frame_bytes(response);
     try {
-      r.conn->send(ok ? make_ok_response(r.frame, payload)
-                      : make_error_response(r.frame, error_kind,
-                                            error_message));
+      request.conn->send(response);
     } catch (const Error&) {
     }
-  };
-  reply(request);
-  for (const Request& r : batch) reply(r);
-  if (!ok) {
-    throw Error(error_kind, error_message);  // counted by dispatch()
+  }
+  // Batch members get their own spans and access-log lines; the shared
+  // forward pass is visible through the common batch size.
+  for (const Request& r : batch) {
+    const Frame response = response_for(r.frame);
+    try {
+      r.conn->send(response);
+    } catch (const Error&) {
+    }
+    const std::uint64_t done_ns = trace_now_ns();
+    if (r.sampled && trace_enabled()) {
+      trace_detail::record("serve.request", claim_ns, done_ns, "rid",
+                           static_cast<double>(r.rid), "op",
+                           static_cast<double>(r.frame.opcode));
+    }
+    AccessRecord member;
+    member.ts_us = unix_micros();
+    member.rid = r.rid;
+    member.request_id = r.frame.request_id;
+    member.session = r.session;
+    member.op = op_name(r.frame.opcode);
+    member.queue_wait_us =
+        (claim_ns > r.enqueue_ns ? claim_ns - r.enqueue_ns : 0) / 1000;
+    member.service_us = (done_ns - claim_ns) / 1000;
+    member.batch = batch.size() + 1;
+    member.bytes_in = r.bytes_in;
+    member.bytes_out = frame_bytes(response);
+    member.outcome = record.outcome;
+    member.error = record.error;
+    log_access(std::move(member));
   }
 }
 
@@ -639,6 +836,39 @@ std::string ServeServer::handle_stats() {
   WireWriter writer(payload);
   writer.str(json.str());
   return payload;
+}
+
+std::string ServeServer::handle_metrics(const Frame& frame) {
+  std::uint8_t flags = 0;
+  if (!frame.body.empty()) {
+    WireReader reader(frame.body);
+    flags = reader.u8();
+  }
+  std::ostringstream text;
+  {
+    // One scrape at a time: the exposition reports deltas and windowed
+    // quantiles relative to the previous scrape, whoever made it.
+    std::lock_guard<std::mutex> lock(scrape_mutex_);
+    const StatsSnapshot cur = StatsRegistry::instance().snapshot();
+    write_prometheus(text, cur, have_scrape_ ? &last_scrape_ : nullptr);
+    last_scrape_ = cur;
+    have_scrape_ = true;
+  }
+  std::string payload;
+  WireWriter writer(payload);
+  writer.str(text.str());
+  writer.str((flags & 0x1) != 0 && slow_ring_ ? slow_ring_->to_json()
+                                              : std::string());
+  return payload;
+}
+
+void ServeServer::log_access(AccessRecord record) {
+  if (slow_ring_) slow_ring_->offer(record);
+  if (access_log_) access_log_->write(record);
+}
+
+std::uint64_t ServeServer::access_log_lines() const noexcept {
+  return access_log_ ? access_log_->lines_written() : 0;
 }
 
 std::string ServeServer::handle_reload(const Frame& frame) {

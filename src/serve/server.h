@@ -33,7 +33,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/stats.h"
 #include "gcn/workspace.h"
+#include "serve/access_log.h"
 #include "serve/protocol.h"
 #include "serve/session.h"
 
@@ -51,6 +53,11 @@ struct ServeOptions {
   std::size_t queue_limit = 64;  ///< admission bound on queued requests
   std::size_t batch_limit = 16;  ///< max same-session infers per batch
   std::size_t max_sessions = 64;
+
+  /// JSON-lines access log path ("" = disabled; see serve/access_log.h).
+  std::string access_log;
+  /// Slow-request ring capacity (N worst by service time, kMetrics dump).
+  std::size_t slow_ring = 16;
 };
 
 class ServeServer {
@@ -97,10 +104,17 @@ class ServeServer {
     ~Connection() { close(); }
   };
 
+  /// Per-request context, threaded from the connection reader through
+  /// the bounded queue into the worker (and, when sampled, into the
+  /// request's trace span tree via the "rid" span arg).
   struct Request {
     std::shared_ptr<Connection> conn;
     Frame frame;
     std::string session;  ///< pre-parsed session name ("" when none)
+    std::uint64_t rid = 0;         ///< server-wide request sequence
+    std::uint64_t enqueue_ns = 0;  ///< trace-epoch admission timestamp
+    std::size_t bytes_in = 0;      ///< request frame bytes on the wire
+    bool sampled = false;  ///< records serve.* spans for this request
   };
 
   void acceptor_loop();
@@ -111,18 +125,30 @@ class ServeServer {
   /// Admission control; replies with a typed error when not admitted.
   void enqueue(Request request);
   void dispatch(const Request& request, ForwardWorkspace& ws);
-  /// Answers `request` plus every batched same-session infer.
-  void handle_infer(const Request& request, ForwardWorkspace& ws);
+  /// Answers `request` plus every batched same-session infer. Fills
+  /// `record`'s phase timings, batch size, bytes_out, and outcome (it
+  /// replies errors itself and never throws for handler failures).
+  void handle_infer(const Request& request, ForwardWorkspace& ws,
+                    AccessRecord& record);
 
   std::string handle_load_session(const Frame& frame);
   std::string handle_append_observe(const Frame& frame);
   std::string handle_append_control(const Frame& frame);
   std::string handle_stats();
+  std::string handle_metrics(const Frame& frame);
   std::string handle_reload(const Frame& frame);
   std::string handle_close_session(const Frame& frame);
 
   std::shared_ptr<ServeSession> find_session(const std::string& name);
   void begin_shutdown();
+  /// Emits one access-log line and offers the record to the slow ring.
+  void log_access(AccessRecord record);
+
+ public:
+  /// Access-log lines emitted so far (0 when the log is disabled).
+  std::uint64_t access_log_lines() const noexcept;
+
+ private:
 
   ServeOptions options_;
   std::unique_ptr<ModelRegistry> models_;
@@ -136,6 +162,16 @@ class ServeServer {
 
   std::atomic<bool> stop_requested_{false};
   std::atomic<bool> shutting_down_{false};
+
+  std::atomic<std::uint64_t> next_rid_{0};
+  std::unique_ptr<AccessLog> access_log_;
+  std::unique_ptr<SlowRequestRing> slow_ring_;
+
+  // kMetrics scrape state: the previous snapshot, kept so the exposition
+  // reports counter deltas and windowed quantiles since the last scrape.
+  std::mutex scrape_mutex_;
+  StatsSnapshot last_scrape_;
+  bool have_scrape_ = false;
 
   int listen_fd_ = -1;
   int bound_tcp_port_ = -1;

@@ -10,6 +10,9 @@
 #include <string>
 #include <vector>
 
+#include <map>
+
+#include "common/json.h"
 #include "common/parallel.h"
 #include "common/stats.h"
 #include "common/trace.h"
@@ -308,6 +311,322 @@ TEST(Stats, SnapshotDeterministicUnderSingleThreadPool) {
 
   set_kernel_threads(0);
   StatsRegistry::instance().reset();
+}
+
+TEST(HistogramQuantile, EmptyHistogramIsZero) {
+  StatsSnapshot::HistogramValue hist;
+  EXPECT_EQ(histogram_quantile(hist, 0.5), 0.0);
+  EXPECT_EQ(histogram_quantile(hist, 0.99), 0.0);
+}
+
+TEST(HistogramQuantile, SingleSampleIsExact) {
+  // One sample of 100 lands in bucket [64, 128); interpolation would
+  // estimate 96, but the clamp to [min, max] recovers the exact value.
+  StatsSnapshot::HistogramValue hist;
+  hist.count = 1;
+  hist.sum = 100;
+  hist.min = 100;
+  hist.max = 100;
+  hist.buckets = {{64, 1}};
+  EXPECT_EQ(histogram_quantile(hist, 0.0), 100.0);
+  EXPECT_EQ(histogram_quantile(hist, 0.5), 100.0);
+  EXPECT_EQ(histogram_quantile(hist, 1.0), 100.0);
+}
+
+TEST(HistogramQuantile, ZeroBucketReportsZero) {
+  StatsSnapshot::HistogramValue hist;
+  hist.count = 4;
+  hist.min = 0;
+  hist.max = 0;
+  hist.buckets = {{0, 4}};
+  EXPECT_EQ(histogram_quantile(hist, 0.99), 0.0);
+}
+
+TEST(HistogramQuantile, InterpolatesWithinBucketBoundaries) {
+  // 10 samples uniform in bucket [8, 16), with true min/max wider than
+  // any interpolated value so the clamp never bites.
+  StatsSnapshot::HistogramValue hist;
+  hist.count = 10;
+  hist.min = 8;
+  hist.max = 15;
+  hist.buckets = {{8, 10}};
+  // q=0.5 -> target 5 of 10 -> fraction 0.5 -> 8 * 1.5 = 12.
+  EXPECT_DOUBLE_EQ(histogram_quantile(hist, 0.5), 12.0);
+  // q=0 -> fraction 0 -> the bucket's lower bound.
+  EXPECT_DOUBLE_EQ(histogram_quantile(hist, 0.0), 8.0);
+  // q=1 -> fraction 1 -> the bucket's upper bound, clamped to max.
+  EXPECT_DOUBLE_EQ(histogram_quantile(hist, 1.0), 15.0);
+}
+
+TEST(HistogramQuantile, SpansMultipleBuckets) {
+  StatsSnapshot::HistogramValue hist;
+  hist.count = 8;
+  hist.min = 1;
+  hist.max = 30;
+  hist.buckets = {{1, 2}, {4, 4}, {16, 2}};
+  // q=0.25 -> target 2: first bucket exactly -> 1 * (1 + 2/2) = 2.
+  EXPECT_DOUBLE_EQ(histogram_quantile(hist, 0.25), 2.0);
+  // q=0.75 -> target 6: 4 of the middle bucket's 4 -> 4 * (1 + 1) = 8.
+  EXPECT_DOUBLE_EQ(histogram_quantile(hist, 0.75), 8.0);
+  // q=1 -> last bucket upper bound 32, clamped to the recorded max 30.
+  EXPECT_DOUBLE_EQ(histogram_quantile(hist, 1.0), 30.0);
+}
+
+TEST(HistogramQuantile, OverflowBucketNeverExtrapolatesPastMax) {
+  // Everything in the final (clamp) bucket: the estimate must stay at
+  // the recorded max, not the bucket's notional upper bound.
+  StatsSnapshot::HistogramValue hist;
+  hist.count = 3;
+  hist.min = Histogram::bucket_lower_bound(Histogram::kBucketCount - 1);
+  hist.max = hist.min + 12345;
+  hist.buckets = {{hist.min, 3}};
+  EXPECT_LE(histogram_quantile(hist, 0.99), static_cast<double>(hist.max));
+  EXPECT_GE(histogram_quantile(hist, 0.01), static_cast<double>(hist.min));
+}
+
+TEST(StatsSnapshotDelta, CountersAndHistogramsDiff) {
+  StatsSnapshot prev;
+  prev.counters = {{"a", 10}, {"b", 5}};
+  StatsSnapshot::HistogramValue ph;
+  ph.name = "h";
+  ph.count = 3;
+  ph.sum = 30;
+  ph.min = 8;
+  ph.max = 12;
+  ph.buckets = {{8, 3}};
+  prev.histograms = {ph};
+
+  StatsSnapshot cur;
+  cur.counters = {{"a", 25}, {"b", 5}, {"c", 7}};  // c is new
+  cur.gauges = {{"g", -3}};
+  StatsSnapshot::HistogramValue ch = ph;
+  ch.count = 5;
+  ch.sum = 90;
+  ch.max = 40;
+  ch.buckets = {{8, 3}, {32, 2}};
+  cur.histograms = {ch};
+
+  const StatsSnapshot delta = snapshot_delta(prev, cur);
+  const std::map<std::string, std::uint64_t> counters(delta.counters.begin(),
+                                                      delta.counters.end());
+  EXPECT_EQ(counters.at("a"), 15u);
+  EXPECT_EQ(counters.at("b"), 0u);
+  EXPECT_EQ(counters.at("c"), 7u);  // no prev -> full value
+  ASSERT_EQ(delta.gauges.size(), 1u);
+  EXPECT_EQ(delta.gauges[0].second, -3);  // gauges pass through
+
+  ASSERT_EQ(delta.histograms.size(), 1u);
+  const auto& wh = delta.histograms[0];
+  EXPECT_EQ(wh.count, 2u);
+  EXPECT_EQ(wh.sum, 60u);
+  // Only the changed bucket survives; min/max copy the cumulative range.
+  ASSERT_EQ(wh.buckets.size(), 1u);
+  EXPECT_EQ(wh.buckets[0].first, 32u);
+  EXPECT_EQ(wh.buckets[0].second, 2u);
+  EXPECT_EQ(wh.min, 8u);
+  EXPECT_EQ(wh.max, 40u);
+}
+
+TEST(Prometheus, ExpositionRoundTripsWithDeltas) {
+  StatsSnapshot prev;
+  prev.counters = {{"serve.requests", 100}};
+  StatsSnapshot cur;
+  cur.counters = {{"serve.requests", 140}};
+  cur.gauges = {{"serve.queue_depth", 3}};
+  StatsSnapshot::HistogramValue h;
+  h.name = "serve.request_ns";
+  h.count = 10;
+  h.sum = 120;
+  h.min = 8;
+  h.max = 15;
+  h.buckets = {{8, 10}};
+  cur.histograms = {h};
+
+  std::ostringstream out;
+  write_prometheus(out, cur, &prev);
+  std::map<std::string, double> series;
+  std::string error;
+  ASSERT_TRUE(parse_prometheus_text(out.str(), series, error)) << error;
+  EXPECT_EQ(series.at("gcnt_serve_requests_total"), 140.0);
+  EXPECT_EQ(series.at("gcnt_serve_requests_delta"), 40.0);
+  EXPECT_EQ(series.at("gcnt_serve_queue_depth"), 3.0);
+  EXPECT_EQ(series.at("gcnt_serve_request_ns_count"), 10.0);
+  EXPECT_EQ(series.at("gcnt_serve_request_ns_sum"), 120.0);
+  EXPECT_DOUBLE_EQ(series.at("gcnt_serve_request_ns{quantile=\"0.5\"}"),
+                   12.0);
+  EXPECT_DOUBLE_EQ(series.at("gcnt_serve_request_ns{quantile=\"0.99\"}"),
+                   15.0);
+
+  // Without a previous scrape there are no _delta / _window series.
+  std::ostringstream first;
+  write_prometheus(first, cur, nullptr);
+  EXPECT_EQ(first.str().find("_delta"), std::string::npos);
+  EXPECT_EQ(first.str().find("_window"), std::string::npos);
+
+  // Hostile stat names are mangled into legal metric names.
+  StatsSnapshot hostile;
+  hostile.counters = {{"bad name\"with{stuff}", 1}};
+  std::ostringstream mangled;
+  write_prometheus(mangled, hostile, nullptr);
+  std::map<std::string, double> mangled_series;
+  ASSERT_TRUE(parse_prometheus_text(mangled.str(), mangled_series, error))
+      << error;
+  EXPECT_EQ(mangled_series.count("gcnt_bad_name_with_stuff__total"), 1u);
+}
+
+TEST(Prometheus, ParserRejectsGarbage) {
+  std::map<std::string, double> series;
+  std::string error;
+  EXPECT_FALSE(parse_prometheus_text("metric_without_value\n", series, error));
+  EXPECT_FALSE(parse_prometheus_text("metric not_a_number\n", series, error));
+  EXPECT_FALSE(parse_prometheus_text("9starts_with_digit 1\n", series, error));
+  // Comments and blank lines are fine.
+  EXPECT_TRUE(parse_prometheus_text("# TYPE x counter\n\nx_total 4\n", series,
+                                    error))
+      << error;
+  EXPECT_EQ(series.at("x_total"), 4.0);
+}
+
+TEST(StatsRegistry, WriteJsonEscapesHostileNames) {
+  StatsEnabledScope stats_on;
+  StatsRegistry& registry = StatsRegistry::instance();
+  const std::string hostile = "test.evil\"name\\with\nnewline";
+  registry.counter(hostile).add(2);
+  std::ostringstream out;
+  registry.write_json(out);
+  json::Value parsed;
+  std::string error;
+  ASSERT_TRUE(json::parse(out.str(), parsed, error))
+      << error << "\n" << out.str();
+  const json::Value* counters = parsed.find("counters");
+  ASSERT_NE(counters, nullptr);
+  const json::Value* value = counters->find(hostile);
+  ASSERT_NE(value, nullptr) << "hostile name lost in round trip";
+  EXPECT_EQ(value->number, 2.0);
+  registry.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Request-scoped span trees ("rid" args) in trace validation.
+
+void write_trace(const std::string& path, const std::string& events) {
+  std::ofstream out(path);
+  out << "{\"traceEvents\":[" << events << "]}";
+}
+
+std::string span_json(const char* name, double ts, double dur, int rid) {
+  std::ostringstream out;
+  out << "{\"name\":\"" << name << "\",\"ph\":\"X\",\"pid\":1,\"tid\":7,"
+      << "\"ts\":" << ts << ",\"dur\":" << dur << ",\"args\":{\"rid\":" << rid
+      << "}}";
+  return out.str();
+}
+
+TEST(TraceRequestTrees, ConnectedTreeValidates) {
+  const std::string path = "observability_rid_ok.json";
+  // queue_wait completes at the root's start; children nest inside the
+  // root; per-tid completion times are non-decreasing in file order.
+  write_trace(path, span_json("serve.queue_wait", 90, 10, 5) + "," +
+                        span_json("serve.forward", 110, 40, 5) + "," +
+                        span_json("serve.request", 100, 100, 5));
+  const TraceValidation result = validate_trace_file(path);
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.request_tree_count, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceRequestTrees, CrossThreadHandOffValidates) {
+  const std::string path = "observability_rid_threads.json";
+  // The reader records queue_wait on tid 3; the worker records the rest
+  // on tid 7 — the tree is still connected by rid.
+  std::ostringstream reader_span;
+  reader_span << "{\"name\":\"serve.queue_wait\",\"ph\":\"X\",\"pid\":1,"
+              << "\"tid\":3,\"ts\":90,\"dur\":10,\"args\":{\"rid\":5}}";
+  write_trace(path, reader_span.str() + "," +
+                        span_json("serve.decode", 101, 9, 5) + "," +
+                        span_json("serve.request", 100, 100, 5));
+  const TraceValidation result = validate_trace_file(path);
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.request_tree_count, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceRequestTrees, OrphanedSpanIsRejected) {
+  const std::string path = "observability_rid_orphan.json";
+  write_trace(path, span_json("serve.forward", 110, 40, 5));
+  const TraceValidation result = validate_trace_file(path);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("orphaned"), std::string::npos)
+      << result.error;
+  std::remove(path.c_str());
+}
+
+TEST(TraceRequestTrees, SpanOutsideRootIsRejected) {
+  const std::string path = "observability_rid_outside.json";
+  // Child begins before its root: not a connected tree.
+  write_trace(path, span_json("serve.forward", 50, 40, 5) + "," +
+                        span_json("serve.request", 100, 100, 5));
+  const TraceValidation result = validate_trace_file(path);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("outside"), std::string::npos) << result.error;
+  std::remove(path.c_str());
+}
+
+TEST(TraceRequestTrees, DuplicateRootsAreRejected) {
+  const std::string path = "observability_rid_dup.json";
+  write_trace(path, span_json("serve.request", 100, 50, 5) + "," +
+                        span_json("serve.request", 160, 50, 5));
+  const TraceValidation result = validate_trace_file(path);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("multiple"), std::string::npos)
+      << result.error;
+  std::remove(path.c_str());
+}
+
+TEST(TraceSampling, DeterministicModuloPeriod) {
+  trace_reset();
+  trace_start();
+  set_trace_sample_period(4);
+  EXPECT_TRUE(trace_should_sample(0));
+  EXPECT_FALSE(trace_should_sample(1));
+  EXPECT_FALSE(trace_should_sample(3));
+  EXPECT_TRUE(trace_should_sample(4));
+  EXPECT_TRUE(trace_should_sample(8));
+  set_trace_sample_period(1);
+  EXPECT_TRUE(trace_should_sample(17));  // period 1 = sample everything
+  set_trace_sample_period(0);            // 0 normalizes to 1
+  EXPECT_EQ(trace_sample_period(), 1u);
+  const std::string path = "observability_sampling.json";
+  ASSERT_TRUE(trace_stop(path));
+  std::remove(path.c_str());
+  // With tracing disabled nothing samples, whatever the period.
+  set_trace_sample_period(4);
+  EXPECT_FALSE(trace_should_sample(0));
+  set_trace_sample_period(1);
+}
+
+TEST(TraceSuppress, ScopeSilencesNestedSpans) {
+  const std::string path = "observability_suppress.json";
+  trace_reset();
+  trace_start();
+  {
+    TraceSuppressScope suppress(true);
+    TraceSpan hidden("test.suppressed");
+  }
+  {
+    TraceSuppressScope not_suppressing(false);
+    TraceSpan visible("test.visible");
+  }
+  ASSERT_TRUE(trace_stop(path));
+  const TraceValidation result = validate_trace_file(path);
+  EXPECT_TRUE(result.ok) << result.error;
+  bool saw_visible = false;
+  for (const std::string& name : result.names) {
+    EXPECT_NE(name, "test.suppressed");
+    saw_visible |= name == "test.visible";
+  }
+  EXPECT_TRUE(saw_visible);
+  std::remove(path.c_str());
 }
 
 TEST(KernelPool, PublishedGaugesCoverEveryWorker) {

@@ -13,12 +13,15 @@
 
 #include <atomic>
 #include <chrono>
+#include <fstream>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/error.h"
+#include "common/json.h"
 #include "common/stats.h"
 #include "gcn/graph_tensors.h"
 #include "gcn/model.h"
@@ -480,6 +483,138 @@ TEST_F(ServeServerTest, StatsReportServing) {
   const std::string json = client.stats_json();
   set_stats_enabled(false);
   EXPECT_NE(json.find("serve.requests"), std::string::npos);
+}
+
+TEST_F(ServeServerTest, MetricsExpositionReportsQuantilesAndDeltas) {
+  start(options());
+  set_stats_enabled(true);
+  StatsRegistry::instance().reset();
+  ServeClient client = connect();
+  const Circuit circuit = canonical_circuit();
+  client.load_session_inline("s1", circuit.text, false);
+  for (int i = 0; i < 4; ++i) client.infer("s1");
+
+  const ServeClient::MetricsResult first = client.metrics(true);
+  std::map<std::string, double> series;
+  std::string error;
+  ASSERT_TRUE(parse_prometheus_text(first.exposition, series, error))
+      << error;
+  EXPECT_GE(series.at("gcnt_serve_requests_total"), 5.0);
+  EXPECT_GE(series.at("gcnt_serve_op_infer_total"), 4.0);
+  EXPECT_EQ(series.count("gcnt_serve_request_ns{quantile=\"0.5\"}"), 1u);
+  EXPECT_EQ(series.count("gcnt_serve_request_ns{quantile=\"0.99\"}"), 1u);
+  EXPECT_EQ(series.count("gcnt_serve_queue_wait_us{quantile=\"0.99\"}"), 1u);
+  EXPECT_EQ(series.count("gcnt_serve_batch_size{quantile=\"0.5\"}"), 1u);
+  EXPECT_EQ(series.count("gcnt_serve_queue_depth"), 1u);
+  // The very first scrape has no previous snapshot -> no deltas.
+  EXPECT_EQ(first.exposition.find("_delta"), std::string::npos);
+  // --slow dump: a JSON array whose entries carry phase timings.
+  json::Value slow;
+  ASSERT_TRUE(json::parse(first.slow_json, slow, error)) << error;
+  ASSERT_EQ(slow.type, json::Value::Type::kArray);
+  ASSERT_FALSE(slow.array.empty());
+  bool saw_infer = false;
+  for (const json::Value& entry : slow.array) {
+    ASSERT_EQ(entry.type, json::Value::Type::kObject);
+    ASSERT_NE(entry.find("rid"), nullptr);
+    ASSERT_NE(entry.find("service_us"), nullptr);
+    const json::Value* op = entry.find("op");
+    ASSERT_NE(op, nullptr);
+    if (op->text == "infer") {
+      saw_infer = true;
+      EXPECT_NE(entry.find("forward_us"), nullptr);
+    }
+  }
+  EXPECT_TRUE(saw_infer);
+
+  client.infer("s1");
+  const ServeClient::MetricsResult second = client.metrics();
+  std::map<std::string, double> series2;
+  ASSERT_TRUE(parse_prometheus_text(second.exposition, series2, error))
+      << error;
+  // Second scrape reports deltas since the first: the infer + the first
+  // scrape's own kMetrics request.
+  EXPECT_EQ(series2.at("gcnt_serve_op_infer_delta"), 1.0);
+  EXPECT_EQ(series2.at("gcnt_serve_requests_delta"), 2.0);
+  EXPECT_EQ(second.slow_json, "");  // not requested this time
+  set_stats_enabled(false);
+}
+
+TEST_F(ServeServerTest, AccessLogWritesOneParsableLinePerRequest) {
+  const std::string log_path = model_path_ + ".access.jsonl";
+  ServeOptions opts = options();
+  opts.access_log = log_path;
+  start(opts);
+  set_stats_enabled(true);
+  {
+    ServeClient client = connect();
+    const Circuit circuit = canonical_circuit();
+    client.load_session_inline("s1", circuit.text, false);
+    for (int i = 0; i < 3; ++i) client.infer("s1");
+    client.ping();
+    try {
+      client.infer("nope");  // error replies are logged too
+      FAIL() << "expected Error{kUsage}";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::kUsage);
+    }
+  }
+  set_stats_enabled(false);
+  // load + 3 infers + ping + failed infer = 6 completed requests. The
+  // line is written just after the reply, so briefly poll for the last.
+  for (int i = 0; i < 200 && server_->access_log_lines() < 6; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server_->access_log_lines(), 6u);
+
+  std::ifstream in(log_path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::size_t lines = 0;
+  std::size_t usage_lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    json::Value value;
+    std::string error;
+    ASSERT_TRUE(json::parse(line, value, error))
+        << "line " << lines << ": " << error << "\n" << line;
+    ASSERT_EQ(value.type, json::Value::Type::kObject);
+    for (const char* key :
+         {"ts_us", "rid", "request_id", "op", "service_us", "outcome"}) {
+      EXPECT_NE(value.find(key), nullptr) << key << " missing: " << line;
+    }
+    const json::Value* outcome = value.find("outcome");
+    if (outcome->text == "usage") {
+      ++usage_lines;
+      EXPECT_NE(value.find("error"), nullptr);
+    }
+  }
+  EXPECT_EQ(lines, 6u);
+  EXPECT_EQ(usage_lines, 1u);
+  ::unlink(log_path.c_str());
+}
+
+TEST_F(ServeServerTest, SlowRingKeepsWorstRequestsSorted) {
+  SlowRequestRing ring(2);
+  AccessRecord fast;
+  fast.rid = 1;
+  fast.service_us = 10;
+  AccessRecord slow;
+  slow.rid = 2;
+  slow.service_us = 500;
+  AccessRecord slower;
+  slower.rid = 3;
+  slower.service_us = 900;
+  ring.offer(fast);
+  ring.offer(slow);
+  ring.offer(slower);  // evicts `fast`
+
+  json::Value parsed;
+  std::string error;
+  ASSERT_TRUE(json::parse(ring.to_json(), parsed, error)) << error;
+  ASSERT_EQ(parsed.array.size(), 2u);
+  EXPECT_EQ(parsed.array[0].find("rid")->number, 3.0);  // slowest first
+  EXPECT_EQ(parsed.array[1].find("rid")->number, 2.0);
 }
 
 }  // namespace

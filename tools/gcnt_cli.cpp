@@ -32,13 +32,20 @@
 // Netlist files ending in .v are read/written as structural Verilog,
 // anything else as ISCAS .bench.
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <csignal>
+#include <cstdlib>
 #include <cstring>
+#include <iomanip>
 #include <map>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "atpg/atpg.h"
@@ -57,6 +64,7 @@
 #include "gen/generator.h"
 #include "netlist/bench_io.h"
 #include "netlist/verilog_io.h"
+#include "serve/client.h"
 #include "serve/server.h"
 
 namespace {
@@ -389,7 +397,16 @@ int cmd_serve(const Args& args) {
   options.queue_limit = args.get_size("queue", 64);
   options.batch_limit = args.get_size("batch", 16);
   options.max_sessions = args.get_size("max-sessions", 64);
+  options.access_log = args.get("access-log", "");
+  if (options.access_log.empty()) {
+    const char* env = std::getenv("GCNT_ACCESS_LOG");
+    if (env != nullptr) options.access_log = env;
+  }
+  options.slow_ring = args.get_size("slow-ring", 16);
 
+  // The daemon always keeps stats on: kMetrics scrapes and `gcnt top`
+  // are useless without them, and the cost is relaxed atomic adds.
+  set_stats_enabled(true);
   serve::ServeServer server(std::move(options));
   server.start();
   g_serve_server = &server;
@@ -405,6 +422,145 @@ int cmd_serve(const Args& args) {
   g_serve_server = nullptr;
   std::signal(SIGINT, SIG_DFL);
   std::signal(SIGTERM, SIG_DFL);
+  return 0;
+}
+
+/// Connects to a running daemon for the client-side subcommands
+/// (`metrics`, `top`).
+serve::ServeClient connect_serve_client(const Args& args) {
+  const std::string socket_path = args.get("socket", "");
+  if (!socket_path.empty()) {
+    return serve::ServeClient::connect_unix(socket_path);
+  }
+  if (args.has("port")) {
+    return serve::ServeClient::connect_tcp(
+        static_cast<int>(args.get_size("port", 0)));
+  }
+  throw Error(ErrorKind::kUsage,
+              "need --socket <path> or --port <p> to reach the daemon");
+}
+
+int cmd_metrics(const Args& args) {
+  serve::ServeClient client = connect_serve_client(args);
+  const bool slow = args.has("slow");
+  const serve::ServeClient::MetricsResult result = client.metrics(slow);
+  std::cout << result.exposition;
+  if (slow) std::cout << result.slow_json << "\n";
+  return 0;
+}
+
+/// One parsed scrape plus the client-side time it was taken.
+struct TopSample {
+  std::map<std::string, double> series;
+  std::chrono::steady_clock::time_point taken;
+
+  double get(const std::string& key, double fallback = 0.0) const {
+    const auto it = series.find(key);
+    return it == series.end() ? fallback : it->second;
+  }
+};
+
+TopSample scrape_top_sample(serve::ServeClient& client) {
+  TopSample sample;
+  const serve::ServeClient::MetricsResult result = client.metrics(false);
+  std::string error;
+  if (!parse_prometheus_text(result.exposition, sample.series, error)) {
+    throw Error(ErrorKind::kCorrupt, "bad metrics exposition: " + error);
+  }
+  sample.taken = std::chrono::steady_clock::now();
+  return sample;
+}
+
+/// Quantile of serve.request_ns in milliseconds, preferring the windowed
+/// (since-last-scrape) series when the server had a previous scrape.
+double top_latency_ms(const TopSample& s, const char* q) {
+  const std::string windowed =
+      std::string("gcnt_serve_request_ns_window{quantile=\"") + q + "\"}";
+  const auto it = s.series.find(windowed);
+  const double ns =
+      it != s.series.end()
+          ? it->second
+          : s.get(std::string("gcnt_serve_request_ns{quantile=\"") + q +
+                  "\"}");
+  return ns / 1e6;
+}
+
+void render_top_tick(std::ostream& out, const TopSample& prev,
+                     const TopSample& cur, bool plain) {
+  const double elapsed =
+      std::chrono::duration<double>(cur.taken - prev.taken).count();
+  const double dt = elapsed > 0 ? elapsed : 1.0;
+  const auto rate = [&](const std::string& key) {
+    return (cur.get(key) - prev.get(key)) / dt;
+  };
+  const double qps = rate("gcnt_serve_requests_total");
+  const double eps = rate("gcnt_serve_errors_total");
+  const double queue_depth = cur.get("gcnt_serve_queue_depth");
+  const double workers = cur.get("gcnt_serve_workers", 1.0);
+  // Utilization: worker-busy nanoseconds per wall nanosecond per worker.
+  const double busy_ns = cur.get("gcnt_serve_request_ns_sum") -
+                         prev.get("gcnt_serve_request_ns_sum");
+  const double util =
+      std::clamp(busy_ns / (dt * 1e9 * std::max(workers, 1.0)), 0.0, 1.0);
+
+  std::ostringstream ops;
+  for (const auto& [key, value] : cur.series) {
+    const std::string prefix = "gcnt_serve_op_";
+    const std::string suffix = "_total";
+    if (key.size() <= prefix.size() + suffix.size() ||
+        key.compare(0, prefix.size(), prefix) != 0 ||
+        key.compare(key.size() - suffix.size(), suffix.size(), suffix) != 0) {
+      continue;
+    }
+    const double r = (value - prev.get(key)) / dt;
+    if (r <= 0.0) continue;
+    const std::string op = key.substr(
+        prefix.size(), key.size() - prefix.size() - suffix.size());
+    ops << (ops.tellp() > 0 ? "  " : "") << op << " " << std::fixed
+        << std::setprecision(1) << r << "/s";
+  }
+
+  out << std::fixed;
+  if (plain) {
+    out << "qps " << std::setprecision(1) << qps << "  err/s "
+        << std::setprecision(1) << eps << "  p50 " << std::setprecision(3)
+        << top_latency_ms(cur, "0.5") << "ms  p99 " << std::setprecision(3)
+        << top_latency_ms(cur, "0.99") << "ms  queue " << std::setprecision(0)
+        << queue_depth << "  util " << std::setprecision(0) << util * 100
+        << "%";
+    if (ops.tellp() > 0) out << "  | " << ops.str();
+    out << "\n";
+    out.flush();
+    return;
+  }
+  out << "\x1b[H\x1b[2J";  // home + clear: live refresh
+  out << "gcnt top — serve daemon\n\n"
+      << "  requests/s   " << std::setprecision(1) << qps << "\n"
+      << "  errors/s     " << std::setprecision(1) << eps << "\n"
+      << "  p50 latency  " << std::setprecision(3)
+      << top_latency_ms(cur, "0.5") << " ms\n"
+      << "  p99 latency  " << std::setprecision(3)
+      << top_latency_ms(cur, "0.99") << " ms\n"
+      << "  queue depth  " << std::setprecision(0) << queue_depth << "\n"
+      << "  workers      " << std::setprecision(0) << workers
+      << "  (util " << std::setprecision(0) << util * 100 << "%)\n";
+  if (ops.tellp() > 0) out << "\n  per-op: " << ops.str() << "\n";
+  out.flush();
+}
+
+int cmd_top(const Args& args) {
+  serve::ServeClient client = connect_serve_client(args);
+  const std::size_t interval_ms = args.get_size("interval", 1000);
+  const std::size_t count = args.get_size("count", 0);  // 0 = until ^C
+  const bool plain = args.has("plain") || ::isatty(STDOUT_FILENO) == 0;
+
+  TopSample prev = scrape_top_sample(client);
+  for (std::size_t tick = 0; count == 0 || tick < count; ++tick) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    const TopSample cur = scrape_top_sample(client);
+    render_top_tick(std::cout, prev, cur, plain);
+    prev = cur;
+  }
   return 0;
 }
 
@@ -426,6 +582,10 @@ int usage() {
                "--stdio)\n"
             << "           [--workers N] [--queue N] [--batch N] "
                "[--max-sessions N]\n"
+            << "           [--access-log file] [--slow-ring N]\n"
+            << "  metrics  (--socket path | --port P) [--slow]\n"
+            << "  top      (--socket path | --port P) [--interval MS] "
+               "[--count N] [--plain]\n"
             << "global flags: --trace out.json | --stats | --stats-json "
                "out.json\n"
             << "netlists ending in .v are treated as structural Verilog\n"
@@ -444,6 +604,8 @@ int dispatch(const Args& args) {
   if (args.command == "opi") return cmd_opi(args);
   if (args.command == "flow") return cmd_flow(args);
   if (args.command == "serve") return cmd_serve(args);
+  if (args.command == "metrics") return cmd_metrics(args);
+  if (args.command == "top") return cmd_top(args);
   return usage();
 }
 

@@ -1,0 +1,180 @@
+// CI observability validator: checks a Prometheus-style exposition (as
+// produced by `gcnt metrics` / the kMetrics opcode) and/or a JSON-lines
+// access log (as produced by `gcnt serve --access-log`).
+//
+//   metrics_check [--exposition file [--require series1,series2,...]]
+//                 [--access-log file [--expect-lines N]
+//                  [--require-keys key1,key2,...]]
+//
+// Exposition checks: the file parses line-by-line (# comments skipped,
+// every sample line is "<series> <number>"), and every --require entry
+// matches at least one series (exact match, or a prefix match when the
+// entry has no "{" — so "gcnt_serve_request_ns" accepts its quantile
+// series). Access-log checks: every line parses as a JSON object, every
+// --require-keys key is present in every line, and with --expect-lines
+// the line count equals N exactly (the daemon writes exactly one line
+// per completed request, so the expected count is computable from the
+// workload). Exit 0 on success, 1 on any failure, 2 on usage errors.
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/stats.h"
+
+namespace {
+
+std::vector<std::string> split_list(const std::string& list) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= list.size()) {
+    const std::size_t comma = list.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > begin) out.push_back(list.substr(begin, end - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return out;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+int usage() {
+  std::cerr << "usage: metrics_check"
+               " [--exposition file [--require s1,s2,...]]\n"
+               "                     [--access-log file [--expect-lines N]"
+               " [--require-keys k1,k2,...]]\n";
+  return 2;
+}
+
+int check_exposition(const std::string& path,
+                     const std::vector<std::string>& required) {
+  std::string text;
+  if (!read_file(path, text)) {
+    std::cerr << "metrics_check: cannot read " << path << "\n";
+    return 1;
+  }
+  std::map<std::string, double> series;
+  std::string error;
+  if (!gcnt::parse_prometheus_text(text, series, error)) {
+    std::cerr << "metrics_check: INVALID exposition " << path << ": " << error
+              << "\n";
+    return 1;
+  }
+  std::cout << "metrics_check: " << path << ": " << series.size()
+            << " series\n";
+  int failures = 0;
+  for (const std::string& want : required) {
+    bool found = series.count(want) > 0;
+    if (!found && want.find('{') == std::string::npos) {
+      // A bare metric name also matches its labelled series (quantiles).
+      for (const auto& [key, value] : series) {
+        (void)value;
+        if (key.compare(0, want.size(), want) == 0 &&
+            (key.size() == want.size() || key[want.size()] == '{')) {
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) {
+      std::cerr << "metrics_check: required series \"" << want
+                << "\" missing from " << path << "\n";
+      ++failures;
+    }
+  }
+  return failures;
+}
+
+int check_access_log(const std::string& path, long expect_lines,
+                     const std::vector<std::string>& required_keys) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "metrics_check: cannot read " << path << "\n";
+    return 1;
+  }
+  int failures = 0;
+  long lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    gcnt::json::Value value;
+    std::string error;
+    if (!gcnt::json::parse(line, value, error)) {
+      std::cerr << "metrics_check: " << path << " line " << lines
+                << " is not valid JSON: " << error << "\n";
+      ++failures;
+      continue;
+    }
+    if (value.type != gcnt::json::Value::Type::kObject) {
+      std::cerr << "metrics_check: " << path << " line " << lines
+                << " is not a JSON object\n";
+      ++failures;
+      continue;
+    }
+    for (const std::string& key : required_keys) {
+      if (value.find(key) == nullptr) {
+        std::cerr << "metrics_check: " << path << " line " << lines
+                  << " missing key \"" << key << "\"\n";
+        ++failures;
+      }
+    }
+  }
+  std::cout << "metrics_check: " << path << ": " << lines
+            << " access-log line(s)\n";
+  if (expect_lines >= 0 && lines != expect_lines) {
+    std::cerr << "metrics_check: " << path << " has " << lines
+              << " line(s), expected exactly " << expect_lines << "\n";
+    ++failures;
+  }
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string exposition_path;
+  std::string access_log_path;
+  std::vector<std::string> required_series;
+  std::vector<std::string> required_keys;
+  long expect_lines = -1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--exposition") == 0 && i + 1 < argc) {
+      exposition_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--require") == 0 && i + 1 < argc) {
+      required_series = split_list(argv[++i]);
+    } else if (std::strcmp(argv[i], "--access-log") == 0 && i + 1 < argc) {
+      access_log_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--expect-lines") == 0 && i + 1 < argc) {
+      expect_lines = std::strtol(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--require-keys") == 0 && i + 1 < argc) {
+      required_keys = split_list(argv[++i]);
+    } else {
+      return usage();
+    }
+  }
+  if (exposition_path.empty() && access_log_path.empty()) return usage();
+
+  int failures = 0;
+  if (!exposition_path.empty()) {
+    failures += check_exposition(exposition_path, required_series);
+  }
+  if (!access_log_path.empty()) {
+    failures += check_access_log(access_log_path, expect_lines, required_keys);
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -2,14 +2,20 @@
 // `gcnt --trace`) is structurally valid Chrome trace-event JSON.
 //
 //   trace_check <trace.json> [--require name1,name2,...] [--min-tids N]
-//               [--min-events N]
+//               [--min-events N] [--min-request-trees N]
 //
 // Beyond parseability it verifies every "ph":"X" span carries
 // name/pid/tid/ts/dur with dur >= 0 and that per-thread span completion
 // times are monotonically non-decreasing (the writer drains each ring
-// buffer in record order). --require fails unless every listed span name
-// appears; --min-tids / --min-events put floors on the distinct recording
-// threads and total span count. Prints a per-name summary either way.
+// buffer in record order). Spans carrying a "rid" arg (request-scoped
+// serve spans) must form a connected tree per rid: exactly one
+// serve.request root, the serve.queue_wait sibling ending by the root's
+// start, and every other span nested inside the root — orphaned spans
+// fail validation even across the reader->worker thread hand-off.
+// --require fails unless every listed span name appears; --min-tids /
+// --min-events put floors on the distinct recording threads and total
+// span count; --min-request-trees requires at least N valid request
+// trees. Prints a per-name summary either way.
 
 #include <cstdlib>
 #include <cstring>
@@ -37,7 +43,7 @@ std::vector<std::string> split_names(const std::string& list) {
 
 int usage() {
   std::cerr << "usage: trace_check <trace.json> [--require name1,name2,...]"
-               " [--min-tids N] [--min-events N]\n";
+               " [--min-tids N] [--min-events N] [--min-request-trees N]\n";
   return 2;
 }
 
@@ -48,6 +54,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> required;
   std::size_t min_tids = 0;
   std::size_t min_events = 0;
+  std::size_t min_request_trees = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--require") == 0 && i + 1 < argc) {
       required = split_names(argv[++i]);
@@ -55,6 +62,9 @@ int main(int argc, char** argv) {
       min_tids = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--min-events") == 0 && i + 1 < argc) {
       min_events = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--min-request-trees") == 0 &&
+               i + 1 < argc) {
+      min_request_trees = std::strtoull(argv[++i], nullptr, 10);
     } else if (path.empty() && argv[i][0] != '-') {
       path = argv[i];
     } else {
@@ -70,7 +80,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cout << "trace_check: " << path << ": " << result.span_count
-            << " spans across " << result.thread_count << " thread(s)\n";
+            << " spans across " << result.thread_count << " thread(s), "
+            << result.request_tree_count << " request tree(s)\n";
   for (const std::string& name : result.names) {
     std::cout << "  span " << name << "\n";
   }
@@ -91,6 +102,11 @@ int main(int argc, char** argv) {
   if (result.span_count < min_events) {
     std::cerr << "trace_check: only " << result.span_count
               << " span(s), need >= " << min_events << "\n";
+    ++failures;
+  }
+  if (result.request_tree_count < min_request_trees) {
+    std::cerr << "trace_check: only " << result.request_tree_count
+              << " request tree(s), need >= " << min_request_trees << "\n";
     ++failures;
   }
   return failures == 0 ? 0 : 1;
