@@ -132,11 +132,12 @@ bool write_bench_json(
   try {
     atomic_write_file(path, [&](std::ostream& out) {
       out << "{\n";
-      // v3 added SIMD dispatch + graph reordering provenance; v4 adds
-      // the serve daemon's loadgen keys ("serve.qps", "serve.p99_ms" —
-      // see bench/loadgen.cpp). String-valued "schema." entries are
+      // v3 added SIMD dispatch + graph reordering provenance; v4 the
+      // serve daemon's loadgen keys ("serve.qps", "serve.p99_ms" — see
+      // bench/loadgen.cpp); v5 the sharded out-of-core keys ("shard.*" —
+      // see bench/fig10_sharded.cpp). String-valued "schema." entries are
       // metadata; bench_gate ignores them when comparing.
-      out << "  \"schema.version\": 4,\n";
+      out << "  \"schema.version\": 5,\n";
       out << "  \"schema.simd\": \"" << simd_target_name() << "\",\n";
       out << "  \"schema.reorder\": \""
           << (graph_reorder() == GraphReorder::kRcm ? "rcm" : "off") << "\""

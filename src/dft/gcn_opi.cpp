@@ -8,18 +8,78 @@
 #include "dft/impact.h"
 #include "gcn/graph_tensors.h"
 #include "gcn/incremental.h"
+#include "gcn/shard.h"
 #include "scoap/scoap.h"
+
+#include <memory>
+#include <string>
 
 namespace gcnt {
 
 namespace {
 
+/// Per-stage prediction engine: the monolithic incremental engine by
+/// default, or the sharded out-of-core engine when the options ask for
+/// it. Both produce bit-identical logits (pinned by tests/shard_test.cpp),
+/// so the flow logic above never needs to know which one runs.
+class PredictionEngine {
+ public:
+  PredictionEngine(const GcnModel& model, const GcnOpiOptions& options,
+                   std::size_t stage) {
+    if (options.shards > 0) {
+      ShardedGcnOptions sharded;
+      sharded.shards = options.shards;
+      sharded.halo = options.shard_halo;
+      sharded.full_fallback_fraction = options.full_fallback_fraction;
+      if (!options.shard_spill_dir.empty()) {
+        // Cascade stages must not collide on block keys.
+        sharded.spill_dir =
+            options.shard_spill_dir + "/stage" + std::to_string(stage);
+      }
+      sharded_ = std::make_unique<ShardedGcnEngine>(model, sharded);
+    } else {
+      monolithic_ = std::make_unique<IncrementalGcnEngine>(
+          model, IncrementalGcnOptions{options.full_fallback_fraction});
+    }
+  }
+
+  void refresh(const GraphTensors& tensors) {
+    if (sharded_) {
+      sharded_->refresh(tensors);
+    } else {
+      monolithic_->refresh(tensors);
+    }
+  }
+
+  void update(const GraphTensors& tensors, const std::vector<NodeId>& dirty) {
+    if (sharded_) {
+      sharded_->update(tensors, dirty);
+    } else {
+      monolithic_->update(tensors, dirty);
+    }
+  }
+
+  std::vector<float> positive_probability() const {
+    return sharded_ ? sharded_->positive_probability()
+                    : monolithic_->positive_probability();
+  }
+
+  bool last_was_full() const {
+    return sharded_ ? sharded_->last_was_full()
+                    : monolithic_->last_was_full();
+  }
+
+ private:
+  std::unique_ptr<IncrementalGcnEngine> monolithic_;
+  std::unique_ptr<ShardedGcnEngine> sharded_;
+};
+
 /// Whole-graph cascade prediction from the per-stage engine logits:
 /// positive iff every stage keeps the node.
 std::vector<std::int32_t> cascade_predictions(
-    const std::vector<IncrementalGcnEngine>& engines, std::size_t n) {
+    const std::vector<PredictionEngine>& engines, std::size_t n) {
   std::vector<std::int32_t> predictions(n, 1);
-  for (const IncrementalGcnEngine& engine : engines) {
+  for (const PredictionEngine& engine : engines) {
     const auto positive = engine.positive_probability();
     for (std::size_t v = 0; v < predictions.size(); ++v) {
       if (positive[v] < 0.5f) predictions[v] = 0;
@@ -69,15 +129,15 @@ OpiResult run_gcn_opi(Netlist& netlist,
   GraphTensors tensors = build_graph_tensors(netlist, scoap, levels);
   if (options.standardize_features) tensors.standardize_features();
 
-  // One incremental engine per cascade stage; the dirty cone is expanded
-  // to the deepest stage so every engine's closure is covered.
-  std::vector<IncrementalGcnEngine> engines;
+  // One prediction engine per cascade stage (monolithic incremental or
+  // sharded out-of-core); the dirty cone is expanded to the deepest stage
+  // so every engine's closure is covered.
+  std::vector<PredictionEngine> engines;
   engines.reserve(stages.size());
   int max_depth = 0;
-  for (const GcnModel* stage : stages) {
-    engines.emplace_back(*stage,
-                         IncrementalGcnOptions{options.full_fallback_fraction});
-    max_depth = std::max(max_depth, stage->config().depth);
+  for (std::size_t stage = 0; stage < stages.size(); ++stage) {
+    engines.emplace_back(*stages[stage], options, stage);
+    max_depth = std::max(max_depth, stages[stage]->config().depth);
   }
   DirtyConeTracker tracker;
   bool have_cache = false;
@@ -138,13 +198,13 @@ OpiResult run_gcn_opi(Netlist& netlist,
     {
       TraceSpan predict_span("opi.predict");
       if (!have_cache || !options.incremental) {
-        for (IncrementalGcnEngine& engine : engines) engine.refresh(tensors);
+        for (PredictionEngine& engine : engines) engine.refresh(tensors);
         have_cache = true;
       } else {
         const std::vector<NodeId> dirty = tracker.affected(tensors, max_depth);
         dirty_nodes_counter.add(dirty.size());
         predict_span.arg("dirty", static_cast<double>(dirty.size()));
-        for (IncrementalGcnEngine& engine : engines) {
+        for (PredictionEngine& engine : engines) {
           engine.update(tensors, dirty);
           if (engine.last_was_full()) full_fallbacks_counter.add();
         }

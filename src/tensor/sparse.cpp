@@ -5,8 +5,10 @@
 #include <cstdlib>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "common/debug_assert.h"
+#include "common/error.h"
 #include "common/parallel.h"
 #include "common/trace.h"
 #include "tensor/simd/simd.h"
@@ -68,6 +70,21 @@ void count_occurrences(const std::vector<std::uint32_t>& index,
                   });
 }
 
+/// The CSR index arrays (row_ptr, col_index, per-row cursors) are
+/// 32-bit. Anything that must be representable as an index — row ids,
+/// column ids, nonzero offsets — is checked through here so a graph
+/// beyond the index width raises a typed resource error instead of
+/// wrapping. 0xFFFFFFFF itself is excluded: row_ptr holds nnz as its
+/// last entry and BFS-style consumers reserve it as a sentinel.
+std::uint32_t checked_index32(std::size_t value, const char* what) {
+  if (value >= 0xFFFFFFFFull) {
+    throw Error(ErrorKind::kResource,
+                std::string(what) + " exceeds 32-bit sparse index range (" +
+                    std::to_string(value) + ")");
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
 }  // namespace
 
 std::size_t spmm_tile_cols() {
@@ -98,6 +115,12 @@ void CooMatrix::reshape(std::size_t r, std::size_t c) {
 
 CsrMatrix CsrMatrix::from_coo(const CooMatrix& coo) {
   GCNT_KERNEL_SCOPE("csr_build");
+  // Checked narrowing before any allocation: past ~2^32 nonzeros the
+  // 32-bit row_ptr / per-row cursors would wrap (and a 2^32-row shape
+  // would allocate terabytes of row_ptr first).
+  checked_index32(coo.rows, "CsrMatrix::from_coo: row count");
+  checked_index32(coo.cols, "CsrMatrix::from_coo: column count");
+  checked_index32(coo.nnz(), "CsrMatrix::from_coo: nonzero count");
   CsrMatrix csr;
   csr.rows_ = coo.rows;
   csr.cols_ = coo.cols;
@@ -266,8 +289,41 @@ void CsrMatrix::spmm_bias_relu(const Matrix& dense, const Matrix& bias,
       });
 }
 
+CsrMatrix CsrMatrix::from_parts(std::size_t rows, std::size_t cols,
+                                std::vector<std::uint32_t> row_ptr,
+                                std::vector<std::uint32_t> col_index,
+                                std::vector<float> values) {
+  checked_index32(rows, "CsrMatrix::from_parts: row count");
+  checked_index32(cols, "CsrMatrix::from_parts: column count");
+  checked_index32(values.size(), "CsrMatrix::from_parts: nonzero count");
+  const auto fail = [](const char* what) {
+    throw Error(ErrorKind::kInternal,
+                std::string("CsrMatrix::from_parts: ") + what);
+  };
+  if (row_ptr.size() != rows + 1) fail("row_ptr size mismatch");
+  if (row_ptr.front() != 0) fail("row_ptr must start at 0");
+  if (col_index.size() != values.size()) fail("col_index/values mismatch");
+  if (row_ptr.back() != values.size()) fail("row_ptr end != nnz");
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (row_ptr[r] > row_ptr[r + 1]) fail("row_ptr not monotone");
+  }
+  for (const std::uint32_t c : col_index) {
+    if (c >= cols) fail("column index out of range");
+  }
+  CsrMatrix csr;
+  csr.rows_ = rows;
+  csr.cols_ = cols;
+  csr.row_ptr_ = std::move(row_ptr);
+  csr.col_index_ = std::move(col_index);
+  csr.values_ = std::move(values);
+  return csr;
+}
+
 CsrMatrix CsrMatrix::transpose() const {
   GCNT_KERNEL_SCOPE("csr_transpose");
+  checked_index32(rows_, "CsrMatrix::transpose: row count");
+  checked_index32(cols_, "CsrMatrix::transpose: column count");
+  checked_index32(nnz(), "CsrMatrix::transpose: nonzero count");
   CsrMatrix t;
   t.rows_ = cols_;
   t.cols_ = rows_;

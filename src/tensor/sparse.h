@@ -59,8 +59,23 @@ class CsrMatrix {
  public:
   CsrMatrix() = default;
 
-  /// Builds from COO; duplicate coordinates are summed.
+  /// Builds from COO; duplicate coordinates are summed. The index arrays
+  /// are 32-bit, so shapes or nonzero counts that cannot be narrowed
+  /// (>= 2^32 - 1) throw Error{kResource} up front — a graph past the
+  /// index width fails loudly instead of wrapping silently.
   static CsrMatrix from_coo(const CooMatrix& coo);
+
+  /// Builds directly from validated CSR arrays (moved in): row_ptr must
+  /// be monotone with row_ptr[0] == 0 and rows+1 entries, col_index and
+  /// values equally long with every column < cols. Used by the sharded
+  /// engine to carve per-shard sub-matrices out of a global CSR while
+  /// preserving each row's nonzero order exactly (from_coo would merge
+  /// and therefore also require re-deriving the insertion order).
+  /// Throws Error{kInternal} on any inconsistency.
+  static CsrMatrix from_parts(std::size_t rows, std::size_t cols,
+                              std::vector<std::uint32_t> row_ptr,
+                              std::vector<std::uint32_t> col_index,
+                              std::vector<float> values);
 
   std::size_t rows() const noexcept { return rows_; }
   std::size_t cols() const noexcept { return cols_; }

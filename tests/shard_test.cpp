@@ -1,0 +1,550 @@
+// Sharded out-of-core execution (graph/partition.h + gcn/shard.h): the
+// equivalence suite pinning the bitwise-identity claim — sharded logits
+// must equal the monolithic GcnModel::infer and IncrementalGcnEngine
+// results for every shard count, halo depth, reorder policy, and spill
+// mode — plus partition invariant tests (disjoint cover, exact D-hop halo
+// closure, owner/halo bijection, extend-after-append) and spill-store
+// durability tests (artifact round-trip, corruption rejection,
+// kill-mid-spill recovery). Registered whole-binary at GCNT_THREADS 1 and
+// 8 (tests/CMakeLists.txt), mirroring the serve suite.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/artifact.h"
+#include "common/error.h"
+#include "common/fault_inject.h"
+#include "gcn/graph_tensors.h"
+#include "gcn/incremental.h"
+#include "gcn/model.h"
+#include "gcn/shard.h"
+#include "gen/generator.h"
+#include "graph/partition.h"
+#include "netlist/netlist.h"
+#include "scoap/scoap.h"
+
+namespace gcnt {
+namespace {
+
+Netlist test_netlist(std::uint64_t seed, std::size_t gates = 2000) {
+  GeneratorConfig config;
+  config.seed = seed;
+  config.target_gates = gates;
+  config.primary_inputs = 30;
+  config.primary_outputs = 12;
+  config.flip_flops = 32;
+  return generate_circuit(config);
+}
+
+GcnConfig small_config(int depth = 3) {
+  GcnConfig config;
+  config.depth = depth;
+  config.embed_dims = {8, 12, 16};
+  config.embed_dims.resize(static_cast<std::size_t>(depth));
+  config.fc_dims = {16};
+  config.seed = 77;
+  return config;
+}
+
+std::vector<NodeId> op_targets(const Netlist& netlist, std::size_t count,
+                               std::size_t skip = 0) {
+  std::vector<NodeId> targets;
+  std::size_t seen = 0;
+  for (NodeId v = 0; v < netlist.size() && targets.size() < count; ++v) {
+    const CellType t = netlist.type(v);
+    if (is_sink(t) || t == CellType::kInput) continue;
+    if (seen++ < skip) continue;
+    targets.push_back(v);
+  }
+  return targets;
+}
+
+/// Applies OP insertions exactly as run_gcn_opi does and rebuilds the CSR
+/// forms; records the dirty seeds into `tracker`.
+void insert_ops(Netlist& netlist, GraphTensors& tensors, ScoapMeasures& scoap,
+                std::vector<std::uint32_t>& levels,
+                const std::vector<NodeId>& targets, DirtyConeTracker& tracker) {
+  for (const NodeId target : targets) {
+    const NodeId op = netlist.insert_observe_point(target);
+    update_observability_after_observe(netlist, target, scoap);
+    levels.resize(netlist.size(), 0);
+    levels[op] = levels[target] + 1;
+    const std::vector<NodeId> cone = netlist.fanin_cone(target);
+    std::vector<NodeId> changed_rows;
+    append_observe_point(tensors, netlist, target, op, scoap, cone,
+                         &changed_rows);
+    tracker.record_new_node(op);
+    tracker.record_edge(target, op);
+    for (NodeId v : changed_rows) tracker.record_feature(v);
+  }
+  tensors.rebuild_csr();
+}
+
+ErrorKind kind_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const Error& e) {
+    return e.kind();
+  }
+  ADD_FAILURE() << "expected a gcnt::Error";
+  return ErrorKind::kInternal;
+}
+
+// ---------------------------------------------------------------------------
+// GraphPartition invariants
+
+TEST(GraphPartition, DisjointCoverWithExactHalo) {
+  const Netlist netlist = test_netlist(21, 600);
+  const GraphTensors tensors = build_graph_tensors(netlist);
+  for (const int halo : {1, 2}) {
+    PartitionOptions options;
+    options.shards = 4;
+    options.halo = halo;
+    const GraphPartition partition =
+        GraphPartition::build(tensors.pred, tensors.succ, options);
+    ASSERT_EQ(partition.shard_count(), 4u);
+    ASSERT_EQ(partition.row_count(), tensors.node_count());
+    // validate() checks the disjoint exhaustive cover, the exact D-hop
+    // BFS closure (list and distances), and the recv regrouping.
+    partition.validate(tensors.pred, tensors.succ);
+
+    std::size_t owned = 0;
+    for (std::size_t k = 0; k < partition.shard_count(); ++k) {
+      const Shard& shard = partition.shard(k);
+      owned += shard.owners.size();
+      // Every fanin/fanout of an owner that is not owned here must be in
+      // the halo (the D >= 1 closure property the compute rounds rely on).
+      for (const std::uint32_t row : shard.owners) {
+        const auto check_neighbors = [&](const CsrMatrix& adjacency) {
+          const auto& ptr = adjacency.row_ptr();
+          const auto& cols = adjacency.col_index();
+          for (std::uint32_t e = ptr[row]; e < ptr[row + 1]; ++e) {
+            if (partition.owner_of(cols[e]) != k) {
+              EXPECT_TRUE(std::binary_search(shard.halo.begin(),
+                                             shard.halo.end(), cols[e]));
+            }
+          }
+        };
+        check_neighbors(tensors.pred);
+        check_neighbors(tensors.succ);
+      }
+    }
+    EXPECT_EQ(owned, tensors.node_count());
+  }
+}
+
+TEST(GraphPartition, OwnerHaloBijectionRoundTrip) {
+  const Netlist netlist = test_netlist(22, 400);
+  const GraphTensors tensors = build_graph_tensors(netlist);
+  PartitionOptions options;
+  options.shards = 3;
+  options.halo = 2;
+  const GraphPartition partition =
+      GraphPartition::build(tensors.pred, tensors.succ, options);
+  for (std::size_t k = 0; k < partition.shard_count(); ++k) {
+    const Shard& shard = partition.shard(k);
+    // owners and halo are disjoint ascending lists; their merge (the
+    // shard's active set) maps global -> local -> global losslessly.
+    std::vector<std::uint32_t> active;
+    std::merge(shard.owners.begin(), shard.owners.end(), shard.halo.begin(),
+               shard.halo.end(), std::back_inserter(active));
+    ASSERT_TRUE(std::is_sorted(active.begin(), active.end()));
+    ASSERT_TRUE(std::adjacent_find(active.begin(), active.end()) ==
+                active.end());
+    for (std::size_t local = 0; local < active.size(); ++local) {
+      const auto it = std::lower_bound(active.begin(), active.end(),
+                                       active[local]);
+      EXPECT_EQ(static_cast<std::size_t>(it - active.begin()), local);
+    }
+    // recv groups partition the halo exactly.
+    std::vector<std::uint32_t> regrouped;
+    for (const ShardRecv& recv : shard.recv) {
+      for (const std::uint32_t row : recv.rows) regrouped.push_back(row);
+    }
+    std::sort(regrouped.begin(), regrouped.end());
+    EXPECT_EQ(regrouped, shard.halo);
+  }
+}
+
+TEST(GraphPartition, SingleShardHasEmptyHalo) {
+  const Netlist netlist = test_netlist(23, 300);
+  const GraphTensors tensors = build_graph_tensors(netlist);
+  PartitionOptions options;
+  options.shards = 1;
+  options.halo = 2;
+  const GraphPartition partition =
+      GraphPartition::build(tensors.pred, tensors.succ, options);
+  partition.validate(tensors.pred, tensors.succ);
+  EXPECT_EQ(partition.shard(0).owners.size(), tensors.node_count());
+  EXPECT_TRUE(partition.shard(0).halo.empty());
+  EXPECT_EQ(partition.total_halo_rows(), 0u);
+}
+
+TEST(GraphPartition, ByKeyChunksTheSortedOrder) {
+  const Netlist netlist = test_netlist(24, 500);
+  const GraphTensors tensors = build_graph_tensors(netlist);
+  // Key rows by logic level (feature column 0): each shard should hold a
+  // band of topological depth.
+  std::vector<float> key(tensors.node_count());
+  for (std::uint32_t row = 0; row < key.size(); ++row) {
+    key[row] = tensors.features.at(tensors.node_of(row), 0);
+  }
+  PartitionOptions options;
+  options.shards = 4;
+  options.halo = 1;
+  options.strategy = PartitionStrategy::kByKey;
+  options.order_key = &key;
+  const GraphPartition partition =
+      GraphPartition::build(tensors.pred, tensors.succ, options);
+  partition.validate(tensors.pred, tensors.succ);
+  float previous_max = -1e30f;
+  for (std::size_t k = 0; k < partition.shard_count(); ++k) {
+    float lo = 1e30f;
+    float hi = -1e30f;
+    for (const std::uint32_t row : partition.shard(k).owners) {
+      lo = std::min(lo, key[row]);
+      hi = std::max(hi, key[row]);
+    }
+    EXPECT_GE(lo, previous_max - 1e-6f) << "shard " << k;
+    previous_max = hi;
+  }
+}
+
+TEST(GraphPartition, RejectsBadOptions) {
+  const Netlist netlist = test_netlist(25, 100);
+  const GraphTensors tensors = build_graph_tensors(netlist);
+  PartitionOptions options;
+  options.shards = 0;
+  EXPECT_EQ(kind_of([&] {
+              GraphPartition::build(tensors.pred, tensors.succ, options);
+            }),
+            ErrorKind::kUsage);
+  options.shards = 2;
+  options.halo = 0;
+  EXPECT_EQ(kind_of([&] {
+              GraphPartition::build(tensors.pred, tensors.succ, options);
+            }),
+            ErrorKind::kUsage);
+  options.halo = 1;
+  options.strategy = PartitionStrategy::kByKey;  // no key provided
+  EXPECT_EQ(kind_of([&] {
+              GraphPartition::build(tensors.pred, tensors.succ, options);
+            }),
+            ErrorKind::kUsage);
+}
+
+TEST(GraphPartition, ExtendFollowsAppendedRowsExactly) {
+  Netlist netlist = test_netlist(26, 800);
+  GraphTensors tensors = build_graph_tensors(netlist);
+  ScoapMeasures scoap = compute_scoap(netlist);
+  std::vector<std::uint32_t> levels = netlist.logic_levels();
+  PartitionOptions options;
+  options.shards = 4;
+  options.halo = 2;
+  GraphPartition partition =
+      GraphPartition::build(tensors.pred, tensors.succ, options);
+
+  DirtyConeTracker tracker;
+  const std::vector<NodeId> targets = op_targets(netlist, 12);
+  insert_ops(netlist, tensors, scoap, levels, targets, tracker);
+
+  const std::vector<std::size_t> affected =
+      partition.extend(tensors.pred, tensors.succ);
+  EXPECT_FALSE(affected.empty());
+  EXPECT_TRUE(std::is_sorted(affected.begin(), affected.end()));
+  // After extend the full invariant set must hold again — including the
+  // exact-closure property for shards whose halo changed through paths
+  // crossing the appended nodes.
+  ASSERT_EQ(partition.row_count(), tensors.node_count());
+  partition.validate(tensors.pred, tensors.succ);
+  // An observe point's only fanin is its target, so it joins the
+  // target's shard.
+  for (const NodeId target : targets) {
+    const auto& fanouts = netlist.fanouts(target);
+    for (const NodeId w : fanouts) {
+      if (netlist.type(w) == CellType::kObserve) {
+        EXPECT_EQ(partition.owner_of(w), partition.owner_of(target));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded forward: bitwise identity vs the monolithic model
+
+TEST(ShardedForward, BitIdenticalAcrossShardAndHaloSweep) {
+  const Netlist netlist = test_netlist(31);
+  const GraphTensors tensors = build_graph_tensors(netlist);
+  GcnModel model(small_config());
+  const Matrix reference = model.infer(tensors);
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    for (const int halo : {1, 2}) {
+      ShardedGcnOptions options;
+      options.shards = shards;
+      options.halo = halo;
+      ShardedGcnEngine engine(model, options);
+      engine.refresh(tensors);
+      EXPECT_EQ(engine.logits(), reference)
+          << "shards=" << shards << " halo=" << halo;
+      engine.partition().validate(tensors.pred, tensors.succ);
+      EXPECT_TRUE(engine.last_was_full());
+    }
+  }
+}
+
+TEST(ShardedForward, BitIdenticalUnderRcmReorder) {
+  set_graph_reorder(GraphReorder::kRcm);
+  const Netlist netlist = test_netlist(32);
+  const GraphTensors tensors = build_graph_tensors(netlist);
+  ASSERT_TRUE(tensors.reordered());
+  GcnModel model(small_config());
+  const Matrix reference = model.infer(tensors);
+  for (const std::size_t shards : {2u, 4u}) {
+    for (const int halo : {1, 2}) {
+      ShardedGcnOptions options;
+      options.shards = shards;
+      options.halo = halo;
+      ShardedGcnEngine engine(model, options);
+      engine.refresh(tensors);
+      EXPECT_EQ(engine.logits(), reference)
+          << "shards=" << shards << " halo=" << halo;
+    }
+  }
+  reset_graph_reorder();
+}
+
+TEST(ShardedForward, ByKeyStrategyIsIdenticalToo) {
+  const Netlist netlist = test_netlist(33, 1000);
+  const GraphTensors tensors = build_graph_tensors(netlist);
+  GcnModel model(small_config());
+  const Matrix reference = model.infer(tensors);
+  ShardedGcnOptions options;
+  options.shards = 3;
+  options.halo = 2;
+  options.strategy = PartitionStrategy::kByKey;
+  ShardedGcnEngine engine(model, options);
+  engine.refresh(tensors);
+  EXPECT_EQ(engine.logits(), reference);
+}
+
+TEST(ShardedForward, SpillToDiskIsIdenticalAndEnveloped) {
+  const Netlist netlist = test_netlist(34, 1000);
+  const GraphTensors tensors = build_graph_tensors(netlist);
+  GcnModel model(small_config());
+  const Matrix reference = model.infer(tensors);
+  ShardedGcnOptions options;
+  options.shards = 4;
+  options.halo = 1;
+  options.spill_dir = testing::TempDir() + "gcnt_shard_spill";
+  ShardedGcnEngine engine(model, options);
+  engine.refresh(tensors);
+  EXPECT_EQ(engine.logits(), reference);
+  EXPECT_TRUE(engine.store().on_disk());
+  EXPECT_GT(engine.store().block_count(), 0u);
+  // Every spilled block is a checksummed artifact (common/artifact.h).
+  EXPECT_TRUE(is_artifact_file(engine.store().block_path(1, 0)));
+}
+
+// ---------------------------------------------------------------------------
+// Sharded incremental updates: the OPI dirty-cone path
+
+TEST(ShardedIncremental, MatchesMonolithicAcrossInsertionBatches) {
+  Netlist netlist = test_netlist(41);
+  GraphTensors tensors = build_graph_tensors(netlist);
+  ScoapMeasures scoap = compute_scoap(netlist);
+  std::vector<std::uint32_t> levels = netlist.logic_levels();
+  const GcnConfig config = small_config();
+  GcnModel model(config);
+
+  ShardedGcnOptions options;
+  options.shards = 3;
+  options.halo = 2;
+  // Depth-3 dirty cones on a graph this small exceed the default 25%
+  // fallback fraction; raise it so the updates exercise the incremental
+  // path rather than degenerating to full forwards.
+  options.full_fallback_fraction = 0.9;
+  ShardedGcnEngine sharded(model, options);
+  IncrementalGcnEngine monolithic(model, IncrementalGcnOptions{0.9});
+  sharded.refresh(tensors);
+  monolithic.refresh(tensors);
+  ASSERT_EQ(sharded.logits(), monolithic.logits());
+
+  std::size_t skip = 0;
+  for (const std::size_t batch : {1u, 5u, 16u}) {
+    DirtyConeTracker tracker;
+    const std::vector<NodeId> targets = op_targets(netlist, batch, skip);
+    skip += 40;
+    ASSERT_EQ(targets.size(), batch);
+    insert_ops(netlist, tensors, scoap, levels, targets, tracker);
+    const std::vector<NodeId> dirty = tracker.affected(tensors, config.depth);
+    sharded.update(tensors, dirty);
+    monolithic.update(tensors, dirty);
+    EXPECT_FALSE(sharded.last_was_full()) << "batch=" << batch;
+    EXPECT_EQ(sharded.last_dirty_rows(), dirty.size());
+    EXPECT_EQ(sharded.logits(), monolithic.logits()) << "batch=" << batch;
+    EXPECT_EQ(sharded.logits(), model.infer(tensors)) << "batch=" << batch;
+    sharded.partition().validate(tensors.pred, tensors.succ);
+  }
+}
+
+TEST(ShardedIncremental, RcmAndSpillTogetherStayIdentical) {
+  set_graph_reorder(GraphReorder::kRcm);
+  Netlist netlist = test_netlist(42);
+  GraphTensors tensors = build_graph_tensors(netlist);
+  ScoapMeasures scoap = compute_scoap(netlist);
+  std::vector<std::uint32_t> levels = netlist.logic_levels();
+  const GcnConfig config = small_config();
+  GcnModel model(config);
+
+  ShardedGcnOptions options;
+  options.shards = 4;
+  options.halo = 1;
+  options.spill_dir = testing::TempDir() + "gcnt_shard_spill_rcm";
+  options.full_fallback_fraction = 0.9;
+  ShardedGcnEngine engine(model, options);
+  engine.refresh(tensors);
+
+  std::size_t skip = 10;
+  for (const std::size_t batch : {2u, 8u}) {
+    DirtyConeTracker tracker;
+    const std::vector<NodeId> targets = op_targets(netlist, batch, skip);
+    skip += 30;
+    insert_ops(netlist, tensors, scoap, levels, targets, tracker);
+    const std::vector<NodeId> dirty = tracker.affected(tensors, config.depth);
+    engine.update(tensors, dirty);
+    EXPECT_FALSE(engine.last_was_full());
+    EXPECT_EQ(engine.logits(), model.infer(tensors)) << "batch=" << batch;
+  }
+  reset_graph_reorder();
+}
+
+TEST(ShardedIncremental, OversizedDirtySetFallsBackToFullForward) {
+  const Netlist netlist = test_netlist(43, 500);
+  const GraphTensors tensors = build_graph_tensors(netlist);
+  GcnModel model(small_config());
+  ShardedGcnEngine engine(model, ShardedGcnOptions{});
+  engine.refresh(tensors);
+  std::vector<NodeId> all(tensors.node_count());
+  for (NodeId v = 0; v < all.size(); ++v) all[v] = v;
+  engine.update(tensors, all);
+  EXPECT_TRUE(engine.last_was_full());
+  EXPECT_EQ(engine.logits(), model.infer(tensors));
+}
+
+// ---------------------------------------------------------------------------
+// ShardStore durability
+
+TEST(ShardStore, MemoryRoundTrip) {
+  ShardStore store;
+  Matrix block(3, 5);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) {
+      block.at(r, c) = static_cast<float>(r * 5 + c) * 0.25f;
+    }
+  }
+  store.put(2, 1, block);
+  store.put_export(2, 1, 0, block);
+  EXPECT_EQ(store.block_count(), 2u);
+  Matrix out;
+  store.get(2, 1, out);
+  EXPECT_EQ(out, block);
+  store.get_export(2, 1, 0, out);
+  EXPECT_EQ(out, block);
+  EXPECT_EQ(kind_of([&] { store.get(3, 0, out); }), ErrorKind::kInternal);
+  store.clear();
+  EXPECT_EQ(store.block_count(), 0u);
+}
+
+TEST(ShardStore, DiskRoundTripUsesTheArtifactEnvelope) {
+  ShardStore store;
+  store.configure(testing::TempDir() + "gcnt_shard_store");
+  Matrix block(4, 3);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      block.at(r, c) = static_cast<float>(r) - static_cast<float>(c) * 0.5f;
+    }
+  }
+  store.put(1, 2, block);
+  EXPECT_TRUE(is_artifact_file(store.block_path(1, 2)));
+  Matrix out;
+  store.get(1, 2, out);
+  EXPECT_EQ(out, block);
+  // Missing blocks are an I/O error, not silence.
+  EXPECT_EQ(kind_of([&] { store.get(1, 3, out); }), ErrorKind::kIo);
+  store.clear();
+  EXPECT_EQ(kind_of([&] { store.get(1, 2, out); }), ErrorKind::kIo);
+}
+
+TEST(ShardStore, CorruptedBlockIsRejected) {
+  ShardStore store;
+  store.configure(testing::TempDir() + "gcnt_shard_corrupt");
+  Matrix block(2, 2);
+  block.at(0, 0) = 1.0f;
+  block.at(1, 1) = 2.0f;
+  store.put(1, 0, block);
+  // Flip one payload byte behind the envelope's back.
+  const std::string path = store.block_path(1, 0);
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, -1, SEEK_END), 0);
+  const int byte = std::fgetc(f);
+  ASSERT_NE(byte, EOF);
+  ASSERT_EQ(std::fseek(f, -1, SEEK_END), 0);
+  std::fputc(byte ^ 0x40, f);
+  std::fclose(f);
+  Matrix out;
+  EXPECT_EQ(kind_of([&] { store.get(1, 0, out); }), ErrorKind::kCorrupt);
+  store.clear();
+}
+
+TEST(ShardStore, KillMidSpillLeavesThePreviousBlock) {
+  ShardStore store;
+  store.configure(testing::TempDir() + "gcnt_shard_kill");
+  Matrix original(2, 3);
+  original.fill(1.5f);
+  store.put(1, 0, original);
+  // The next write dies before the rename — the old block must survive
+  // intact (atomic temp + fsync + rename).
+  FaultSpec spec;
+  spec.fail_write_nth = 1;
+  set_fault_spec(spec);
+  Matrix replacement(2, 3);
+  replacement.fill(9.0f);
+  EXPECT_EQ(kind_of([&] { store.put(1, 0, replacement); }), ErrorKind::kIo);
+  clear_fault_injection();
+  Matrix out;
+  store.get(1, 0, out);
+  EXPECT_EQ(out, original);
+  store.clear();
+}
+
+TEST(ShardedForward, RecoversAfterAKilledSpillWrite) {
+  const Netlist netlist = test_netlist(44, 800);
+  const GraphTensors tensors = build_graph_tensors(netlist);
+  GcnModel model(small_config());
+  const Matrix reference = model.infer(tensors);
+  ShardedGcnOptions options;
+  options.shards = 2;
+  options.halo = 1;
+  options.spill_dir = testing::TempDir() + "gcnt_shard_recover";
+  ShardedGcnEngine engine(model, options);
+  // Kill the 5th spill write mid-refresh: the forward aborts with kIo and
+  // no cache is published.
+  FaultSpec spec;
+  spec.fail_write_nth = 5;
+  set_fault_spec(spec);
+  EXPECT_EQ(kind_of([&] { engine.refresh(tensors); }), ErrorKind::kIo);
+  clear_fault_injection();
+  // The retry starts clean and produces the exact monolithic bits.
+  engine.refresh(tensors);
+  EXPECT_EQ(engine.logits(), reference);
+}
+
+}  // namespace
+}  // namespace gcnt

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+
+#include "common/error.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "tensor/matrix.h"
@@ -173,6 +176,62 @@ TEST(Csr, DuplicatesSummed) {
   const CsrMatrix csr = CsrMatrix::from_coo(coo);
   EXPECT_EQ(csr.nnz(), 2u);
   EXPECT_FLOAT_EQ(csr.values()[0], 3.5f);
+}
+
+TEST(Csr, FromCooRejects32BitIndexOverflow) {
+  // A declared shape past the 32-bit index range must fail up front with
+  // a typed resource error — before any O(rows) allocation happens —
+  // instead of silently wrapping the index arithmetic.
+  CooMatrix wide_rows;
+  wide_rows.rows = std::size_t{1} << 32;
+  wide_rows.cols = 4;
+  try {
+    CsrMatrix::from_coo(wide_rows);
+    FAIL() << "expected Error{kResource}";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kResource);
+  }
+  CooMatrix wide_cols;
+  wide_cols.rows = 4;
+  wide_cols.cols = (std::size_t{1} << 32) + 7;
+  try {
+    CsrMatrix::from_coo(wide_cols);
+    FAIL() << "expected Error{kResource}";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kResource);
+  }
+}
+
+TEST(Csr, FromPartsPreservesRowOrderAndValidates) {
+  // from_parts keeps each row's nonzero order exactly as given (the
+  // sharded engine's bitwise-identity contract); from_coo would reorder
+  // by first occurrence and merge duplicates.
+  const CsrMatrix csr = CsrMatrix::from_parts(
+      2, 3, {0, 2, 3}, {2, 0, 1}, {5.0f, 1.0f, -2.0f});
+  EXPECT_EQ(csr.rows(), 2u);
+  EXPECT_EQ(csr.cols(), 3u);
+  EXPECT_EQ(csr.nnz(), 3u);
+  EXPECT_EQ(csr.col_index()[0], 2u);  // descending within the row, kept
+  EXPECT_EQ(csr.col_index()[1], 0u);
+  EXPECT_FLOAT_EQ(csr.values()[0], 5.0f);
+  // Inconsistent arrays are an internal error, not undefined behavior.
+  const auto expect_internal = [](const std::function<void()>& fn) {
+    try {
+      fn();
+      FAIL() << "expected Error{kInternal}";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::kInternal);
+    }
+  };
+  expect_internal([] {  // row_ptr not monotone
+    CsrMatrix::from_parts(2, 3, {0, 2, 1}, {0, 1}, {1.0f, 1.0f});
+  });
+  expect_internal([] {  // column out of range
+    CsrMatrix::from_parts(1, 2, {0, 1}, {2}, {1.0f});
+  });
+  expect_internal([] {  // col/value length mismatch
+    CsrMatrix::from_parts(1, 2, {0, 1}, {0, 1}, {1.0f});
+  });
 }
 
 TEST(Csr, SpmmMatchesDense) {

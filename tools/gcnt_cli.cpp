@@ -285,6 +285,9 @@ int cmd_opi(const Args& args) {
     options.journal_design = args.positional.at(0);
     options.resume = args.has("resume");
   }
+  options.shards = args.get_size("shards", 0);
+  options.shard_halo = static_cast<int>(args.get_size("halo", 1));
+  options.shard_spill_dir = args.get("spill-dir", "");
   const auto result = run_gcn_opi(netlist, {&model}, options);
   std::cout << "inserted " << result.inserted.size() << " observation points"
             << " in " << result.iterations << " iterations ("
@@ -355,6 +358,9 @@ int cmd_flow(const Args& args) {
     opi_options.journal_design = design;
     opi_options.resume = resume;
   }
+  opi_options.shards = args.get_size("shards", 0);
+  opi_options.shard_halo = static_cast<int>(args.get_size("halo", 1));
+  opi_options.shard_spill_dir = args.get("spill-dir", "");
   const auto result = run_gcn_opi(dataset.netlist, {&model}, opi_options);
   std::cout << "inserted " << result.inserted.size()
             << " observation points in " << result.iterations
@@ -576,8 +582,10 @@ int usage() {
                "[--resume]\n"
             << "  opi      <netlist> --model model.txt --out out.bench\n"
             << "           [--journal [file]] [--resume]\n"
+            << "           [--shards K] [--halo D] [--spill-dir dir]\n"
             << "  flow     [<netlist>] [--gates N] [--epochs E] [--atpg]\n"
             << "           [--checkpoint base] [--resume]\n"
+            << "           [--shards K] [--halo D] [--spill-dir dir]\n"
             << "  serve    --model model.txt (--socket path | --port P | "
                "--stdio)\n"
             << "           [--workers N] [--queue N] [--batch N] "
