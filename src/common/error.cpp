@@ -16,6 +16,8 @@ const char* error_kind_name(ErrorKind kind) noexcept {
       return "usage";
     case ErrorKind::kInternal:
       return "internal";
+    case ErrorKind::kDeadline:
+      return "deadline";
   }
   return "internal";
 }
@@ -33,6 +35,8 @@ int exit_code_for(ErrorKind kind) noexcept {
       return 71;  // EX_OSERR
     case ErrorKind::kIo:
       return 74;  // EX_IOERR
+    case ErrorKind::kDeadline:
+      return 75;  // EX_TEMPFAIL
   }
   return 70;
 }

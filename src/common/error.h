@@ -21,6 +21,7 @@ enum class ErrorKind {
   kResource,  ///< allocation or capacity limit hit
   kUsage,     ///< caller error: bad flag, bad spec string, bad argument
   kInternal,  ///< invariant violation — a bug, not an input problem
+  kDeadline,  ///< request shed: its deadline expired before or while serving
 };
 
 /// Stable lower-case identifier ("io", "corrupt", ...) for logs and CLI
@@ -29,7 +30,9 @@ const char* error_kind_name(ErrorKind kind) noexcept;
 
 /// sysexits(3)-compatible process exit code for an error kind:
 /// usage=64 (EX_USAGE), corrupt/version=65 (EX_DATAERR), internal=70
-/// (EX_SOFTWARE), resource=71 (EX_OSERR), io=74 (EX_IOERR).
+/// (EX_SOFTWARE), resource=71 (EX_OSERR), io=74 (EX_IOERR),
+/// deadline=75 (EX_TEMPFAIL: the same request may succeed if retried
+/// with a looser deadline or under less load).
 int exit_code_for(ErrorKind kind) noexcept;
 
 class Error : public std::runtime_error {

@@ -19,8 +19,20 @@ struct FaultState {
   std::atomic<std::uint64_t> write_probes{0};
   std::atomic<std::uint64_t> read_probes{0};
   std::atomic<std::uint64_t> alloc_probes{0};
+  std::atomic<std::uint64_t> serve_read_probes{0};
+  std::atomic<std::uint64_t> serve_write_probes{0};
+  std::atomic<std::uint64_t> serve_delay_probes{0};
+  std::atomic<std::uint64_t> serve_alloc_probes{0};
   std::once_flag env_once;
 };
+
+/// Shared firing rule for clauses with the optional `every=K` repeat:
+/// fire at probe `nth`, then at nth+K, nth+2K, ...
+bool clause_fires(std::uint64_t n, std::uint64_t nth,
+                  std::uint64_t every) noexcept {
+  if (nth == 0 || n < nth) return false;
+  return n == nth || (every != 0 && (n - nth) % every == 0);
+}
 
 FaultState& state() {
   static FaultState instance;
@@ -52,6 +64,10 @@ struct FiredCounters {
   Counter& short_write;
   Counter& bitflip;
   Counter& alloc_fail;
+  Counter& serve_torn_read;
+  Counter& serve_short_write;
+  Counter& serve_delay;
+  Counter& serve_alloc;
 };
 
 FiredCounters& fired_counters() {
@@ -59,7 +75,12 @@ FiredCounters& fired_counters() {
       StatsRegistry::instance().counter("faultinject.fail_write_fired"),
       StatsRegistry::instance().counter("faultinject.short_write_fired"),
       StatsRegistry::instance().counter("faultinject.bitflip_read_fired"),
-      StatsRegistry::instance().counter("faultinject.alloc_fail_fired")};
+      StatsRegistry::instance().counter("faultinject.alloc_fail_fired"),
+      StatsRegistry::instance().counter("faultinject.serve_torn_read_fired"),
+      StatsRegistry::instance().counter(
+          "faultinject.serve_short_write_fired"),
+      StatsRegistry::instance().counter("faultinject.serve_delay_fired"),
+      StatsRegistry::instance().counter("faultinject.serve_alloc_fired")};
   return counters;
 }
 
@@ -86,8 +107,8 @@ FaultSpec parse_fault_spec(const std::string& text) {
 
     const std::size_t colon = clause.find(':');
     const std::string name = clause.substr(0, colon);
-    std::uint64_t nth = 0, bytes = 0, seed = 1;
-    bool saw_nth = false;
+    std::uint64_t nth = 0, bytes = 0, seed = 1, every = 0, ms = 0;
+    bool saw_nth = false, saw_every = false, saw_ms = false;
     if (colon != std::string::npos) {
       std::size_t p = colon + 1;
       while (p < clause.size()) {
@@ -109,6 +130,12 @@ FaultSpec parse_fault_spec(const std::string& text) {
           bytes = parse_u64(clause, value);
         } else if (key == "seed") {
           seed = parse_u64(clause, value);
+        } else if (key == "every") {
+          every = parse_u64(clause, value);
+          saw_every = true;
+        } else if (key == "ms") {
+          ms = parse_u64(clause, value);
+          saw_ms = true;
         } else {
           throw Error(ErrorKind::kUsage,
                       "fault spec: unknown parameter '" + key + "'");
@@ -118,6 +145,13 @@ FaultSpec parse_fault_spec(const std::string& text) {
     if (!saw_nth) {
       throw Error(ErrorKind::kUsage,
                   "fault spec: clause '" + name + "' needs nth=N");
+    }
+    const bool serve_clause = name.rfind("serve-", 0) == 0;
+    if ((saw_every || saw_ms) && !serve_clause) {
+      throw Error(ErrorKind::kUsage,
+                  "fault spec: 'every'/'ms' only apply to serve-* clauses "
+                  "(clause '" +
+                      name + "')");
     }
     if (name == "fail-write") {
       spec.fail_write_nth = nth;
@@ -129,6 +163,19 @@ FaultSpec parse_fault_spec(const std::string& text) {
       spec.bitflip_seed = seed;
     } else if (name == "alloc-fail") {
       spec.alloc_fail_nth = nth;
+    } else if (name == "serve-torn-read") {
+      spec.serve_torn_read_nth = nth;
+      spec.serve_torn_read_every = every;
+    } else if (name == "serve-short-write") {
+      spec.serve_short_write_nth = nth;
+      spec.serve_short_write_every = every;
+    } else if (name == "serve-delay") {
+      spec.serve_delay_nth = nth;
+      spec.serve_delay_every = every;
+      if (saw_ms) spec.serve_delay_ms = ms;
+    } else if (name == "serve-alloc") {
+      spec.serve_alloc_nth = nth;
+      spec.serve_alloc_every = every;
     } else {
       throw Error(ErrorKind::kUsage,
                   "fault spec: unknown clause '" + name + "'");
@@ -144,6 +191,10 @@ void set_fault_spec(const FaultSpec& spec) {
   s.write_probes.store(0, std::memory_order_relaxed);
   s.read_probes.store(0, std::memory_order_relaxed);
   s.alloc_probes.store(0, std::memory_order_relaxed);
+  s.serve_read_probes.store(0, std::memory_order_relaxed);
+  s.serve_write_probes.store(0, std::memory_order_relaxed);
+  s.serve_delay_probes.store(0, std::memory_order_relaxed);
+  s.serve_alloc_probes.store(0, std::memory_order_relaxed);
   s.armed.store(spec.armed(), std::memory_order_release);
 }
 
@@ -214,6 +265,74 @@ void fault_alloc_probe(const char* what) {
                 std::string("injected allocation failure at ") + what +
                     " (probe " + std::to_string(n) + ")");
   }
+}
+
+bool fault_serve_read_probe() {
+  ensure_env_loaded();
+  FaultState& s = state();
+  if (!s.armed.load(std::memory_order_acquire)) return false;
+  static Counter& probes =
+      StatsRegistry::instance().counter("faultinject.serve_read_probes");
+  probes.add();
+  const std::uint64_t n =
+      s.serve_read_probes.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!clause_fires(n, s.spec.serve_torn_read_nth,
+                    s.spec.serve_torn_read_every)) {
+    return false;
+  }
+  fired_counters().serve_torn_read.add();
+  return true;
+}
+
+bool fault_serve_write_probe() {
+  ensure_env_loaded();
+  FaultState& s = state();
+  if (!s.armed.load(std::memory_order_acquire)) return false;
+  static Counter& probes =
+      StatsRegistry::instance().counter("faultinject.serve_write_probes");
+  probes.add();
+  const std::uint64_t n =
+      s.serve_write_probes.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!clause_fires(n, s.spec.serve_short_write_nth,
+                    s.spec.serve_short_write_every)) {
+    return false;
+  }
+  fired_counters().serve_short_write.add();
+  return true;
+}
+
+std::uint64_t fault_serve_delay_probe() {
+  ensure_env_loaded();
+  FaultState& s = state();
+  if (!s.armed.load(std::memory_order_acquire)) return 0;
+  static Counter& probes =
+      StatsRegistry::instance().counter("faultinject.serve_delay_probes");
+  probes.add();
+  const std::uint64_t n =
+      s.serve_delay_probes.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!clause_fires(n, s.spec.serve_delay_nth, s.spec.serve_delay_every)) {
+    return 0;
+  }
+  fired_counters().serve_delay.add();
+  return s.spec.serve_delay_ms;
+}
+
+void fault_serve_alloc_probe(const char* what) {
+  ensure_env_loaded();
+  FaultState& s = state();
+  if (!s.armed.load(std::memory_order_acquire)) return;
+  static Counter& probes =
+      StatsRegistry::instance().counter("faultinject.serve_alloc_probes");
+  probes.add();
+  const std::uint64_t n =
+      s.serve_alloc_probes.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!clause_fires(n, s.spec.serve_alloc_nth, s.spec.serve_alloc_every)) {
+    return;
+  }
+  fired_counters().serve_alloc.add();
+  throw Error(ErrorKind::kResource,
+              std::string("injected serve allocation failure decoding ") +
+                  what + " (probe " + std::to_string(n) + ")");
 }
 
 }  // namespace gcnt

@@ -26,6 +26,23 @@
 //   alloc-fail:nth=N            Nth allocation probe throws
 //                               Error{kResource}.
 //
+// Serve-path chaos clauses (probes wired into the `gcnt serve` I/O and
+// dispatch paths; `every=K` repeats the fault at nth, nth+K, nth+2K, ...):
+//
+//   serve-torn-read:nth=N[,every=K]   Nth decoded request frame is
+//                                     treated as torn: typed corrupt
+//                                     reply, connection dropped.
+//   serve-short-write:nth=N[,every=K] Nth reply write truncates the
+//                                     frame mid-payload and drops the
+//                                     connection.
+//   serve-delay:nth=N[,every=K,ms=M]  Nth dispatched request stalls its
+//                                     worker M ms (default 25) before
+//                                     handling — feeds the watchdog,
+//                                     deadline, and brownout paths.
+//   serve-alloc:nth=N[,every=K]       Nth serve decode probe throws
+//                                     Error{kResource} (alloc-fail at
+//                                     the request-decode boundary).
+//
 // `nth` is 1-based and counts probes of that site process-wide; 0 (or an
 // absent clause) leaves the site disarmed. Fired and probed events are
 // visible as `faultinject.*` stats counters when stats are enabled.
@@ -44,9 +61,21 @@ struct FaultSpec {
   std::uint64_t bitflip_seed = 1;
   std::uint64_t alloc_fail_nth = 0;
 
+  // Serve-path chaos clauses; `*_every` repeats the fault past `nth`.
+  std::uint64_t serve_torn_read_nth = 0;
+  std::uint64_t serve_torn_read_every = 0;
+  std::uint64_t serve_short_write_nth = 0;
+  std::uint64_t serve_short_write_every = 0;
+  std::uint64_t serve_delay_nth = 0;
+  std::uint64_t serve_delay_every = 0;
+  std::uint64_t serve_delay_ms = 25;
+  std::uint64_t serve_alloc_nth = 0;
+  std::uint64_t serve_alloc_every = 0;
+
   bool armed() const noexcept {
     return fail_write_nth || short_write_nth || bitflip_read_nth ||
-           alloc_fail_nth;
+           alloc_fail_nth || serve_torn_read_nth || serve_short_write_nth ||
+           serve_delay_nth || serve_alloc_nth;
   }
 };
 
@@ -78,5 +107,24 @@ void fault_read_probe(void* data, std::size_t len);
 /// Allocation/capacity probe. Throws Error{kResource} when the alloc-fail
 /// clause fires; `what` names the requesting site in the error message.
 void fault_alloc_probe(const char* what);
+
+// ---- Serve-path probes (chaos harness) ------------------------------------
+
+/// Request-read probe: true when the serve-torn-read clause fires — the
+/// server must treat the just-decoded frame as torn (typed corrupt
+/// reply, drop the connection).
+bool fault_serve_read_probe();
+
+/// Reply-write probe: true when the serve-short-write clause fires — the
+/// server must truncate this reply mid-frame and drop the connection.
+bool fault_serve_write_probe();
+
+/// Worker-dispatch probe: milliseconds this request's worker must stall
+/// before handling (0 = no fault).
+std::uint64_t fault_serve_delay_probe();
+
+/// Request-decode allocation probe. Throws Error{kResource} when the
+/// serve-alloc clause fires; `what` names the opcode being decoded.
+void fault_serve_alloc_probe(const char* what);
 
 }  // namespace gcnt

@@ -34,6 +34,7 @@ std::string format_access_record(const AccessRecord& record) {
     json::write_escaped(out, record.error);
     out << "\"";
   }
+  if (record.brownout) out << ",\"brownout\":true";
   out << "}";
   return out.str();
 }

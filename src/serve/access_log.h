@@ -9,9 +9,11 @@
 //    "bytes_out":...,"outcome":"ok"}
 //
 // `outcome` is "ok" or the typed error-kind name ("io", "corrupt",
-// "version", "resource", "usage", "internal"); error lines add an
-// "error" message field. Phase timings ("decode_us"/"forward_us"/
-// "encode_us") appear when the server measured them (the infer path).
+// "version", "resource", "usage", "internal", "deadline"); error lines
+// add an "error" message field. Phase timings ("decode_us"/"forward_us"/
+// "encode_us") appear when the server measured them (the infer path),
+// and a `"brownout":true` field marks replies served from cached logits
+// under brownout instead of a fresh forward.
 //
 // Each line is formatted in full, then emitted as ONE write(2) on an
 // O_APPEND descriptor — concurrent workers never interleave partial
@@ -42,6 +44,7 @@ struct AccessRecord {
   std::size_t bytes_out = 0;     ///< response frame bytes on the wire
   std::string outcome = "ok";    ///< "ok" or an ErrorKind name
   std::string error;             ///< human-readable message when not ok
+  bool brownout = false;         ///< served from cached logits (degraded)
 };
 
 /// Serializes `record` as one JSON object (no trailing newline). Session

@@ -21,6 +21,8 @@ std::uint8_t wire_status(ErrorKind kind) noexcept {
       return 5;
     case ErrorKind::kInternal:
       return 6;
+    case ErrorKind::kDeadline:
+      return 7;
   }
   return 6;
 }
@@ -37,6 +39,8 @@ ErrorKind error_kind_for_status(std::uint8_t status) noexcept {
       return ErrorKind::kResource;
     case 5:
       return ErrorKind::kUsage;
+    case 7:
+      return ErrorKind::kDeadline;
     default:
       return ErrorKind::kInternal;
   }
@@ -85,24 +89,55 @@ std::uint32_t load_u32(const char* p) noexcept {
          (static_cast<std::uint32_t>(b[3]) << 24);
 }
 
+/// Parses the `payload` bytes at `p` (fixed header, optional deadline
+/// extension, body) into `out`. The caller has already bounds-checked
+/// payload >= kFrameHeaderBytes; this only has to validate the optional
+/// extension against the payload length.
+bool parse_payload(const char* p, std::uint32_t payload, Frame& out,
+                   ErrorKind& kind, std::string& message) {
+  out.version = static_cast<std::uint8_t>(p[0]);
+  out.opcode = static_cast<std::uint8_t>(p[1]);
+  out.flags = static_cast<std::uint16_t>(
+      static_cast<unsigned char>(p[2]) |
+      (static_cast<std::uint16_t>(static_cast<unsigned char>(p[3])) << 8));
+  out.request_id = load_u32(p + 4);
+  out.deadline_ms = 0;
+  std::size_t body_offset = kFrameHeaderBytes;
+  if (out.has_deadline()) {
+    if (payload < kFrameHeaderBytes + 4) {
+      kind = ErrorKind::kCorrupt;
+      message = "frame sets the deadline flag but is too short for the "
+                "deadline field";
+      return false;
+    }
+    out.deadline_ms = load_u32(p + kFrameHeaderBytes);
+    body_offset += 4;
+  }
+  out.body.assign(p + body_offset, payload - body_offset);
+  return true;
+}
+
 }  // namespace
 
 std::string encode_frame(const Frame& frame) {
-  if (frame.body.size() > kMaxFramePayload - kFrameHeaderBytes) {
+  const std::size_t extension = frame.has_deadline() ? 4 : 0;
+  if (frame.body.size() > kMaxFramePayload - kFrameHeaderBytes - extension) {
     throw Error(ErrorKind::kUsage,
                 "frame body of " + std::to_string(frame.body.size()) +
                     " bytes exceeds the frame payload limit");
   }
-  const std::uint32_t payload =
-      static_cast<std::uint32_t>(kFrameHeaderBytes + frame.body.size());
+  const std::uint32_t payload = static_cast<std::uint32_t>(
+      kFrameHeaderBytes + extension + frame.body.size());
   std::string out;
   out.reserve(4 + payload);
   append_u32(out, payload);
   out.push_back(static_cast<char>(frame.version));
   out.push_back(static_cast<char>(frame.opcode));
-  out.push_back('\0');  // reserved
-  out.push_back('\0');
+  // v1 wrote a zero "reserved" u16 here; v2 reuses it as the flag word.
+  out.push_back(static_cast<char>(frame.flags & 0xff));
+  out.push_back(static_cast<char>((frame.flags >> 8) & 0xff));
   append_u32(out, frame.request_id);
+  if (frame.has_deadline()) append_u32(out, frame.deadline_ms);
   out.append(frame.body);
   return out;
 }
@@ -128,18 +163,31 @@ DecodeResult decode_frame(std::string_view buffer, Frame& out,
   if (buffer.size() < 4 + static_cast<std::size_t>(payload)) {
     return DecodeResult::kNeedMore;
   }
-  const char* p = buffer.data() + 4;
-  out.version = static_cast<std::uint8_t>(p[0]);
-  out.opcode = static_cast<std::uint8_t>(p[1]);
-  out.request_id = load_u32(p + 4);
-  out.body.assign(p + kFrameHeaderBytes, payload - kFrameHeaderBytes);
+  if (!parse_payload(buffer.data() + 4, payload, out, kind, message)) {
+    return DecodeResult::kMalformed;
+  }
   consumed = 4 + static_cast<std::size_t>(payload);
   return DecodeResult::kFrame;
 }
 
+namespace {
+
+/// Responses speak the requester's dialect — clamped to a version we
+/// actually implement, so replies to bad-version frames stay parseable.
+std::uint8_t response_version(const Frame& request) noexcept {
+  if (request.version < kMinProtocolVersion ||
+      request.version > kProtocolVersion) {
+    return kProtocolVersion;
+  }
+  return request.version;
+}
+
+}  // namespace
+
 Frame make_error_response(const Frame& request, ErrorKind kind,
                           const std::string& message) {
   Frame response;
+  response.version = response_version(request);
   response.opcode = request.opcode | kResponseBit;
   response.request_id = request.request_id;
   WireWriter writer(response.body);
@@ -150,6 +198,7 @@ Frame make_error_response(const Frame& request, ErrorKind kind,
 
 Frame make_ok_response(const Frame& request, std::string payload) {
   Frame response;
+  response.version = response_version(request);
   response.opcode = request.opcode | kResponseBit;
   response.request_id = request.request_id;
   response.body.reserve(1 + payload.size());
@@ -221,14 +270,22 @@ std::string WireReader::str() {
 namespace {
 
 /// Reads exactly `n` bytes. Returns n on success, 0 on immediate EOF,
-/// -1 on I/O error, and the partial count on EOF mid-read.
-std::ptrdiff_t read_exact(int fd, char* buf, std::size_t n) {
+/// -1 on I/O error, and the partial count on EOF mid-read. A receive
+/// timeout (SO_RCVTIMEO / O_NONBLOCK) sets `timed_out` and returns the
+/// partial count instead.
+std::ptrdiff_t read_exact(int fd, char* buf, std::size_t n,
+                          bool& timed_out) {
+  timed_out = false;
   std::size_t got = 0;
   while (got < n) {
     const ssize_t r = ::read(fd, buf + got, n - got);
     if (r == 0) return static_cast<std::ptrdiff_t>(got);
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        timed_out = true;
+        return static_cast<std::ptrdiff_t>(got);
+      }
       return -1;
     }
     got += static_cast<std::size_t>(r);
@@ -241,7 +298,15 @@ std::ptrdiff_t read_exact(int fd, char* buf, std::size_t n) {
 ReadStatus read_frame(int fd, Frame& out, ErrorKind& kind,
                       std::string& message) {
   char prefix[4];
-  const std::ptrdiff_t got = read_exact(fd, prefix, sizeof prefix);
+  bool timed_out = false;
+  const std::ptrdiff_t got = read_exact(fd, prefix, sizeof prefix, timed_out);
+  if (timed_out && got == 0) return ReadStatus::kIdle;
+  if (timed_out) {
+    kind = ErrorKind::kIo;
+    message = "read timed out mid-frame (got " + std::to_string(got) +
+              " of 4 length-prefix bytes)";
+    return ReadStatus::kError;
+  }
   if (got == 0) return ReadStatus::kEof;
   if (got < 0) {
     kind = ErrorKind::kIo;
@@ -263,7 +328,15 @@ ReadStatus read_frame(int fd, Frame& out, ErrorKind& kind,
     return ReadStatus::kError;
   }
   std::string buf(payload, '\0');
-  const std::ptrdiff_t body = read_exact(fd, buf.data(), payload);
+  bool body_timed_out = false;
+  const std::ptrdiff_t body =
+      read_exact(fd, buf.data(), payload, body_timed_out);
+  if (body_timed_out) {
+    kind = ErrorKind::kIo;
+    message = "read timed out mid-frame (got " + std::to_string(body) +
+              " of " + std::to_string(payload) + " payload bytes)";
+    return ReadStatus::kError;
+  }
   if (body < 0) {
     kind = ErrorKind::kIo;
     message = std::string("read failed: ") + std::strerror(errno);
@@ -274,25 +347,33 @@ ReadStatus read_frame(int fd, Frame& out, ErrorKind& kind,
     message = "truncated frame payload (stream ended mid-frame)";
     return ReadStatus::kError;
   }
-  out.version = static_cast<std::uint8_t>(buf[0]);
-  out.opcode = static_cast<std::uint8_t>(buf[1]);
-  out.request_id = load_u32(buf.data() + 4);
-  out.body.assign(buf, kFrameHeaderBytes, buf.size() - kFrameHeaderBytes);
+  if (!parse_payload(buf.data(), payload, out, kind, message)) {
+    return ReadStatus::kError;
+  }
   return ReadStatus::kFrame;
 }
 
-void write_frame(int fd, const Frame& frame) {
-  const std::string bytes = encode_frame(frame);
+void write_bytes(int fd, const char* data, std::size_t len) {
   std::size_t sent = 0;
-  while (sent < bytes.size()) {
-    const ssize_t w = ::write(fd, bytes.data() + sent, bytes.size() - sent);
+  while (sent < len) {
+    const ssize_t w = ::write(fd, data + sent, len - sent);
     if (w < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw Error(ErrorKind::kIo, "write timed out (sent " +
+                                        std::to_string(sent) + " of " +
+                                        std::to_string(len) + " bytes)");
+      }
       throw Error(ErrorKind::kIo,
                   std::string("write failed: ") + std::strerror(errno));
     }
     sent += static_cast<std::size_t>(w);
   }
+}
+
+void write_frame(int fd, const Frame& frame) {
+  const std::string bytes = encode_frame(frame);
+  write_bytes(fd, bytes.data(), bytes.size());
 }
 
 }  // namespace gcnt::serve

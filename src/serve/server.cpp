@@ -4,9 +4,11 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
@@ -14,6 +16,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/fault_inject.h"
 #include "common/log.h"
 #include "common/stats.h"
 #include "common/trace.h"
@@ -33,9 +36,29 @@ std::uint64_t unix_micros() {
           .count());
 }
 
-/// On-the-wire size of one encoded frame (length prefix + header + body).
+/// On-the-wire size of one encoded frame (length prefix + header +
+/// optional deadline extension + body).
 std::size_t frame_bytes(const Frame& frame) noexcept {
-  return 4 + kFrameHeaderBytes + frame.body.size();
+  return 4 + kFrameHeaderBytes + (frame.has_deadline() ? 4 : 0) +
+         frame.body.size();
+}
+
+/// True when a request with this frame/enqueue time has blown its
+/// deadline by `now_ns` (deadlines are measured from server receipt).
+bool deadline_expired(const Frame& frame, std::uint64_t enqueue_ns,
+                      std::uint64_t now_ns) noexcept {
+  return frame.has_deadline() && frame.deadline_ms != 0 &&
+         now_ns > enqueue_ns + frame.deadline_ms * 1'000'000ull;
+}
+
+/// Applies SO_RCVTIMEO so blocked reads wake up every `ms` milliseconds
+/// (read_frame turns the expiry into kIdle / a mid-frame kIo error).
+void set_receive_timeout(int fd, std::uint64_t ms) {
+  if (ms == 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
 }
 
 /// Cached per-opcode request counters ("serve.op.<name>"), so the
@@ -110,6 +133,17 @@ bool known_opcode(std::uint8_t opcode) noexcept {
 void ServeServer::Connection::send(const Frame& frame) {
   std::lock_guard<std::mutex> lock(write_mutex);
   if (closed.load()) throw Error(ErrorKind::kIo, "connection closed");
+  if (fault_serve_write_probe()) {
+    // Chaos: tear the reply mid-frame and drop the connection — what a
+    // peer sees when the daemon dies between write() calls.
+    const std::string bytes = encode_frame(frame);
+    try {
+      write_bytes(write_fd, bytes.data(), bytes.size() / 2);
+    } catch (const Error&) {
+    }
+    close();
+    throw Error(ErrorKind::kIo, "injected short write (connection dropped)");
+  }
   write_frame(write_fd, frame);
 }
 
@@ -134,6 +168,7 @@ ServeServer::ServeServer(ServeOptions options)
 ServeServer::~ServeServer() {
   begin_shutdown();
   if (acceptor_.joinable()) acceptor_.join();
+  if (watchdog_.joinable()) watchdog_.join();
   queue_ready_.notify_all();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
@@ -222,9 +257,16 @@ void ServeServer::start() {
 
   StatsRegistry::instance().gauge("serve.workers").set(
       static_cast<std::int64_t>(options_.workers));
+  in_flight_.clear();
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    in_flight_.push_back(std::make_unique<InFlight>());
+  }
   workers_.reserve(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+  if (options_.watchdog_budget_ms != 0) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
   }
   if (listen_fd_ >= 0) {
     acceptor_ = std::thread([this] { acceptor_loop(); });
@@ -263,6 +305,7 @@ void ServeServer::wait() {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
   }
+  if (watchdog_.joinable()) watchdog_.join();
   queue_ready_.notify_all();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
@@ -302,6 +345,33 @@ void ServeServer::acceptor_loop() {
     if (ready <= 0) continue;  // timeout, EINTR: re-check the stop flag
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
+    if (options_.max_connections != 0 &&
+        live_connections_.load(std::memory_order_acquire) >=
+            options_.max_connections) {
+      // Refuse before spawning a reader: one best-effort typed error
+      // frame (request_id 0 — no request was read), then close.
+      static Counter& conn_rejected =
+          StatsRegistry::instance().counter("serve.conn_rejected");
+      conn_rejected.add();
+      const std::string reason =
+          "connection limit reached (" +
+          std::to_string(options_.max_connections) + ")";
+      try {
+        Frame refused;
+        write_frame(fd, make_error_response(refused, ErrorKind::kResource,
+                                            reason));
+      } catch (const Error&) {
+      }
+      ::close(fd);
+      log_warn("serve: rejected connection: ", reason);
+      continue;
+    }
+    // One receive-timeout tick per read: the mid-frame budget when
+    // read_timeout_ms is set, otherwise the whole idle budget.
+    set_receive_timeout(fd, options_.read_timeout_ms != 0
+                                ? options_.read_timeout_ms
+                                : options_.idle_timeout_ms);
+    live_connections_.fetch_add(1, std::memory_order_acq_rel);
     auto conn = std::make_shared<Connection>();
     conn->read_fd = fd;
     conn->write_fd = fd;
@@ -317,11 +387,18 @@ void ServeServer::connection_loop(std::shared_ptr<Connection> conn) {
   trace_set_thread_name("serve-reader");
   pump_connection(conn);
   conn->close();
+  live_connections_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
 void ServeServer::pump_connection(const std::shared_ptr<Connection>& conn) {
   static Counter& malformed =
       StatsRegistry::instance().counter("serve.malformed_frames");
+  static Counter& idle_reaped =
+      StatsRegistry::instance().counter("serve.idle_reaped");
+  const std::uint64_t tick_ms = options_.read_timeout_ms != 0
+                                    ? options_.read_timeout_ms
+                                    : options_.idle_timeout_ms;
+  std::uint64_t idle_ms = 0;
   while (!shutting_down_.load()) {
     Frame frame;
     ErrorKind kind = ErrorKind::kInternal;
@@ -329,6 +406,19 @@ void ServeServer::pump_connection(const std::shared_ptr<Connection>& conn) {
     const ReadStatus status =
         read_frame(conn->read_fd, frame, kind, message);
     if (status == ReadStatus::kEof) return;
+    if (status == ReadStatus::kIdle) {
+      // Receive timeout with no frame started: accumulate idle ticks and
+      // reap the connection once the idle budget is spent. (A mid-frame
+      // timeout is kError/kIo — the slowloris case — handled below.)
+      idle_ms += tick_ms;
+      if (options_.idle_timeout_ms != 0 &&
+          idle_ms >= options_.idle_timeout_ms) {
+        idle_reaped.add();
+        log_info("serve: reaping idle connection (idle ", idle_ms, " ms)");
+        return;
+      }
+      continue;
+    }
     if (status == ReadStatus::kError) {
       // Framing is broken: the stream cannot be resynced. Report the
       // typed error best-effort and drop the connection; resident
@@ -348,6 +438,7 @@ void ServeServer::pump_connection(const std::shared_ptr<Connection>& conn) {
     // Request context starts here: every decodable frame gets a
     // server-wide sequence number, its wire size, and a deterministic
     // sampling decision that rides with it into the worker.
+    idle_ms = 0;
     const std::uint64_t rid = next_rid_.fetch_add(1);
     const std::size_t bytes_in = frame_bytes(frame);
     // Replies the reader sends itself (protocol errors, shutdown) still
@@ -373,10 +464,23 @@ void ServeServer::pump_connection(const std::shared_ptr<Connection>& conn) {
       return sent;
     };
 
-    if (frame.version != kProtocolVersion) {
+    if (fault_serve_read_probe()) {
+      // Chaos: pretend this frame arrived torn — answer exactly like a
+      // real framing failure (typed `corrupt`), but with the request
+      // context intact so the peer can correlate, then drop the stream.
+      malformed.add();
+      const std::string error = "injected torn request frame";
+      reply_inline(make_error_response(frame, ErrorKind::kCorrupt, error),
+                   "corrupt", error);
+      return;
+    }
+
+    if (frame.version < kMinProtocolVersion ||
+        frame.version > kProtocolVersion) {
       const std::string error =
           "protocol version " + std::to_string(frame.version) +
-          " unsupported (want " + std::to_string(kProtocolVersion) + ")";
+          " unsupported (want " + std::to_string(kMinProtocolVersion) +
+          ".." + std::to_string(kProtocolVersion) + ")";
       if (!reply_inline(make_error_response(frame, ErrorKind::kVersion, error),
                         "version", error)) {
         return;
@@ -467,7 +571,6 @@ void ServeServer::enqueue(Request request) {
 
 void ServeServer::worker_loop(std::size_t index) {
   trace_set_thread_name("serve-worker");
-  (void)index;
   ForwardWorkspace ws;  // reused across every request this worker runs
   static Gauge& depth = StatsRegistry::instance().gauge("serve.queue_depth");
   for (;;) {
@@ -485,11 +588,12 @@ void ServeServer::worker_loop(std::size_t index) {
       queue_.pop_front();
       depth.set(static_cast<std::int64_t>(queue_.size()));
     }
-    dispatch(request, ws);
+    dispatch(request, ws, in_flight_[index].get());
   }
 }
 
-void ServeServer::dispatch(const Request& request, ForwardWorkspace& ws) {
+void ServeServer::dispatch(const Request& request, ForwardWorkspace& ws,
+                           InFlight* slot) {
   static Counter& requests =
       StatsRegistry::instance().counter("serve.requests");
   static Counter& errors = StatsRegistry::instance().counter("serve.errors");
@@ -503,6 +607,21 @@ void ServeServer::dispatch(const Request& request, ForwardWorkspace& ws) {
   requests.add();
   op_counter(request.frame.opcode).add();
   queue_wait.record(queue_wait_ns / 1000);
+
+  // Publish what this worker is doing for the watchdog: string/handle
+  // under the slot mutex, scalars as release stores so the watchdog's
+  // acquire loads see a consistent (busy, rid, start) triple.
+  if (slot != nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(slot->name_mutex);
+      slot->session = request.session;
+      slot->conn = request.conn;
+    }
+    slot->rid.store(request.rid, std::memory_order_relaxed);
+    slot->opcode.store(request.frame.opcode, std::memory_order_relaxed);
+    slot->start_ns.store(dequeue_ns, std::memory_order_relaxed);
+    slot->busy.store(true, std::memory_order_release);
+  }
 
   // The queue-wait span completed at dequeue time; record it before any
   // phase span so per-thread completion order stays monotonic. Sampling
@@ -536,9 +655,31 @@ void ServeServer::dispatch(const Request& request, ForwardWorkspace& ws) {
     return (this->*handler)(request.frame);
   };
   try {
+    // Chaos probes fire before any real work: a delayed worker is what a
+    // page fault storm looks like, an alloc failure is what decode OOM
+    // looks like. Both are no-ops unless GCNT_FAULT_INJECT arms them.
+    if (const std::uint64_t delay = fault_serve_delay_probe()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+    fault_serve_alloc_probe(op_name(request.frame.opcode));
+
+    // Deadline shed at dequeue: work whose caller has already given up
+    // is answered with the typed `deadline` error instead of being run.
+    if (deadline_expired(request.frame, request.enqueue_ns,
+                         trace_now_ns())) {
+      static Counter& shed =
+          StatsRegistry::instance().counter("serve.shed_deadline");
+      shed.add();
+      throw Error(ErrorKind::kDeadline,
+                  "deadline of " + std::to_string(request.frame.deadline_ms) +
+                      " ms exceeded after " +
+                      std::to_string(queue_wait_ns / 1'000'000) +
+                      " ms in queue");
+    }
     switch (static_cast<Op>(request.frame.opcode)) {
       case Op::kPing:
-        respond(make_ok_response(request.frame, {}));
+        respond(make_ok_response(request.frame,
+                                 health_payload(request.frame.version)));
         break;
       case Op::kInfer:
         handle_infer(request, ws, record);
@@ -601,6 +742,7 @@ void ServeServer::dispatch(const Request& request, ForwardWorkspace& ws) {
     }
   }
   const std::uint64_t done_ns = trace_now_ns();
+  if (slot != nullptr) slot->busy.store(false, std::memory_order_release);
   latency.record(done_ns - dequeue_ns);
   if (tracing) {
     trace_detail::record("serve.request", dequeue_ns, done_ns, "rid",
@@ -613,6 +755,27 @@ void ServeServer::dispatch(const Request& request, ForwardWorkspace& ws) {
   log_access(std::move(record));
 }
 
+std::string ServeServer::health_payload(std::uint8_t version) {
+  // v1 pings keep their empty-body reply: old clients must never see
+  // payload bytes they do not know how to parse.
+  if (version < 2) return {};
+  std::size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    depth = queue_.size();
+  }
+  std::string payload;
+  WireWriter writer(payload);
+  writer.u32(static_cast<std::uint32_t>(depth));
+  writer.u32(static_cast<std::uint32_t>(options_.workers));
+  writer.u64(models_->snapshot().generation);
+  writer.u8(options_.brownout_queue != 0 && depth >= options_.brownout_queue
+                ? 1
+                : 0);
+  writer.u32(static_cast<std::uint32_t>(session_count()));
+  return payload;
+}
+
 void ServeServer::handle_infer(const Request& request, ForwardWorkspace& ws,
                                AccessRecord& record) {
   static Counter& batched =
@@ -620,10 +783,13 @@ void ServeServer::handle_infer(const Request& request, ForwardWorkspace& ws,
   static Histogram& batch_size =
       StatsRegistry::instance().histogram("serve.batch_size");
   // Claim every queued infer for the same session: one forward pass (or
-  // cache hit) answers the whole batch.
+  // cache hit) answers the whole batch. The queue depth at claim time is
+  // the brownout signal — it is the backlog this request actually saw.
   std::vector<Request> batch;
+  std::size_t depth_at_claim = 0;
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
+    depth_at_claim = queue_.size();
     for (auto it = queue_.begin();
          it != queue_.end() && batch.size() + 1 < options_.batch_limit;) {
       if (static_cast<Op>(it->frame.opcode) == Op::kInfer &&
@@ -635,9 +801,52 @@ void ServeServer::handle_infer(const Request& request, ForwardWorkspace& ws,
       }
     }
   }
+  const std::uint64_t claim_ns = trace_now_ns();
+  // Mid-batch deadline shed: members whose deadline expired while the
+  // batch formed get the typed `deadline` error now instead of riding a
+  // forward pass whose answer their caller has stopped waiting for.
+  {
+    static Counter& shed_batch =
+        StatsRegistry::instance().counter("serve.shed_batch");
+    std::vector<Request> kept;
+    kept.reserve(batch.size());
+    for (Request& r : batch) {
+      if (!deadline_expired(r.frame, r.enqueue_ns, claim_ns)) {
+        kept.push_back(std::move(r));
+        continue;
+      }
+      shed_batch.add();
+      const std::string error =
+          "deadline of " + std::to_string(r.frame.deadline_ms) +
+          " ms exceeded while batched";
+      const Frame response =
+          make_error_response(r.frame, ErrorKind::kDeadline, error);
+      bool sent = true;
+      try {
+        r.conn->send(response);
+      } catch (const Error&) {
+        sent = false;
+      }
+      if (sent) {
+        AccessRecord member;
+        member.ts_us = unix_micros();
+        member.rid = r.rid;
+        member.request_id = r.frame.request_id;
+        member.session = r.session;
+        member.op = op_name(r.frame.opcode);
+        member.queue_wait_us =
+            (claim_ns > r.enqueue_ns ? claim_ns - r.enqueue_ns : 0) / 1000;
+        member.bytes_in = r.bytes_in;
+        member.bytes_out = frame_bytes(response);
+        member.outcome = error_kind_name(ErrorKind::kDeadline);
+        member.error = error;
+        log_access(std::move(member));
+      }
+    }
+    batch = std::move(kept);
+  }
   batched.add(batch.size());
   batch_size.record(batch.size() + 1);
-  const std::uint64_t claim_ns = trace_now_ns();
   // A batch member's queue wait ends when the batch claims it.
   for (const Request& r : batch) {
     if (r.sampled && trace_enabled()) {
@@ -646,6 +855,9 @@ void ServeServer::handle_infer(const Request& request, ForwardWorkspace& ws,
     }
   }
 
+  const bool brownout_on = options_.brownout_queue != 0 &&
+                           depth_at_claim >= options_.brownout_queue;
+  bool served_brownout = false;
   std::string payload;
   ErrorKind error_kind = ErrorKind::kInternal;
   std::string error_message;
@@ -667,7 +879,24 @@ void ServeServer::handle_infer(const Request& request, ForwardWorkspace& ws,
     const ModelRegistry::Snapshot snapshot = models_->snapshot();
     std::lock_guard<std::mutex> lock(session->mutex());
     const Matrix* logits = nullptr;
-    {
+    if (brownout_on) {
+      // Brownout: past the queue-depth threshold, answer from the
+      // session's cached (possibly stale) logits and skip the forward.
+      // Cold sessions have nothing cached and fall through to a normal
+      // forward — degrading them would mean failing them.
+      static Counter& brownout_served =
+          StatsRegistry::instance().counter("serve.brownout_served");
+      static Counter& brownout_miss =
+          StatsRegistry::instance().counter("serve.brownout_miss");
+      logits = session->cached_logits(snapshot);
+      if (logits != nullptr) {
+        brownout_served.add(batch.size() + 1);
+        served_brownout = true;
+      } else {
+        brownout_miss.add();
+      }
+    }
+    if (logits == nullptr) {
       TraceSpan span("serve.forward");
       span.arg("rid", static_cast<double>(request.rid));
       logits = &session->logits(snapshot, ws);
@@ -700,30 +929,50 @@ void ServeServer::handle_infer(const Request& request, ForwardWorkspace& ws,
   record.forward_us = (forward_done_ns - decode_done_ns) / 1000;
   record.encode_us = (encode_done_ns - forward_done_ns) / 1000;
   record.batch = batch.size() + 1;
+  record.brownout = served_brownout;
   if (!ok) {
     record.outcome = error_kind_name(error_kind);
     record.error = error_message;
   }
 
   const auto response_for = [&](const Frame& frame) {
-    return ok ? make_ok_response(frame, payload)
-              : make_error_response(frame, error_kind, error_message);
+    Frame response = ok ? make_ok_response(frame, payload)
+                        : make_error_response(frame, error_kind,
+                                              error_message);
+    if (ok && served_brownout && response.version >= 2) {
+      response.flags |= kFrameFlagBrownout;
+    }
+    return response;
   };
   {
     const Frame response = response_for(request.frame);
     record.bytes_out = frame_bytes(response);
     try {
       request.conn->send(response);
-    } catch (const Error&) {
+    } catch (const Error& e) {
+      // The reply never reached the peer: the access line must say so,
+      // not claim success (chaos asserts every faulted request is typed).
+      if (record.outcome == "ok") {
+        record.outcome = error_kind_name(e.kind());
+        record.error = e.what();
+      }
     }
   }
   // Batch members get their own spans and access-log lines; the shared
   // forward pass is visible through the common batch size.
   for (const Request& r : batch) {
     const Frame response = response_for(r.frame);
+    AccessRecord member;
+    member.outcome = record.outcome;
+    member.error = record.error;
+    member.brownout = served_brownout;
     try {
       r.conn->send(response);
-    } catch (const Error&) {
+    } catch (const Error& e) {
+      if (member.outcome == "ok") {
+        member.outcome = error_kind_name(e.kind());
+        member.error = e.what();
+      }
     }
     const std::uint64_t done_ns = trace_now_ns();
     if (r.sampled && trace_enabled()) {
@@ -731,7 +980,6 @@ void ServeServer::handle_infer(const Request& request, ForwardWorkspace& ws,
                            static_cast<double>(r.rid), "op",
                            static_cast<double>(r.frame.opcode));
     }
-    AccessRecord member;
     member.ts_us = unix_micros();
     member.rid = r.rid;
     member.request_id = r.frame.request_id;
@@ -743,8 +991,6 @@ void ServeServer::handle_infer(const Request& request, ForwardWorkspace& ws,
     member.batch = batch.size() + 1;
     member.bytes_in = r.bytes_in;
     member.bytes_out = frame_bytes(response);
-    member.outcome = record.outcome;
-    member.error = record.error;
     log_access(std::move(member));
   }
 }
@@ -888,6 +1134,12 @@ std::string ServeServer::handle_close_session(const Frame& frame) {
   if (sessions_.erase(name) == 0) {
     throw Error(ErrorKind::kUsage, "unknown session '" + name + "'");
   }
+  if (quarantined_.erase(name) != 0) {
+    // Closing a quarantined session lifts the quarantine: reloading it
+    // is the operator's way of putting it back in service.
+    StatsRegistry::instance().gauge("serve.quarantined").set(
+        static_cast<std::int64_t>(quarantined_.size()));
+  }
   StatsRegistry::instance().gauge("serve.sessions").set(
       static_cast<std::int64_t>(sessions_.size()));
   return {};
@@ -896,8 +1148,73 @@ std::string ServeServer::handle_close_session(const Frame& frame) {
 std::shared_ptr<ServeSession> ServeServer::find_session(
     const std::string& name) {
   std::lock_guard<std::mutex> lock(sessions_mutex_);
+  if (quarantined_.count(name) != 0) {
+    throw Error(ErrorKind::kResource,
+                "session '" + name +
+                    "' is quarantined (watchdog flagged a stuck request; "
+                    "close and reload it to restore service)");
+  }
   const auto it = sessions_.find(name);
   return it == sessions_.end() ? nullptr : it->second;
+}
+
+void ServeServer::watchdog_loop() {
+  trace_set_thread_name("serve-watchdog");
+  static Counter& stuck =
+      StatsRegistry::instance().counter("serve.watchdog_stuck");
+  const std::uint64_t budget_ns = options_.watchdog_budget_ms * 1'000'000ull;
+  const std::uint64_t tick_ms =
+      std::min<std::uint64_t>(50,
+                              std::max<std::uint64_t>(
+                                  5, options_.watchdog_budget_ms / 4));
+  while (!shutting_down_.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(tick_ms));
+    const std::uint64_t now_ns = trace_now_ns();
+    for (const std::unique_ptr<InFlight>& slot : in_flight_) {
+      if (!slot->busy.load(std::memory_order_acquire)) continue;
+      const std::uint64_t rid = slot->rid.load(std::memory_order_relaxed);
+      const std::uint64_t start_ns =
+          slot->start_ns.load(std::memory_order_relaxed);
+      if (now_ns <= start_ns + budget_ns) continue;
+      if (slot->reported_rid == rid) continue;  // already flagged
+      // Re-check after the loads: the worker may have finished and
+      // started a different request between our busy and rid reads.
+      if (!slot->busy.load(std::memory_order_acquire) ||
+          slot->rid.load(std::memory_order_relaxed) != rid) {
+        continue;
+      }
+      slot->reported_rid = rid;
+      stuck.add();
+      const std::uint8_t opcode =
+          slot->opcode.load(std::memory_order_relaxed);
+      std::string session;
+      std::shared_ptr<Connection> conn;
+      {
+        std::lock_guard<std::mutex> lock(slot->name_mutex);
+        session = slot->session;
+        conn = slot->conn.lock();
+      }
+      const std::string session_label =
+          session.empty() ? std::string("-") : session;
+      log_warn("serve: watchdog: rid ", rid, " (", op_name(opcode),
+               ", session ", session_label, ") held for ",
+               (now_ns - start_ns) / 1'000'000, " ms (budget ",
+               options_.watchdog_budget_ms, " ms)");
+      if (options_.watchdog_action == WatchdogAction::kQuarantine &&
+          !session.empty()) {
+        std::lock_guard<std::mutex> lock(sessions_mutex_);
+        if (quarantined_.insert(session).second) {
+          StatsRegistry::instance().gauge("serve.quarantined").set(
+              static_cast<std::int64_t>(quarantined_.size()));
+          log_warn("serve: watchdog: quarantined session ", session);
+        }
+      } else if (options_.watchdog_action == WatchdogAction::kAbort &&
+                 conn != nullptr) {
+        log_warn("serve: watchdog: aborting connection of rid ", rid);
+        conn->close();
+      }
+    }
+  }
 }
 
 }  // namespace gcnt::serve

@@ -21,6 +21,23 @@
 // Shutdown is always clean: a kShutdown request, request_stop() (the
 // CLI's signal handler), or EOF in stdio mode stop the acceptor, drain
 // the queue, answer everything in flight, and join all threads.
+//
+// Resilience (all opt-in via ServeOptions; defaults keep the PR 6/7
+// behavior):
+//   - deadlines: v2 requests may carry a deadline; requests that expire
+//     in the queue or inside a claimed batch are shed with a typed
+//     `deadline` error (serve.shed_deadline / serve.shed_batch).
+//   - connection hygiene: per-connection receive timeouts reap idle
+//     peers and kill mid-frame stalls; a connection cap rejects excess
+//     peers with a typed `resource` error before a reader is spawned.
+//   - watchdog: a monitor thread flags requests stuck past a budget
+//     (serve.watchdog_stuck), and can abort the stuck connection or
+//     quarantine the session (further requests get typed `resource`
+//     errors) instead of just logging.
+//   - brownout: past a queue-depth threshold, infer requests are
+//     answered from the session's cached (possibly stale) logits
+//     instead of running (re-)propagation — flagged on the wire
+//     (kFrameFlagBrownout) and in the access log.
 
 #include <atomic>
 #include <condition_variable>
@@ -29,6 +46,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -40,6 +58,15 @@
 #include "serve/session.h"
 
 namespace gcnt::serve {
+
+/// What the watchdog does to a request stuck past its budget (beyond
+/// logging rid/op/session and bumping serve.watchdog_stuck, which it
+/// always does).
+enum class WatchdogAction {
+  kLog,         ///< log only
+  kAbort,       ///< close the stuck request's connection
+  kQuarantine,  ///< refuse further requests on the stuck session
+};
 
 struct ServeOptions {
   std::string model_path;  ///< required: initial model artifact
@@ -58,6 +85,24 @@ struct ServeOptions {
   std::string access_log;
   /// Slow-request ring capacity (N worst by service time, kMetrics dump).
   std::size_t slow_ring = 16;
+
+  // --- resilience (0 = feature disabled, the pre-resilience behavior) ---
+
+  /// Mid-frame read stall budget per connection, ms. A peer that goes
+  /// silent inside a frame for this long is dropped (slowloris guard).
+  std::uint64_t read_timeout_ms = 0;
+  /// Reap connections idle (no frame started) this long, ms. When
+  /// read_timeout_ms is 0 the idle budget is one receive-timeout tick.
+  std::uint64_t idle_timeout_ms = 0;
+  /// Concurrent connection cap; excess peers get one typed `resource`
+  /// error frame and are closed before a reader thread is spawned.
+  std::size_t max_connections = 0;
+  /// Watchdog: flag a request its worker has held longer than this, ms.
+  std::uint64_t watchdog_budget_ms = 0;
+  WatchdogAction watchdog_action = WatchdogAction::kLog;
+  /// Brownout: serve infer from cached logits when the queue depth at
+  /// dequeue is at or above this threshold.
+  std::size_t brownout_queue = 0;
 };
 
 class ServeServer {
@@ -117,20 +162,41 @@ class ServeServer {
     bool sampled = false;  ///< records serve.* spans for this request
   };
 
+  /// What one worker is doing right now, published for the watchdog.
+  /// The worker writes busy/rid/start_ns with release stores; the
+  /// watchdog reads them with acquires and takes name_mutex only for
+  /// the session string and connection handle.
+  struct InFlight {
+    std::atomic<bool> busy{false};
+    std::atomic<std::uint64_t> rid{0};
+    std::atomic<std::uint64_t> start_ns{0};
+    std::atomic<std::uint8_t> opcode{0};
+    std::mutex name_mutex;
+    std::string session;
+    std::weak_ptr<Connection> conn;
+    std::uint64_t reported_rid = ~0ull;  ///< watchdog-thread-only state
+  };
+
   void acceptor_loop();
   void connection_loop(std::shared_ptr<Connection> conn);
   void worker_loop(std::size_t index);
+  void watchdog_loop();
   /// Reads frames from `conn` until EOF/shutdown; enqueues requests.
   void pump_connection(const std::shared_ptr<Connection>& conn);
   /// Admission control; replies with a typed error when not admitted.
   void enqueue(Request request);
-  void dispatch(const Request& request, ForwardWorkspace& ws);
+  void dispatch(const Request& request, ForwardWorkspace& ws,
+                InFlight* slot);
   /// Answers `request` plus every batched same-session infer. Fills
   /// `record`'s phase timings, batch size, bytes_out, and outcome (it
   /// replies errors itself and never throws for handler failures).
   void handle_infer(const Request& request, ForwardWorkspace& ws,
                     AccessRecord& record);
 
+  /// v2 ping body: queue depth, workers, model generation, brownout
+  /// flag, session count. v1 requesters get an empty body (the PR 6
+  /// contract), so old clients never see fields they cannot parse.
+  std::string health_payload(std::uint8_t version);
   std::string handle_load_session(const Frame& frame);
   std::string handle_append_observe(const Frame& frame);
   std::string handle_append_control(const Frame& frame);
@@ -139,6 +205,8 @@ class ServeServer {
   std::string handle_reload(const Frame& frame);
   std::string handle_close_session(const Frame& frame);
 
+  /// Looks up a resident session. Returns nullptr when unknown; throws
+  /// Error{kResource} when the watchdog has quarantined it.
   std::shared_ptr<ServeSession> find_session(const std::string& name);
   void begin_shutdown();
   /// Emits one access-log line and offers the record to the slow ring.
@@ -155,6 +223,8 @@ class ServeServer {
 
   mutable std::mutex sessions_mutex_;
   std::map<std::string, std::shared_ptr<ServeSession>> sessions_;
+  /// Sessions the watchdog took out of service (under sessions_mutex_).
+  std::set<std::string> quarantined_;
 
   std::mutex queue_mutex_;
   std::condition_variable queue_ready_;
@@ -177,6 +247,9 @@ class ServeServer {
   int bound_tcp_port_ = -1;
   std::thread acceptor_;
   std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<InFlight>> in_flight_;  ///< one per worker
+  std::thread watchdog_;
+  std::atomic<std::size_t> live_connections_{0};
   std::mutex connections_mutex_;
   std::vector<std::shared_ptr<Connection>> connections_;
   std::vector<std::thread> readers_;

@@ -120,6 +120,7 @@ const Matrix& ServeSession::logits(const ModelRegistry::Snapshot& snapshot,
     if (!have_plain_) {
       model_->infer(tensors_, ws, plain_logits_);
       have_plain_ = true;
+      plain_generation_ = model_generation_;
     }
     return plain_logits_;
   }
@@ -143,6 +144,21 @@ const Matrix& ServeSession::logits(const ModelRegistry::Snapshot& snapshot,
     tracker_.clear();
   }
   return engine_->logits();
+}
+
+const Matrix* ServeSession::cached_logits(
+    const ModelRegistry::Snapshot& snapshot) const noexcept {
+  // The engine's cached logits stay bit-valid across edits (update()
+  // keeps them current modulo un-propagated tracker entries); engine_
+  // and have_cache_ are dropped on reload before model_generation_
+  // advances, so the generation check gates both sources.
+  if (engine_ && have_cache_ && model_generation_ == snapshot.generation) {
+    return &engine_->logits();
+  }
+  if (plain_logits_.rows() != 0 && plain_generation_ == snapshot.generation) {
+    return &plain_logits_;
+  }
+  return nullptr;
 }
 
 NodeId ServeSession::append_observe(NodeId target) {

@@ -89,6 +89,14 @@ class ServeSession {
   /// set against the cached one (same scheme as run_gcn_cpi).
   Netlist::ControlPoint append_control(NodeId target, bool drive_to_one);
 
+  /// Brownout answer source: the last logits this session computed for
+  /// the model generation in `snapshot`, or nullptr when none exist.
+  /// The returned matrix may be STALE — pending edits have not been
+  /// propagated into it — which is exactly the degraded-but-fast tier
+  /// brownout trades for skipping the forward. Never runs a forward.
+  const Matrix* cached_logits(
+      const ModelRegistry::Snapshot& snapshot) const noexcept;
+
  private:
   void ensure_model(const ModelRegistry::Snapshot& snapshot);
 
@@ -110,6 +118,10 @@ class ServeSession {
   /// the calling worker's ForwardWorkspace and only the logits persist.
   Matrix plain_logits_;
   bool have_plain_ = false;
+  /// Generation plain_logits_ was computed under. have_plain_ means
+  /// "fresh"; the matrix itself stays valid for brownout until the next
+  /// full forward or a model reload invalidates this generation tag.
+  std::uint64_t plain_generation_ = 0;
 
   /// Cached-embedding engine; constructed lazily on the first edited
   /// forward, dropped on model reload.

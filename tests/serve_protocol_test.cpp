@@ -139,11 +139,99 @@ TEST(ServeProtocol, TruncatedBodyThrowsCorrupt) {
 TEST(ServeProtocol, StatusMappingRoundTrips) {
   for (ErrorKind kind :
        {ErrorKind::kIo, ErrorKind::kCorrupt, ErrorKind::kVersion,
-        ErrorKind::kResource, ErrorKind::kUsage, ErrorKind::kInternal}) {
+        ErrorKind::kResource, ErrorKind::kUsage, ErrorKind::kInternal,
+        ErrorKind::kDeadline}) {
     const std::uint8_t status = wire_status(kind);
     EXPECT_NE(status, kStatusOk);
     EXPECT_EQ(error_kind_for_status(status), kind);
   }
+}
+
+TEST(ServeProtocol, V2DeadlineRoundTrip) {
+  Frame frame;
+  frame.opcode = static_cast<std::uint8_t>(Op::kInfer);
+  frame.request_id = 77;
+  frame.flags = kFrameFlagDeadline;
+  frame.deadline_ms = 1500;
+  frame.body = "session";
+
+  const std::string bytes = encode_frame(frame);
+  Frame decoded;
+  std::size_t consumed = 0;
+  ErrorKind kind = ErrorKind::kInternal;
+  std::string message;
+  ASSERT_EQ(decode_frame(bytes, decoded, consumed, kind, message),
+            DecodeResult::kFrame);
+  EXPECT_EQ(consumed, bytes.size());
+  EXPECT_EQ(decoded.version, kProtocolVersion);
+  EXPECT_TRUE(decoded.has_deadline());
+  EXPECT_EQ(decoded.deadline_ms, 1500u);
+  EXPECT_EQ(decoded.body, "session");
+}
+
+TEST(ServeProtocol, V1FrameStillDecodes) {
+  // A v1 peer's frame: version byte 1, no flags semantics, no deadline
+  // extension. The v2 codec must accept it unchanged.
+  Frame frame;
+  frame.version = 1;
+  frame.opcode = static_cast<std::uint8_t>(Op::kPing);
+  frame.request_id = 3;
+  const std::string bytes = encode_frame(frame);
+  Frame decoded;
+  std::size_t consumed = 0;
+  ErrorKind kind = ErrorKind::kInternal;
+  std::string message;
+  ASSERT_EQ(decode_frame(bytes, decoded, consumed, kind, message),
+            DecodeResult::kFrame);
+  EXPECT_EQ(decoded.version, 1);
+  EXPECT_FALSE(decoded.has_deadline());
+  EXPECT_EQ(decoded.deadline_ms, 0u);
+}
+
+TEST(ServeProtocol, TruncatedDeadlineIsMalformed) {
+  // Deadline flag set but the payload stops before the deadline field.
+  Frame frame;
+  frame.opcode = static_cast<std::uint8_t>(Op::kPing);
+  frame.flags = kFrameFlagDeadline;
+  frame.deadline_ms = 10;
+  std::string bytes = encode_frame(frame);
+  // Shrink the payload to exactly the fixed header (drop the 4-byte
+  // extension) and patch the length prefix to match.
+  bytes.resize(4 + kFrameHeaderBytes);
+  const std::uint32_t payload = kFrameHeaderBytes;
+  std::memcpy(bytes.data(), &payload, 4);
+
+  Frame decoded;
+  std::size_t consumed = 0;
+  ErrorKind kind = ErrorKind::kInternal;
+  std::string message;
+  EXPECT_EQ(decode_frame(bytes, decoded, consumed, kind, message),
+            DecodeResult::kMalformed);
+  EXPECT_EQ(kind, ErrorKind::kCorrupt);
+  EXPECT_NE(message.find("deadline"), std::string::npos);
+}
+
+TEST(ServeProtocol, ResponseEchoesRequestVersion) {
+  Frame v1_request;
+  v1_request.version = 1;
+  v1_request.opcode = static_cast<std::uint8_t>(Op::kPing);
+  v1_request.request_id = 5;
+  EXPECT_EQ(make_ok_response(v1_request, {}).version, 1);
+  EXPECT_EQ(make_error_response(v1_request, ErrorKind::kUsage, "x").version,
+            1);
+  Frame v2_request;
+  v2_request.opcode = static_cast<std::uint8_t>(Op::kPing);
+  EXPECT_EQ(make_ok_response(v2_request, {}).version, kProtocolVersion);
+}
+
+TEST(ServeProtocol, BrownoutFlagOnlyOnV2Responses) {
+  Frame response;
+  response.opcode =
+      static_cast<std::uint8_t>(Op::kInfer) | kResponseBit;
+  response.flags = kFrameFlagBrownout;
+  EXPECT_TRUE(response.is_brownout());
+  response.version = 1;
+  EXPECT_FALSE(response.is_brownout());
 }
 
 TEST(ServeProtocol, ResponseBuilders) {

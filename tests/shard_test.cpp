@@ -275,6 +275,110 @@ TEST(GraphPartition, ExtendFollowsAppendedRowsExactly) {
   }
 }
 
+TEST(GraphPartition, ExtendWithZeroAppendedRows) {
+  const Netlist netlist = test_netlist(27, 500);
+  const GraphTensors tensors = build_graph_tensors(netlist);
+  PartitionOptions options;
+  options.shards = 3;
+  options.halo = 2;
+  GraphPartition partition =
+      GraphPartition::build(tensors.pred, tensors.succ, options);
+  std::vector<std::vector<std::uint32_t>> owners_before, halo_before;
+  for (std::size_t k = 0; k < partition.shard_count(); ++k) {
+    owners_before.push_back(partition.shard(k).owners);
+    halo_before.push_back(partition.shard(k).halo);
+  }
+  // Extend with nothing appended: a no-op that must touch no shard.
+  const std::vector<std::size_t> affected =
+      partition.extend(tensors.pred, tensors.succ);
+  EXPECT_TRUE(affected.empty());
+  EXPECT_EQ(partition.row_count(), tensors.node_count());
+  for (std::size_t k = 0; k < partition.shard_count(); ++k) {
+    EXPECT_EQ(partition.shard(k).owners, owners_before[k]);
+    EXPECT_EQ(partition.shard(k).halo, halo_before[k]);
+  }
+  partition.validate(tensors.pred, tensors.succ);
+}
+
+/// Rows within `hops` BFS steps of `start` over the pred+succ union.
+std::vector<std::uint32_t> neighborhood(const CsrMatrix& pred,
+                                        const CsrMatrix& succ,
+                                        std::uint32_t start, int hops) {
+  std::vector<std::uint32_t> frontier{start};
+  std::vector<std::uint32_t> seen{start};
+  for (int d = 0; d < hops; ++d) {
+    std::vector<std::uint32_t> next;
+    for (const std::uint32_t row : frontier) {
+      const auto expand = [&](const CsrMatrix& adjacency) {
+        const auto& ptr = adjacency.row_ptr();
+        const auto& cols = adjacency.col_index();
+        for (std::uint32_t e = ptr[row]; e < ptr[row + 1]; ++e) {
+          if (std::find(seen.begin(), seen.end(), cols[e]) == seen.end()) {
+            seen.push_back(cols[e]);
+            next.push_back(cols[e]);
+          }
+        }
+      };
+      expand(pred);
+      expand(succ);
+    }
+    frontier = std::move(next);
+  }
+  return seen;
+}
+
+TEST(GraphPartition, ExtendAppendTouchingNoExistingHalo) {
+  Netlist netlist = test_netlist(28, 900);
+  GraphTensors tensors = build_graph_tensors(netlist);
+  ScoapMeasures scoap = compute_scoap(netlist);
+  std::vector<std::uint32_t> levels = netlist.logic_levels();
+  PartitionOptions options;
+  options.shards = 2;
+  options.halo = 2;
+  GraphPartition partition =
+      GraphPartition::build(tensors.pred, tensors.succ, options);
+
+  // An OP target deep inside shard 0: everything within halo+1 hops is
+  // shard-0-owned, so the appended OP row (one hop from the target) can
+  // reach no shard-1 row within the halo depth.
+  NodeId target = kInvalidNode;
+  for (const NodeId v : op_targets(netlist, 400)) {
+    if (partition.owner_of(v) != 0) continue;
+    bool interior = true;
+    for (const std::uint32_t row :
+         neighborhood(tensors.pred, tensors.succ, v, options.halo + 1)) {
+      if (partition.owner_of(row) != 0) {
+        interior = false;
+        break;
+      }
+    }
+    if (interior) {
+      target = v;
+      break;
+    }
+  }
+  ASSERT_NE(target, kInvalidNode) << "no interior target found in shard 0";
+
+  const std::vector<std::uint32_t> owners1_before =
+      partition.shard(1).owners;
+  const std::vector<std::uint32_t> halo1_before = partition.shard(1).halo;
+
+  DirtyConeTracker tracker;
+  insert_ops(netlist, tensors, scoap, levels, {target}, tracker);
+  const std::vector<std::size_t> affected =
+      partition.extend(tensors.pred, tensors.succ);
+  // Only the owning shard rebuilds; the untouched shard keeps its exact
+  // owner and halo lists (the incremental-extend contract).
+  ASSERT_EQ(affected.size(), 1u);
+  EXPECT_EQ(affected[0], 0u);
+  EXPECT_EQ(partition.shard(1).owners, owners1_before);
+  EXPECT_EQ(partition.shard(1).halo, halo1_before);
+  EXPECT_EQ(
+      partition.owner_of(static_cast<std::uint32_t>(netlist.size() - 1)),
+      0u);
+  partition.validate(tensors.pred, tensors.succ);
+}
+
 // ---------------------------------------------------------------------------
 // Sharded forward: bitwise identity vs the monolithic model
 

@@ -13,16 +13,21 @@
 //                 [--checkpoint base] [--resume]
 //   gcnt serve    --model model.txt (--socket path | --port P | --stdio)
 //                 [--workers N] [--queue N] [--batch N] [--max-sessions N]
+//                 [--read-timeout MS] [--idle-timeout MS] [--max-conns N]
+//                 [--watchdog MS] [--watchdog-action log|abort|quarantine]
+//                 [--brownout-queue N]
+//   gcnt ping     (--socket path | --port P) [--timeout MS]
 //
 // `serve` runs the inference daemon: model loaded once, netlists resident
 // as named sessions, requests framed over the socket (src/serve/). SIGINT
-// or SIGTERM shuts it down cleanly; see docs/API.md ("Serving").
+// or SIGTERM shuts it down cleanly; see docs/API.md ("Serving" and
+// "Serve resilience").
 //
 // --resume continues an interrupted train/opi/flow run from its
 // checkpoint / insertion journal (crash-safe: every artifact is written
 // atomically and checksummed; see docs/API.md). Failures exit with
 // sysexits-style codes: 64 usage, 65 corrupt, 70 internal, 71 resource,
-// 74 i/o.
+// 74 i/o, 75 deadline.
 //
 // Global observability flags (any command): --trace out.json writes a
 // Chrome trace-event file, --stats prints the stats registry to stderr,
@@ -410,6 +415,27 @@ int cmd_serve(const Args& args) {
   }
   options.slow_ring = args.get_size("slow-ring", 16);
 
+  // Resilience knobs (docs/API.md "Serve resilience"). The hygiene
+  // defaults are generous enough to never bite a healthy client but
+  // still reap wedged peers; 0 disables a knob entirely.
+  options.read_timeout_ms = args.get_size("read-timeout", 30000);
+  options.idle_timeout_ms = args.get_size("idle-timeout", 300000);
+  options.max_connections = args.get_size("max-conns", 256);
+  options.watchdog_budget_ms = args.get_size("watchdog", 10000);
+  const std::string action = args.get("watchdog-action", "log");
+  if (action == "log") {
+    options.watchdog_action = serve::WatchdogAction::kLog;
+  } else if (action == "abort") {
+    options.watchdog_action = serve::WatchdogAction::kAbort;
+  } else if (action == "quarantine") {
+    options.watchdog_action = serve::WatchdogAction::kQuarantine;
+  } else {
+    throw Error(ErrorKind::kUsage,
+                "--watchdog-action must be log, abort, or quarantine (got " +
+                    action + ")");
+  }
+  options.brownout_queue = args.get_size("brownout-queue", 0);
+
   // The daemon always keeps stats on: kMetrics scrapes and `gcnt top`
   // are useless without them, and the cost is relaxed atomic adds.
   set_stats_enabled(true);
@@ -432,18 +458,42 @@ int cmd_serve(const Args& args) {
 }
 
 /// Connects to a running daemon for the client-side subcommands
-/// (`metrics`, `top`).
+/// (`ping`, `metrics`, `top`). Bounded timeouts (--timeout MS overrides
+/// both) so a dead daemon means a fast typed `io` failure (exit 74), not
+/// a hang; the connect error says so explicitly.
 serve::ServeClient connect_serve_client(const Args& args) {
+  serve::ClientOptions options;
+  options.connect_timeout_ms = args.get_size("timeout", 2000);
+  options.recv_timeout_ms = args.get_size("timeout", 5000);
+  options.send_timeout_ms = options.recv_timeout_ms;
   const std::string socket_path = args.get("socket", "");
-  if (!socket_path.empty()) {
-    return serve::ServeClient::connect_unix(socket_path);
-  }
-  if (args.has("port")) {
-    return serve::ServeClient::connect_tcp(
-        static_cast<int>(args.get_size("port", 0)));
+  try {
+    if (!socket_path.empty()) {
+      return serve::ServeClient::connect_unix(socket_path, options);
+    }
+    if (args.has("port")) {
+      return serve::ServeClient::connect_tcp(
+          static_cast<int>(args.get_size("port", 0)), options);
+    }
+  } catch (const Error& e) {
+    if (e.kind() == ErrorKind::kIo) {
+      throw Error(ErrorKind::kIo,
+                  std::string(e.what()) + " — is the daemon running?");
+    }
+    throw;
   }
   throw Error(ErrorKind::kUsage,
               "need --socket <path> or --port <p> to reach the daemon");
+}
+
+int cmd_ping(const Args& args) {
+  serve::ServeClient client = connect_serve_client(args);
+  const serve::ServeClient::Health health = client.ping();
+  std::cout << "ok: queue " << health.queue_depth << ", workers "
+            << health.workers << ", model generation "
+            << health.model_generation << ", sessions " << health.sessions
+            << ", brownout " << (health.brownout ? "on" : "off") << "\n";
+  return 0;
 }
 
 int cmd_metrics(const Args& args) {
@@ -591,14 +641,21 @@ int usage() {
             << "           [--workers N] [--queue N] [--batch N] "
                "[--max-sessions N]\n"
             << "           [--access-log file] [--slow-ring N]\n"
-            << "  metrics  (--socket path | --port P) [--slow]\n"
+            << "           [--read-timeout MS] [--idle-timeout MS] "
+               "[--max-conns N]\n"
+            << "           [--watchdog MS] [--watchdog-action "
+               "log|abort|quarantine]\n"
+            << "           [--brownout-queue N]\n"
+            << "  ping     (--socket path | --port P) [--timeout MS]\n"
+            << "  metrics  (--socket path | --port P) [--slow] "
+               "[--timeout MS]\n"
             << "  top      (--socket path | --port P) [--interval MS] "
                "[--count N] [--plain]\n"
             << "global flags: --trace out.json | --stats | --stats-json "
                "out.json\n"
             << "netlists ending in .v are treated as structural Verilog\n"
             << "exit codes: 64 usage, 65 corrupt/version, 70 internal, "
-               "71 resource, 74 i/o\n";
+               "71 resource, 74 i/o, 75 deadline\n";
   return exit_code_for(ErrorKind::kUsage);
 }
 
@@ -612,6 +669,7 @@ int dispatch(const Args& args) {
   if (args.command == "opi") return cmd_opi(args);
   if (args.command == "flow") return cmd_flow(args);
   if (args.command == "serve") return cmd_serve(args);
+  if (args.command == "ping") return cmd_ping(args);
   if (args.command == "metrics") return cmd_metrics(args);
   if (args.command == "top") return cmd_top(args);
   return usage();
