@@ -11,6 +11,7 @@
 #include "common/table.h"
 #include "common/timer.h"
 #include "gcn/graph_tensors.h"
+#include "gcn/quant.h"
 #include "gen/generator.h"
 #include "netlist/bench_io.h"
 #include "tensor/simd/simd.h"
@@ -135,12 +136,25 @@ bool write_bench_json(
       // v3 added SIMD dispatch + graph reordering provenance; v4 the
       // serve daemon's loadgen keys ("serve.qps", "serve.p99_ms" — see
       // bench/loadgen.cpp); v5 the sharded out-of-core keys ("shard.*" —
-      // see bench/fig10_sharded.cpp). String-valued "schema." entries are
-      // metadata; bench_gate ignores them when comparing.
-      out << "  \"schema.version\": 5,\n";
+      // see bench/fig10_sharded.cpp); v6 the quantized tier: a
+      // "schema.precision" string plus numeric "simd.target" /
+      // "precision" gauges so every bench file carries the resolved
+      // dispatch path and inference tier that produced it. String-valued
+      // "schema." entries are metadata; bench_gate ignores them when
+      // comparing.
+      out << "  \"schema.version\": 6,\n";
       out << "  \"schema.simd\": \"" << simd_target_name() << "\",\n";
+      out << "  \"schema.precision\": \""
+          << precision_name(resolve_precision()) << "\",\n";
       out << "  \"schema.reorder\": \""
-          << (graph_reorder() == GraphReorder::kRcm ? "rcm" : "off") << "\""
+          << (graph_reorder() == GraphReorder::kRcm ? "rcm" : "off")
+          << "\",\n";
+      // Numeric gauges use the stats-registry encodings ("simd.target":
+      // 0 scalar / 1 avx2 / 2 avx512; "precision": 0 fp32 / 1 int8).
+      out << "  \"simd.target\": " << static_cast<int>(simd_target())
+          << ",\n";
+      out << "  \"precision\": "
+          << static_cast<int>(resolve_precision())
           << (entries.empty() ? "\n" : ",\n");
       for (std::size_t i = 0; i < entries.size(); ++i) {
         out << "  \"" << entries[i].first << "\": " << entries[i].second

@@ -1,0 +1,96 @@
+// Quantized-inference agreement gate: trains the paper's GCN on the
+// Table 2 suite (B1-B4), then compares fp32 and int8 argmax
+// classifications node-for-node on every design. The int8 tier is only
+// useful if it reaches the same test decisions, so this harness
+// self-gates: overall agreement below 99% exits nonzero.
+//
+// With GCNT_BENCH_JSON set it writes the "quant.agreement" key, which
+// tools/bench_gate treats as an accuracy contract (zero regression
+// tolerance against the committed baseline — the baseline value is the
+// floor, not a measurement). Deterministic given fixed bench knobs: fp32
+// training is bitwise reproducible per dispatch target (and identical
+// across avx2/avx512), and int8 inference is bitwise deterministic
+// across targets outright.
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "gcn/quant.h"
+
+namespace {
+
+using namespace gcnt;
+
+std::vector<int> argmax_predictions(const Matrix& logits) {
+  std::vector<int> pred(logits.rows());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    pred[r] = logits.at(r, 1) > logits.at(r, 0) ? 1 : 0;
+  }
+  return pred;
+}
+
+}  // namespace
+
+int main() {
+  const auto suite = bench::load_suite();
+
+  // One model over the whole suite: agreement measures fp32-vs-int8
+  // consistency, not generalization, so no design is held out.
+  GcnModel model(bench::paper_model_config());
+  TrainerOptions options;
+  options.epochs = bench::bench_epochs();
+  options.learning_rate = 1e-2f;
+  options.eval_interval = options.epochs;
+  Trainer trainer(model, options);
+  trainer.train(bench::balanced_training_set(suite, suite.size()), nullptr);
+
+  std::vector<Matrix> fp32_logits;
+  fp32_logits.reserve(suite.size());
+  for (const Dataset& design : suite) {
+    fp32_logits.push_back(model.infer(design.tensors));
+  }
+  model.set_precision(Precision::kInt8);  // calibrates the trained weights
+
+  Table table("Quantization agreement (fp32 vs int8 argmax, all nodes)",
+              {"Design", "Nodes", "Disagree", "Agreement"});
+  std::size_t agree = 0;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const Matrix int8_logits = model.infer(suite[i].tensors);
+    const auto fp32_pred = argmax_predictions(fp32_logits[i]);
+    const auto int8_pred = argmax_predictions(int8_logits);
+    std::size_t same = 0;
+    for (std::size_t r = 0; r < fp32_pred.size(); ++r) {
+      same += fp32_pred[r] == int8_pred[r] ? 1 : 0;
+    }
+    agree += same;
+    total += fp32_pred.size();
+    table.add_row({suite[i].name(), std::to_string(fp32_pred.size()),
+                   std::to_string(fp32_pred.size() - same),
+                   Table::num(static_cast<double>(same) /
+                              static_cast<double>(fp32_pred.size()))});
+  }
+  const double agreement =
+      total == 0 ? 0.0
+                 : static_cast<double>(agree) / static_cast<double>(total);
+  table.print(std::cout);
+  std::cout << "\noverall quant.agreement = " << agreement
+            << " (gate: >= 0.99)\n";
+
+  if (const char* path = std::getenv("GCNT_BENCH_JSON")) {
+    if (!bench::write_bench_json(path, {{"quant.agreement", agreement}})) {
+      std::cerr << "quant_agreement: failed to write GCNT_BENCH_JSON to "
+                << path << "\n";
+      return 1;
+    }
+  }
+  if (agreement < 0.99) {
+    std::cerr << "quant_agreement: FAIL — int8 agreement " << agreement
+              << " below the 0.99 gate\n";
+    return 1;
+  }
+  return 0;
+}

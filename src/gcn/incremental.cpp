@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/stats.h"
 #include "common/trace.h"
 #include "nn/loss.h"
 
@@ -116,6 +117,17 @@ const Matrix& IncrementalGcnEngine::refresh(const GraphTensors& tensors) {
   GCNT_KERNEL_SCOPE("gcn.incremental.refresh");
   TraceSpan span("gcn.incremental.refresh");
   span.arg("nodes", static_cast<double>(tensors.node_count()));
+  if (model_->precision() == Precision::kInt8) {
+    // The incremental contract is bit-identity with the *cached fp32*
+    // embeddings; re-propagating a dirty subset through dynamic
+    // activation quantization would not reproduce whole-graph int8 bits
+    // (the quantization range is global). The engine therefore always
+    // runs fp32 and counts the downgrade instead of silently mixing
+    // tiers (see docs/API.md "Quantized inference").
+    static Counter& fallbacks =
+        StatsRegistry::instance().counter("quant.fallback");
+    fallbacks.add();
+  }
   const float wp = model_->w_pr();
   const float ws = model_->w_su();
 
@@ -181,6 +193,13 @@ const Matrix& IncrementalGcnEngine::update(const GraphTensors& tensors,
   TraceSpan span("gcn.incremental.update");
   span.arg("nodes", static_cast<double>(n));
   span.arg("dirty", static_cast<double>(dirty.size()));
+  if (model_->precision() == Precision::kInt8) {
+    // Same fp32 downgrade as refresh() (the fallback-to-refresh branch
+    // above already counted its own pass).
+    static Counter& fallbacks =
+        StatsRegistry::instance().counter("quant.fallback");
+    fallbacks.add();
+  }
   last_was_full_ = false;
   last_dirty_rows_ = dirty.size();
 

@@ -1,7 +1,10 @@
 #include "gcn/model.h"
 
 #include <stdexcept>
+#include <string>
 
+#include "common/error.h"
+#include "common/stats.h"
 #include "common/trace.h"
 
 namespace gcnt {
@@ -30,8 +33,61 @@ GcnModel::GcnModel(const GcnConfig& config)
   fc_.emplace_back(in_dim, config_.num_classes, rng);
 }
 
+void GcnModel::set_precision(Precision precision) {
+  if (precision == Precision::kInt8) {
+    // (Re-)calibrate from the current fp32 weights. Training does not
+    // refresh the snapshots automatically — call again after a training
+    // run to re-calibrate.
+    qencoders_.clear();
+    qfc_.clear();
+    qencoders_.reserve(encoders_.size());
+    qfc_.reserve(fc_.size());
+    for (const Linear& layer : encoders_) {
+      qencoders_.push_back(quantize_linear(layer));
+    }
+    for (const Linear& layer : fc_) qfc_.push_back(quantize_linear(layer));
+  }
+  precision_ = precision;
+  static Gauge& gauge = StatsRegistry::instance().gauge("model.precision");
+  gauge.set(static_cast<std::int64_t>(precision_));
+}
+
+void GcnModel::install_quantized(std::vector<QuantizedLinear> encoders,
+                                 std::vector<QuantizedLinear> fc) {
+  if (encoders.size() != encoders_.size() || fc.size() != fc_.size()) {
+    throw Error(ErrorKind::kCorrupt,
+                "install_quantized: layer count mismatch");
+  }
+  for (std::size_t d = 0; d < encoders.size(); ++d) {
+    if (encoders[d].in != encoders_[d].in_features() ||
+        encoders[d].out != encoders_[d].out_features()) {
+      throw Error(ErrorKind::kCorrupt,
+                  "install_quantized: encoder " + std::to_string(d) +
+                      " shape mismatch");
+    }
+  }
+  for (std::size_t i = 0; i < fc.size(); ++i) {
+    if (fc[i].in != fc_[i].in_features() || fc[i].out != fc_[i].out_features()) {
+      throw Error(ErrorKind::kCorrupt, "install_quantized: fc layer " +
+                                           std::to_string(i) +
+                                           " shape mismatch");
+    }
+  }
+  qencoders_ = std::move(encoders);
+  qfc_ = std::move(fc);
+  precision_ = Precision::kInt8;
+  static Gauge& gauge = StatsRegistry::instance().gauge("model.precision");
+  gauge.set(static_cast<std::int64_t>(precision_));
+}
+
 void GcnModel::run_forward(const GraphTensors& graph, Cache* cache,
                            ForwardWorkspace& ws, Matrix& out) const {
+  if (cache == nullptr && precision_ == Precision::kInt8) {
+    // The int8 tier serves inference only; the training forward (which
+    // must cache fp32 activations for backward) always runs fp32.
+    run_forward_int8(graph, ws, out);
+    return;
+  }
   TraceSpan span(cache ? "gcn.forward" : "gcn.infer");
   span.arg("nodes", static_cast<double>(graph.node_count()));
   const float wp = w_pr();
@@ -87,6 +143,62 @@ void GcnModel::run_forward(const GraphTensors& graph, Cache* cache,
       scatter_compute_rows(graph, *alt, out);
     } else {
       fc_[i].forward(*emb, out);
+    }
+  }
+}
+
+void GcnModel::run_forward_int8(const GraphTensors& graph,
+                                ForwardWorkspace& ws, Matrix& out) const {
+  TraceSpan span("gcn.infer_int8");
+  span.arg("nodes", static_cast<double>(graph.node_count()));
+  if (qencoders_.size() != encoders_.size() || qfc_.size() != fc_.size()) {
+    throw Error(ErrorKind::kInternal,
+                "run_forward_int8: quantized snapshots not calibrated");
+  }
+  const float wp = w_pr();
+  const float wsu = w_su();
+
+  // Mirrors run_forward's ping-pong structure. Activations stay fp32 in
+  // ping/pong; the quantized code buffers are derived views feeding the
+  // int8 kernels: qact encodes the current activation for the two SpMMs,
+  // qagg encodes the aggregated matrix for the dense layer. The Eq. 1
+  // identity term reuses the exact fp32 activation (only the neighbor
+  // sums flow through codes), which keeps the quantization error per
+  // layer to one activation round-trip.
+  Matrix* emb = &ws.ping;
+  Matrix* alt = &ws.pong;
+  gather_compute_rows(graph, graph.features, *emb);
+
+  for (std::size_t d = 0; d < encoders_.size(); ++d) {
+    quantize_tensor(*emb, ws.qact);
+    spmm_q8(graph.pred, ws.qact, ws.pred_sum);
+    spmm_q8(graph.succ, ws.qact, ws.succ_sum);
+    ws.aggregated.copy_from(*emb);
+    // axpy_exact, not Matrix::axpy: the SimdOps axpy contracts to FMA
+    // only on the vector targets, which would break the int8 tier's
+    // cross-target bit-identity (quant.h file comment).
+    axpy_exact(ws.aggregated, wp, ws.pred_sum);
+    axpy_exact(ws.aggregated, wsu, ws.succ_sum);
+
+    quantize_tensor(ws.aggregated, ws.qagg);
+    quantized_linear_forward(ws.qagg, qencoders_[d], encoders_[d].bias.value,
+                             *alt, /*relu=*/true);
+    std::swap(emb, alt);
+  }
+
+  for (std::size_t i = 0; i < fc_.size(); ++i) {
+    quantize_tensor(*emb, ws.qact);
+    if (i + 1 < fc_.size()) {
+      quantized_linear_forward(ws.qact, qfc_[i], fc_[i].bias.value, *alt,
+                               /*relu=*/true);
+      std::swap(emb, alt);
+    } else if (graph.reordered()) {
+      quantized_linear_forward(ws.qact, qfc_[i], fc_[i].bias.value, *alt,
+                               /*relu=*/false);
+      scatter_compute_rows(graph, *alt, out);
+    } else {
+      quantized_linear_forward(ws.qact, qfc_[i], fc_[i].bias.value, out,
+                               /*relu=*/false);
     }
   }
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "gcn/graph_tensors.h"
+#include "gcn/quant.h"
 #include "gcn/workspace.h"
 #include "nn/layers.h"
 #include "nn/loss.h"
@@ -88,18 +89,49 @@ class GcnModel {
   const std::vector<Linear>& encoders() const noexcept { return encoders_; }
   const std::vector<Linear>& fc_layers() const noexcept { return fc_; }
 
+  /// Selects the inference precision tier (see gcn/quant.h). Selecting
+  /// kInt8 calibrates per-column symmetric int8 weight snapshots from the
+  /// current fp32 weights; call again after further training to
+  /// re-calibrate. Only the no-cache inference path switches — training
+  /// forward/backward always run fp32. kFp32 (the default) keeps every
+  /// existing output bitwise unchanged.
+  void set_precision(Precision precision);
+  Precision precision() const noexcept { return precision_; }
+
+  /// Quantized layer snapshots (empty until int8 is selected or a
+  /// quantized artifact section is loaded). Order matches encoders() /
+  /// fc_layers().
+  const std::vector<QuantizedLinear>& quantized_encoders() const noexcept {
+    return qencoders_;
+  }
+  const std::vector<QuantizedLinear>& quantized_fc() const noexcept {
+    return qfc_;
+  }
+
+  /// Installs pre-quantized layer snapshots (artifact load path) and
+  /// switches to kInt8 without re-calibrating. Throws Error{kCorrupt} on
+  /// a layer-count or shape mismatch with this model's configuration.
+  void install_quantized(std::vector<QuantizedLinear> encoders,
+                         std::vector<QuantizedLinear> fc);
+
  private:
   /// Shared forward; fills `cache` when non-null. Scratch lives in `ws`,
   /// logits land in `out` (the last FC layer writes them directly).
   struct Cache;
   void run_forward(const GraphTensors& graph, Cache* cache,
                    ForwardWorkspace& ws, Matrix& out) const;
+  /// Int8 inference forward (run_forward's quantized twin; cache-free).
+  void run_forward_int8(const GraphTensors& graph, ForwardWorkspace& ws,
+                        Matrix& out) const;
 
   GcnConfig config_;
   Param w_pr_;
   Param w_su_;
   std::vector<Linear> encoders_;  ///< 4 -> K1 -> ... -> KD
   std::vector<Linear> fc_;        ///< KD -> fc_dims... -> num_classes
+  Precision precision_ = Precision::kFp32;
+  std::vector<QuantizedLinear> qencoders_;  ///< int8 snapshots of encoders_
+  std::vector<QuantizedLinear> qfc_;        ///< int8 snapshots of fc_
 
   struct Cache {
     std::vector<Matrix> embeddings;  ///< E_0 .. E_D (post-activation)

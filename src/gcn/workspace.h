@@ -1,14 +1,17 @@
 #pragma once
 // ForwardWorkspace: the preallocated scratch buffers a whole-graph (or
 // compact dirty-row) GCN forward pass needs — the two aggregation sums,
-// the aggregated matrix, and a ping-pong pair of activation buffers.
+// the aggregated matrix, a ping-pong pair of activation buffers, and
+// (int8 tier only) a pair of quantized activation code buffers.
 //
 // Matrix::resize() and Matrix::copy_from() reuse the underlying
 // allocation whenever the new element count fits in capacity(), so after
 // one warm-up pass over a graph every subsequent forward through the
 // same workspace performs zero heap allocations (until the graph grows).
-// The trainer, GcnModel::forward/infer, and IncrementalGcnEngine all
-// keep a workspace alive across calls for exactly this reason.
+// QuantizedTensor::resize() follows the same rule for its code vector,
+// extending the contract to Precision::kInt8 inference. The trainer,
+// GcnModel::forward/infer, and IncrementalGcnEngine all keep a workspace
+// alive across calls for exactly this reason.
 //
 // poll_allocations() lets tests assert the contract: it counts
 // capacity-growth events across all buffers since the previous poll.
@@ -19,6 +22,7 @@
 
 #include <cstddef>
 
+#include "gcn/quant.h"
 #include "tensor/matrix.h"
 
 namespace gcnt {
@@ -30,18 +34,22 @@ class ForwardWorkspace {
   Matrix aggregated;  ///< G_d = E + w_pr*pred_sum + w_su*succ_sum
   Matrix ping;        ///< activation ping-pong buffer A
   Matrix pong;        ///< activation ping-pong buffer B
+  QuantizedTensor qact;  ///< int8 tier: quantized activation codes
+  QuantizedTensor qagg;  ///< int8 tier: quantized aggregated codes
 
   /// Number of buffer reallocation (capacity-growth) events across all
-  /// five buffers since the previous poll. Call once after warm-up to
+  /// seven buffers since the previous poll. Call once after warm-up to
   /// drain the initial growth; a zero return after further passes proves
   /// those passes allocated nothing.
   std::size_t poll_allocations() noexcept {
-    const Matrix* buffers[] = {&pred_sum, &succ_sum, &aggregated, &ping,
-                               &pong};
+    const std::size_t current[kBuffers] = {
+        pred_sum.capacity(), succ_sum.capacity(), aggregated.capacity(),
+        ping.capacity(),     pong.capacity(),     qact.capacity(),
+        qagg.capacity()};
     std::size_t events = 0;
-    for (std::size_t i = 0; i < 5; ++i) {
-      if (buffers[i]->capacity() > capacities_[i]) {
-        capacities_[i] = buffers[i]->capacity();
+    for (std::size_t i = 0; i < kBuffers; ++i) {
+      if (current[i] > capacities_[i]) {
+        capacities_[i] = current[i];
         ++events;
       }
     }
@@ -49,7 +57,8 @@ class ForwardWorkspace {
   }
 
  private:
-  std::size_t capacities_[5] = {0, 0, 0, 0, 0};
+  static constexpr std::size_t kBuffers = 7;
+  std::size_t capacities_[kBuffers] = {};
 };
 
 }  // namespace gcnt

@@ -53,6 +53,18 @@ class Matrix {
     data_.assign(rows * cols, fill);
   }
 
+  /// Reshapes without touching existing contents: when the new element
+  /// count fits the current size, no element is written at all (unlike
+  /// resize(), which refills everything). Callers must overwrite every
+  /// element before reading it — spmm_q8 uses this to skip the full
+  /// prefill pass and instead zero each output slice right before
+  /// accumulating into it, while it is cache-hot.
+  void resize_for_overwrite(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   /// Allocated element capacity (>= size()).
   std::size_t capacity() const noexcept { return data_.capacity(); }
   /// Grows capacity to at least `elements` without changing the shape.

@@ -1,0 +1,309 @@
+// AVX-512 microkernels (F + BW + VL). This translation unit is the only
+// one compiled with -mavx512f -mavx512bw -mavx512vl (see
+// src/tensor/CMakeLists.txt); nothing here runs unless the dispatcher
+// verified CPUID support, so the rest of the binary stays executable on
+// baseline x86-64 (and other ISAs compile the stub at the bottom).
+//
+// Masked-tail discipline: every kernel processes the remainder (< 16
+// elements) with maskz loads and mask stores executing the exact same
+// per-element operation as the vector body — no scalar tail loop at all.
+// Because a masked lane performs the identical fmadd/add/max/mul the
+// body lane would, results are independent of where a loop or tile
+// boundary falls, preserving the bitwise-across-threads/tiles guarantee.
+//
+// Cross-target behavior: this target is bitwise identical to AVX2 for
+// every fp32 kernel — the elementwise ops perform the same single
+// per-element fmadd/add/max/mul, and dot() deliberately reuses the AVX2
+// lane blocking (see its comment) — so auto-resolution upgrading a host
+// from avx2 to avx512 never changes results. Versus scalar, the same
+// FMA-contraction tolerance as AVX2 applies. The int8 ops are bitwise
+// identical to the scalar reference on every input, like all targets.
+
+#include "tensor/simd/simd.h"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__) && defined(__AVX512VL__)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace gcnt {
+namespace {
+
+/// Lane mask selecting the first `rem` (< 16) elements.
+inline __mmask16 tail_mask(std::size_t rem) {
+  return static_cast<__mmask16>((1u << rem) - 1u);
+}
+
+void avx512_axpy(float* y, const float* x, float a, std::size_t n) {
+  const __m512 va = _mm512_set1_ps(a);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m512 y0 = _mm512_loadu_ps(y + i);
+    const __m512 y1 = _mm512_loadu_ps(y + i + 16);
+    _mm512_storeu_ps(y + i, _mm512_fmadd_ps(va, _mm512_loadu_ps(x + i), y0));
+    _mm512_storeu_ps(y + i + 16,
+                     _mm512_fmadd_ps(va, _mm512_loadu_ps(x + i + 16), y1));
+  }
+  for (; i + 16 <= n; i += 16) {
+    const __m512 y0 = _mm512_loadu_ps(y + i);
+    _mm512_storeu_ps(y + i, _mm512_fmadd_ps(va, _mm512_loadu_ps(x + i), y0));
+  }
+  if (i < n) {
+    const __mmask16 m = tail_mask(n - i);
+    const __m512 y0 = _mm512_maskz_loadu_ps(m, y + i);
+    const __m512 x0 = _mm512_maskz_loadu_ps(m, x + i);
+    _mm512_mask_storeu_ps(y + i, m, _mm512_fmadd_ps(va, x0, y0));
+  }
+}
+
+float avx512_dot(const float* a, const float* b, std::size_t n) {
+  // Deliberately the AVX2 kernel, verbatim: four 8-lane accumulators,
+  // the same reduction tree, 8-wide masked tail. dot() is the one
+  // reassociating fp32 kernel, and keeping its blocking identical makes
+  // the whole fp32 avx512 target bitwise identical to avx2 (every other
+  // fp32 kernel is per-element) — so auto-resolution picking avx512 over
+  // avx2 can never change a result, only speed. The avx512 win lives in
+  // the 16-lane elementwise ops (SpMM's axpy) and the int8 kernels;
+  // 256-bit dot costs little in the GEMM variants that use it.
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  __m256 acc2 = _mm256_setzero_ps();
+  __m256 acc3 = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+    acc2 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 16),
+                           _mm256_loadu_ps(b + i + 16), acc2);
+    acc3 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 24),
+                           _mm256_loadu_ps(b + i + 24), acc3);
+  }
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+  }
+  const __m256 acc = _mm256_add_ps(_mm256_add_ps(acc0, acc1),
+                                   _mm256_add_ps(acc2, acc3));
+  const __m128 low = _mm256_castps256_ps128(acc);
+  const __m128 high = _mm256_extractf128_ps(acc, 1);
+  __m128 sum = _mm_add_ps(low, high);
+  sum = _mm_add_ps(sum, _mm_movehl_ps(sum, sum));
+  sum = _mm_add_ss(sum, _mm_movehdup_ps(sum));
+  float result = _mm_cvtss_f32(sum);
+  for (; i < n; ++i) result = std::fmaf(a[i], b[i], result);
+  return result;
+}
+
+void avx512_bias_add(float* y, const float* bias, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(y + i, _mm512_add_ps(_mm512_loadu_ps(y + i),
+                                          _mm512_loadu_ps(bias + i)));
+  }
+  if (i < n) {
+    const __mmask16 m = tail_mask(n - i);
+    _mm512_mask_storeu_ps(y + i, m,
+                          _mm512_add_ps(_mm512_maskz_loadu_ps(m, y + i),
+                                        _mm512_maskz_loadu_ps(m, bias + i)));
+  }
+}
+
+void avx512_bias_relu(float* y, const float* bias, std::size_t n) {
+  const __m512 zero = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 v =
+        _mm512_add_ps(_mm512_loadu_ps(y + i), _mm512_loadu_ps(bias + i));
+    _mm512_storeu_ps(y + i, _mm512_max_ps(v, zero));
+  }
+  if (i < n) {
+    const __mmask16 m = tail_mask(n - i);
+    const __m512 v = _mm512_add_ps(_mm512_maskz_loadu_ps(m, y + i),
+                                   _mm512_maskz_loadu_ps(m, bias + i));
+    _mm512_mask_storeu_ps(y + i, m, _mm512_max_ps(v, zero));
+  }
+}
+
+void avx512_relu(float* y, std::size_t n) {
+  const __m512 zero = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(y + i, _mm512_max_ps(_mm512_loadu_ps(y + i), zero));
+  }
+  if (i < n) {
+    const __mmask16 m = tail_mask(n - i);
+    _mm512_mask_storeu_ps(
+        y + i, m, _mm512_max_ps(_mm512_maskz_loadu_ps(m, y + i), zero));
+  }
+}
+
+void avx512_scale(float* y, float a, std::size_t n) {
+  const __m512 va = _mm512_set1_ps(a);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(y + i, _mm512_mul_ps(_mm512_loadu_ps(y + i), va));
+  }
+  if (i < n) {
+    const __mmask16 m = tail_mask(n - i);
+    _mm512_mask_storeu_ps(
+        y + i, m, _mm512_mul_ps(_mm512_maskz_loadu_ps(m, y + i), va));
+  }
+}
+
+// ---- int8 quantized tier -------------------------------------------
+
+std::int32_t avx512_dot_u8s8(const std::uint8_t* a, const std::int8_t* b,
+                             std::size_t n) {
+  const __m512i ones = _mm512_set1_epi16(1);
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m512i va =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(a + i));
+    const __m512i vb =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(b + i));
+    const __m512i pairs = _mm512_maddubs_epi16(va, vb);
+    acc = _mm512_add_epi32(acc, _mm512_madd_epi16(pairs, ones));
+  }
+  if (i < n) {
+    // Zero-filled masked byte loads: dead lanes multiply to 0.
+    const __mmask64 m = (n - i == 64) ? ~__mmask64{0}
+                                      : ((__mmask64{1} << (n - i)) - 1);
+    const __m512i va = _mm512_maskz_loadu_epi8(m, a + i);
+    const __m512i vb = _mm512_maskz_loadu_epi8(m, b + i);
+    const __m512i pairs = _mm512_maddubs_epi16(va, vb);
+    acc = _mm512_add_epi32(acc, _mm512_madd_epi16(pairs, ones));
+  }
+  return _mm512_reduce_add_epi32(acc);
+}
+
+void avx512_axpy_dq8(float* y, const std::uint8_t* codes, float a,
+                     std::int32_t zp, std::size_t n) {
+  const __m512 va = _mm512_set1_ps(a);
+  const __m512i vzp = _mm512_set1_epi32(zp);
+  std::size_t i = 0;
+  // 4x unroll: four independent 128-bit code loads per pass keep the
+  // byte->dword widening (a shuffle-port op) pipelined instead of
+  // serializing behind one load per iteration. Each lane still computes
+  // fma(a, (code - zp), y) exactly like the 16-wide and scalar loops,
+  // so results stay bitwise identical at every length.
+  for (; i + 64 <= n; i += 64) {
+    const __m128i b0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + i));
+    const __m128i b1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + i + 16));
+    const __m128i b2 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + i + 32));
+    const __m128i b3 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + i + 48));
+    const __m512 x0 = _mm512_cvtepi32_ps(
+        _mm512_sub_epi32(_mm512_cvtepu8_epi32(b0), vzp));
+    const __m512 x1 = _mm512_cvtepi32_ps(
+        _mm512_sub_epi32(_mm512_cvtepu8_epi32(b1), vzp));
+    const __m512 x2 = _mm512_cvtepi32_ps(
+        _mm512_sub_epi32(_mm512_cvtepu8_epi32(b2), vzp));
+    const __m512 x3 = _mm512_cvtepi32_ps(
+        _mm512_sub_epi32(_mm512_cvtepu8_epi32(b3), vzp));
+    _mm512_storeu_ps(y + i, _mm512_fmadd_ps(va, x0, _mm512_loadu_ps(y + i)));
+    _mm512_storeu_ps(y + i + 16,
+                     _mm512_fmadd_ps(va, x1, _mm512_loadu_ps(y + i + 16)));
+    _mm512_storeu_ps(y + i + 32,
+                     _mm512_fmadd_ps(va, x2, _mm512_loadu_ps(y + i + 32)));
+    _mm512_storeu_ps(y + i + 48,
+                     _mm512_fmadd_ps(va, x3, _mm512_loadu_ps(y + i + 48)));
+  }
+  for (; i + 16 <= n; i += 16) {
+    const __m128i bytes =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + i));
+    const __m512 x = _mm512_cvtepi32_ps(
+        _mm512_sub_epi32(_mm512_cvtepu8_epi32(bytes), vzp));
+    _mm512_storeu_ps(y + i, _mm512_fmadd_ps(va, x, _mm512_loadu_ps(y + i)));
+  }
+  if (i < n) {
+    const __mmask16 m = tail_mask(n - i);
+    const __m128i bytes = _mm_maskz_loadu_epi8(m, codes + i);
+    const __m512 x = _mm512_cvtepi32_ps(
+        _mm512_sub_epi32(_mm512_cvtepu8_epi32(bytes), vzp));
+    const __m512 y0 = _mm512_maskz_loadu_ps(m, y + i);
+    _mm512_mask_storeu_ps(y + i, m, _mm512_fmadd_ps(va, x, y0));
+  }
+}
+
+void avx512_quantize_u8(std::uint8_t* codes, const float* x, float inv_scale,
+                        std::int32_t zp, std::size_t n) {
+  const __m512 vs = _mm512_set1_ps(inv_scale);
+  const __m512 lo = _mm512_set1_ps(-256.0f);
+  const __m512 hi = _mm512_set1_ps(256.0f);
+  const __m512i vzp = _mm512_set1_epi32(zp);
+  const __m512i zero = _mm512_setzero_si512();
+  const __m512i v127 = _mm512_set1_epi32(127);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m512 v = _mm512_mul_ps(_mm512_loadu_ps(x + i), vs);
+    v = _mm512_max_ps(v, lo);
+    v = _mm512_min_ps(v, hi);
+    __m512i q = _mm512_add_epi32(_mm512_cvtps_epi32(v), vzp);
+    q = _mm512_min_epi32(_mm512_max_epi32(q, zero), v127);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(codes + i),
+                     _mm512_cvtepi32_epi8(q));
+  }
+  if (i < n) {
+    const __mmask16 m = tail_mask(n - i);
+    __m512 v = _mm512_mul_ps(_mm512_maskz_loadu_ps(m, x + i), vs);
+    v = _mm512_max_ps(v, lo);
+    v = _mm512_min_ps(v, hi);
+    __m512i q = _mm512_add_epi32(_mm512_cvtps_epi32(v), vzp);
+    q = _mm512_min_epi32(_mm512_max_epi32(q, zero), v127);
+    _mm_mask_storeu_epi8(codes + i, m, _mm512_cvtepi32_epi8(q));
+  }
+}
+
+void avx512_dequantize_u8(float* y, const std::uint8_t* codes, float scale,
+                          std::int32_t zp, std::size_t n) {
+  const __m512 vs = _mm512_set1_ps(scale);
+  const __m512i vzp = _mm512_set1_epi32(zp);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i bytes =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + i));
+    const __m512 x = _mm512_cvtepi32_ps(
+        _mm512_sub_epi32(_mm512_cvtepu8_epi32(bytes), vzp));
+    _mm512_storeu_ps(y + i, _mm512_mul_ps(x, vs));
+  }
+  if (i < n) {
+    const __mmask16 m = tail_mask(n - i);
+    const __m128i bytes = _mm_maskz_loadu_epi8(m, codes + i);
+    const __m512 x = _mm512_cvtepi32_ps(
+        _mm512_sub_epi32(_mm512_cvtepu8_epi32(bytes), vzp));
+    _mm512_mask_storeu_ps(y + i, m, _mm512_mul_ps(x, vs));
+  }
+}
+
+}  // namespace
+
+namespace simd_detail {
+
+const SimdOps kAvx512Ops = {
+    "avx512",           avx512_axpy,     avx512_dot,
+    avx512_bias_add,    avx512_bias_relu, avx512_relu,
+    avx512_scale,       avx512_dot_u8s8, avx512_axpy_dq8,
+    avx512_quantize_u8, avx512_dequantize_u8,
+};
+
+}  // namespace simd_detail
+}  // namespace gcnt
+
+#else  // !(__AVX512F__ && __AVX512BW__ && __AVX512VL__)
+
+namespace gcnt::simd_detail {
+
+const SimdOps kAvx512Ops = {nullptr, nullptr, nullptr, nullptr,
+                            nullptr, nullptr, nullptr, nullptr,
+                            nullptr, nullptr, nullptr};
+
+}  // namespace gcnt::simd_detail
+
+#endif

@@ -19,17 +19,44 @@ bool cpu_has_avx2_fma() {
 #endif
 }
 
+bool cpu_has_avx512() {
+#if defined(__x86_64__) || defined(_M_X64)
+  // F for the fp32 kernels, BW for the byte-granular int8 ops and masked
+  // byte loads/stores, VL for their 128/256-bit forms.
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512bw") &&
+         __builtin_cpu_supports("avx512vl");
+#else
+  return false;
+#endif
+}
+
 bool avx2_compiled_in() { return simd_detail::kAvx2Ops.name != nullptr; }
+bool avx512_compiled_in() { return simd_detail::kAvx512Ops.name != nullptr; }
 
 const SimdOps* table_for(SimdTarget target) {
-  return target == SimdTarget::kAvx2 ? &simd_detail::kAvx2Ops
-                                     : &simd_detail::kScalarOps;
+  switch (target) {
+    case SimdTarget::kAvx512:
+      return &simd_detail::kAvx512Ops;
+    case SimdTarget::kAvx2:
+      return &simd_detail::kAvx2Ops;
+    case SimdTarget::kScalar:
+      break;
+  }
+  return &simd_detail::kScalarOps;
 }
 
 /// Publishes the active target so traces/stats/benches can record which
 /// path produced their numbers.
 void publish_target(SimdTarget target) {
   StatsRegistry::instance().gauge("simd.target").set(static_cast<int>(target));
+}
+
+/// Best target the host supports: avx512 > avx2 > scalar.
+SimdTarget best_target() {
+  if (simd_target_available(SimdTarget::kAvx512)) return SimdTarget::kAvx512;
+  if (simd_target_available(SimdTarget::kAvx2)) return SimdTarget::kAvx2;
+  return SimdTarget::kScalar;
 }
 
 SimdTarget detect_target() {
@@ -42,11 +69,23 @@ SimdTarget detect_target() {
                "falling back to scalar");
       return SimdTarget::kScalar;
     }
+    if (std::strcmp(env, "avx512") == 0) {
+      if (simd_target_available(SimdTarget::kAvx512)) {
+        return SimdTarget::kAvx512;
+      }
+      // Graceful skip, not a failure: CI runs a GCNT_SIMD=avx512 leg on
+      // runners that may not have AVX-512 — those hosts run the best
+      // target they do have.
+      log_warn("GCNT_SIMD=avx512 requested but this host cannot run "
+               "AVX-512F/BW/VL; falling back to ",
+               simd_target_available(SimdTarget::kAvx2) ? "avx2" : "scalar");
+      return simd_target_available(SimdTarget::kAvx2) ? SimdTarget::kAvx2
+                                                      : SimdTarget::kScalar;
+    }
     log_warn("unknown GCNT_SIMD value '", env,
-             "' (want auto|avx2|scalar); using auto");
+             "' (want auto|avx512|avx2|scalar); using auto");
   }
-  return simd_target_available(SimdTarget::kAvx2) ? SimdTarget::kAvx2
-                                                  : SimdTarget::kScalar;
+  return best_target();
 }
 
 /// The resolved table. Written only by resolution/override, read on every
@@ -68,8 +107,10 @@ const SimdOps& resolve() {
 const SimdOps& simd_ops() { return resolve(); }
 
 SimdTarget simd_target() {
-  return &resolve() == &simd_detail::kAvx2Ops ? SimdTarget::kAvx2
-                                              : SimdTarget::kScalar;
+  const SimdOps* ops = &resolve();
+  if (ops == &simd_detail::kAvx512Ops) return SimdTarget::kAvx512;
+  if (ops == &simd_detail::kAvx2Ops) return SimdTarget::kAvx2;
+  return SimdTarget::kScalar;
 }
 
 const char* simd_target_name() { return resolve().name; }
@@ -80,6 +121,8 @@ bool simd_target_available(SimdTarget target) {
       return true;
     case SimdTarget::kAvx2:
       return avx2_compiled_in() && cpu_has_avx2_fma();
+    case SimdTarget::kAvx512:
+      return avx512_compiled_in() && cpu_has_avx512();
   }
   return false;
 }

@@ -3,23 +3,31 @@
 //
 // Every inner loop the compute kernels spend their time in (GEMM row
 // update, SpMM row accumulation, dot products, the bias/ReLU epilogues,
-// and the vec_ops.h row helpers) funnels through one table of function
-// pointers — SimdOps — resolved once per process by runtime CPU
-// detection. Two implementations are built into every binary:
+// the vec_ops.h row helpers, and the int8 quantized tier) funnels
+// through one table of function pointers — SimdOps — resolved once per
+// process by runtime CPU detection. Three implementations are built into
+// every binary:
 //
 //   * scalar — portable fixed-width-blocked loops, no ISA requirements.
-//     The per-element accumulation order is exactly the historical
-//     scalar kernels', so results on this target reproduce pre-SIMD
-//     builds bit-for-bit.
+//     The per-element accumulation order of the fp32 ops is exactly the
+//     historical scalar kernels', so results on this target reproduce
+//     pre-SIMD builds bit-for-bit.
 //   * avx2   — AVX2 + FMA intrinsics (x86-64 only), compiled in a
 //     separate translation unit with -mavx2 -mfma and only ever invoked
 //     after a CPUID check, so the binary stays runnable on older CPUs.
+//   * avx512 — AVX-512 F/BW/VL intrinsics (x86-64 only), again a
+//     separate TU behind CPUID. 16-lane kernels with masked-tail
+//     handling: remainder elements are processed by masked loads/stores
+//     with the same per-element operation as the vector body, so tails
+//     never change results.
 //
 // Target resolution, highest priority first:
-//   1. set_simd_target(t)  — programmatic override (tests, benches)
-//   2. GCNT_SIMD=auto|avx2|scalar — environment, read once per process
-//      (an unavailable request logs a warning and falls back to scalar)
-//   3. best target the CPU supports
+//   1. set_simd_target(t)  — programmatic override (tests, benches,
+//      the gcnt --simd flag)
+//   2. GCNT_SIMD=auto|avx512|avx2|scalar — environment, read once per
+//      process (an unavailable request logs a warning and falls back to
+//      the best available target)
+//   3. best target the CPU supports (avx512 > avx2 > scalar)
 //
 // Determinism contract (see docs/API.md "SIMD backend"):
 //   * For a FIXED target, every kernel built on these ops is bitwise
@@ -27,34 +35,43 @@
 //     vector lanes map one-to-one onto output elements for the
 //     elementwise ops (axpy, bias/ReLU epilogues, scale), so no
 //     floating-point reassociation happens there at all.
-//   * ACROSS targets results differ within a small tolerance: the AVX2
-//     ops contract multiply-add pairs to FMA (one rounding instead of
-//     two) and dot() accumulates in lane-blocked partial sums.
+//   * ACROSS targets the fp32 results differ within a small tolerance:
+//     the AVX2/AVX-512 ops contract multiply-add pairs to FMA (one
+//     rounding instead of two) and dot() accumulates in lane-blocked
+//     partial sums.
+//   * The int8 ops (dot_u8s8, axpy_dq8, quantize_u8, dequantize_u8) are
+//     bitwise identical ACROSS targets as well: integer accumulation is
+//     exact on every path, the dequantizing float steps are per-element
+//     with a fixed operation sequence (fmaf / single multiply), and
+//     quantization rounds to nearest-even on every target.
 //
 // The active target is published to the stats registry as the
-// "simd.target" gauge (0 = scalar, 1 = avx2) and recorded by the bench
-// JSON writer as "schema.simd" so perf results always carry the path
-// that produced them.
+// "simd.target" gauge (0 = scalar, 1 = avx2, 2 = avx512) and recorded by
+// the bench JSON writer as "schema.simd" so perf results always carry
+// the path that produced them.
 
 #include <cstddef>
+#include <cstdint>
 
 namespace gcnt {
 
 enum class SimdTarget : int {
   kScalar = 0,
   kAvx2 = 1,
+  kAvx512 = 2,
 };
 
 /// The microkernel table. All pointers are always non-null.
 struct SimdOps {
-  /// Human-readable target name ("scalar", "avx2").
+  /// Human-readable target name ("scalar", "avx2", "avx512").
   const char* name;
 
   /// y[i] += a * x[i] for i in [0, n).
   void (*axpy)(float* y, const float* x, float a, std::size_t n);
 
   /// sum of a[i] * b[i] over [0, n), fp32 accumulation. The scalar
-  /// target sums in ascending-i order; AVX2 sums lane-blocked partials.
+  /// target sums in ascending-i order; AVX2/AVX-512 sum lane-blocked
+  /// partials.
   float (*dot)(const float* a, const float* b, std::size_t n);
 
   /// y[i] += bias[i] (row-broadcast bias epilogue).
@@ -68,6 +85,40 @@ struct SimdOps {
 
   /// y[i] *= a.
   void (*scale)(float* y, float a, std::size_t n);
+
+  // ---- int8 quantized tier (gcn/quant.h) ----------------------------
+  // Activation codes are 7-bit unsigned (0..127) with an explicit zero
+  // point; weights are signed 8-bit (-127..127). The 7-bit activation
+  // range is a hard precondition of dot_u8s8: it bounds every
+  // maddubs-style pair sum to |2 * 127 * 127| < 2^15, so the widening
+  // 16-bit step can never saturate and integer accumulation stays exact
+  // (and therefore bitwise identical) on every target.
+
+  /// Exact int32 dot product: sum of a[i] * b[i] with a unsigned 7-bit
+  /// and b signed 8-bit codes. Integer accumulation — associative, so
+  /// bitwise identical across targets, threads, and blocking.
+  std::int32_t (*dot_u8s8)(const std::uint8_t* a, const std::int8_t* b,
+                           std::size_t n);
+
+  /// Dequantizing axpy for int8 SpMM with fp32 accumulation:
+  /// y[i] = fmaf(a, float(int(codes[i]) - zp), y[i]). The integer
+  /// subtract and int->float conversion are exact and the single fused
+  /// multiply-add is used on every target (scalar uses std::fmaf), so
+  /// results are bitwise identical across targets.
+  void (*axpy_dq8)(float* y, const std::uint8_t* codes, float a,
+                   std::int32_t zp, std::size_t n);
+
+  /// codes[i] = clamp(rint(x[i] * inv_scale) + zp, 0, 127), rounding to
+  /// nearest-even (cvtps semantics on every target). Inputs are clamped
+  /// to [-256, 256] before conversion so overflow/NaN cannot produce
+  /// target-dependent codes (NaN quantizes to code 0).
+  void (*quantize_u8)(std::uint8_t* codes, const float* x, float inv_scale,
+                      std::int32_t zp, std::size_t n);
+
+  /// y[i] = float(int(codes[i]) - zp) * scale — one multiply per
+  /// element, bitwise identical across targets.
+  void (*dequantize_u8)(float* y, const std::uint8_t* codes, float scale,
+                        std::int32_t zp, std::size_t n);
 };
 
 /// The resolved microkernel table (override > GCNT_SIMD > CPU detect).
@@ -77,7 +128,7 @@ const SimdOps& simd_ops();
 /// The resolved dispatch target.
 SimdTarget simd_target();
 
-/// Name of the resolved dispatch target ("scalar" / "avx2").
+/// Name of the resolved dispatch target ("scalar" / "avx2" / "avx512").
 const char* simd_target_name();
 
 /// True when this host can execute `target`.
@@ -92,9 +143,11 @@ bool set_simd_target(SimdTarget target);
 void reset_simd_target();
 
 namespace simd_detail {
-/// The two built-in tables (kernels_scalar.cpp / kernels_avx2.cpp).
+/// The built-in tables (kernels_scalar.cpp / kernels_avx2.cpp /
+/// kernels_avx512.cpp).
 extern const SimdOps kScalarOps;
-extern const SimdOps kAvx2Ops;  ///< name == nullptr when compiled out
+extern const SimdOps kAvx2Ops;    ///< name == nullptr when compiled out
+extern const SimdOps kAvx512Ops;  ///< name == nullptr when compiled out
 }  // namespace simd_detail
 
 }  // namespace gcnt

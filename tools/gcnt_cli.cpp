@@ -7,6 +7,7 @@
 //   gcnt atpg     design.bench [--sample N] [--patterns out.txt]
 //   gcnt train    design.bench --model model.txt [--epochs E]
 //                 [--checkpoint [file]] [--checkpoint-interval K] [--resume]
+//   gcnt infer    design.bench --model model.txt [--out pred.txt]
 //   gcnt opi      design.bench --model model.txt --out modified.bench
 //                 [--journal [file]] [--resume]
 //   gcnt flow     [design.bench] [--gates N] [--epochs E] [--atpg]
@@ -33,6 +34,12 @@
 // Chrome trace-event file, --stats prints the stats registry to stderr,
 // --stats-json out.json writes it as JSON. GCNT_TRACE / GCNT_STATS do the
 // same via the environment.
+//
+// Performance knobs (infer/opi/flow/serve): --simd auto|scalar|avx2|avx512
+// pins the microkernel backend and --precision fp32|int8 selects the
+// inference tier. Each flag outranks its environment variable (GCNT_SIMD
+// / GCNT_PRECISION); see docs/API.md ("SIMD backend" and "Quantized
+// inference") for the full precedence and fallback rules.
 //
 // Netlist files ending in .v are read/written as structural Verilog,
 // anything else as ISCAS .bench.
@@ -62,15 +69,21 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "common/trace.h"
+#include "common/log.h"
 #include "data/dataset.h"
 #include "dft/gcn_opi.h"
+#include "gcn/graph_tensors.h"
+#include "gcn/quant.h"
 #include "gcn/serialize.h"
 #include "gcn/trainer.h"
+#include "gcn/workspace.h"
 #include "gen/generator.h"
+#include "nn/loss.h"
 #include "netlist/bench_io.h"
 #include "netlist/verilog_io.h"
 #include "serve/client.h"
 #include "serve/server.h"
+#include "tensor/simd/simd.h"
 
 namespace {
 
@@ -95,6 +108,43 @@ struct Args {
   }
   bool has(const std::string& key) const { return options.count(key) > 0; }
 };
+
+// --simd <auto|scalar|avx2|avx512> mirrors GCNT_SIMD one notch higher in
+// precedence (flag > env > CPU detect; docs/API.md "SIMD backend"). An
+// unavailable target warns and keeps the best the host supports — the
+// same graceful fallback as the environment variable, so scripted CI
+// legs can request avx512 on any runner without failing.
+void apply_simd_flag(const Args& args) {
+  if (!args.has("simd")) return;
+  const std::string value = args.get("simd", "auto");
+  if (value == "auto") {
+    reset_simd_target();
+    return;
+  }
+  SimdTarget target = SimdTarget::kScalar;
+  if (value == "avx2") {
+    target = SimdTarget::kAvx2;
+  } else if (value == "avx512") {
+    target = SimdTarget::kAvx512;
+  } else if (value != "scalar") {
+    throw Error(ErrorKind::kUsage,
+                "--simd must be auto, scalar, avx2, or avx512 (got " +
+                    value + ")");
+  }
+  if (!set_simd_target(target)) {
+    log_warn("--simd ", value, " unavailable on this host; using ",
+             simd_target_name());
+  }
+}
+
+// --precision <fp32|int8>, falling back to GCNT_PRECISION then fp32.
+// Unknown values warn and resolve to fp32 (resolve_precision), matching
+// the env-var behavior exactly.
+Precision cli_precision(const Args& args) {
+  return args.has("precision")
+             ? resolve_precision(args.get("precision", "fp32").c_str())
+             : resolve_precision();
+}
 
 bool is_verilog_path(const std::string& path) {
   return path.size() >= 2 && path.substr(path.size() - 2) == ".v";
@@ -274,9 +324,62 @@ int cmd_train(const Args& args) {
   return 0;
 }
 
+// Single-shot whole-graph inference: netlist -> tensors -> logits.
+// Prints a summary; --out writes one "name p(positive) predicted" line
+// per node. --precision int8 runs the quantized tier (docs/API.md
+// "Quantized inference").
+int cmd_infer(const Args& args) {
+  apply_simd_flag(args);
+  const std::string path = args.positional.empty()
+                               ? args.get("netlist", "")
+                               : args.positional.at(0);
+  if (path.empty()) {
+    throw Error(ErrorKind::kUsage, "infer needs a netlist argument");
+  }
+  const Netlist netlist = read_netlist_file(path);
+  GcnModel model = load_model_file(args.get("model", "model.txt"));
+  if (cli_precision(args) == Precision::kInt8 &&
+      model.precision() != Precision::kInt8) {
+    model.set_precision(Precision::kInt8);
+  }
+  GraphTensors tensors = build_graph_tensors(netlist);
+  tensors.standardize_features();
+  ForwardWorkspace ws;
+  Matrix logits;
+  model.infer(tensors, ws, logits);
+  const Matrix probabilities = softmax(logits);
+  std::size_t positives = 0;
+  for (std::size_t v = 0; v < probabilities.rows(); ++v) {
+    if (probabilities.at(v, 1) >= 0.5f) ++positives;
+  }
+  if (args.has("out")) {
+    const std::string out = args.get("out", "predictions.txt");
+    atomic_write_file(out, [&](std::ostream& os) {
+      os << "# node p(positive) predicted\n";
+      for (NodeId v = 0; v < netlist.size(); ++v) {
+        const float p = probabilities.at(v, 1);
+        os << netlist.node_name(v) << " " << p << " "
+           << (p >= 0.5f ? 1 : 0) << "\n";
+      }
+    });
+    std::cout << "wrote per-node predictions to " << out << "\n";
+  }
+  std::cout << positives << " predicted difficult-to-observe nodes of "
+            << netlist.size() << " (" << precision_name(model.precision())
+            << ", simd " << simd_target_name() << ")\n";
+  return 0;
+}
+
 int cmd_opi(const Args& args) {
   Netlist netlist = read_netlist_file(args.positional.at(0));
   GcnModel model = load_model_file(args.get("model", "model.txt"));
+  // int8 requests quantize the model here; the incremental/sharded
+  // engines inside run_gcn_opi keep their fp32 bit-identity contract and
+  // tick quant.fallback instead (docs/API.md "Quantized inference").
+  if (cli_precision(args) == Precision::kInt8 &&
+      model.precision() != Precision::kInt8) {
+    model.set_precision(Precision::kInt8);
+  }
   GcnOpiOptions options;
   options.max_iterations = args.get_size("iterations", 12);
   // Journaling is opt-in (--journal [file] or --resume); the default path
@@ -309,6 +412,7 @@ int cmd_opi(const Args& args) {
 // Primarily an observability driver: with --trace one run produces spans
 // for every hot path in the library.
 int cmd_flow(const Args& args) {
+  apply_simd_flag(args);
   Netlist netlist;
   std::string design;
   if (!args.positional.empty()) {
@@ -356,6 +460,13 @@ int cmd_flow(const Args& args) {
   std::cout << "trained " << history.size() << " epochs, final loss "
             << Table::num(history.back().loss, 4) << "\n";
 
+  // Quantize after training (calibration reads the trained weights); the
+  // OPI engines below fall back to fp32 with a quant.fallback tick, so
+  // this mainly exercises the flag plumbing end to end under --trace.
+  if (cli_precision(args) == Precision::kInt8) {
+    model.set_precision(Precision::kInt8);
+  }
+
   GcnOpiOptions opi_options;
   opi_options.max_iterations = args.get_size("iterations", 2);
   if (resume || args.has("checkpoint")) {
@@ -397,8 +508,10 @@ void handle_stop_signal(int) {
 }
 
 int cmd_serve(const Args& args) {
+  apply_simd_flag(args);
   serve::ServeOptions options;
   options.model_path = args.get("model", "");
+  options.precision = cli_precision(args);
   options.unix_socket = args.get("socket", "");
   if (args.has("port")) {
     options.tcp_port = static_cast<int>(args.get_size("port", 0));
@@ -630,6 +743,7 @@ int usage() {
             << "  train    <netlist> --model model.txt [--epochs E]\n"
             << "           [--checkpoint [file]] [--checkpoint-interval K] "
                "[--resume]\n"
+            << "  infer    <netlist> --model model.txt [--out pred.txt]\n"
             << "  opi      <netlist> --model model.txt --out out.bench\n"
             << "           [--journal [file]] [--resume]\n"
             << "           [--shards K] [--halo D] [--spill-dir dir]\n"
@@ -653,6 +767,10 @@ int usage() {
                "[--count N] [--plain]\n"
             << "global flags: --trace out.json | --stats | --stats-json "
                "out.json\n"
+            << "infer/opi/flow/serve: --precision fp32|int8; "
+               "infer/flow/serve: --simd auto|scalar|avx2|avx512\n"
+            << "  (each flag outranks its env var GCNT_PRECISION / "
+               "GCNT_SIMD)\n"
             << "netlists ending in .v are treated as structural Verilog\n"
             << "exit codes: 64 usage, 65 corrupt/version, 70 internal, "
                "71 resource, 74 i/o, 75 deadline\n";
@@ -666,6 +784,7 @@ int dispatch(const Args& args) {
   if (args.command == "label") return cmd_label(args);
   if (args.command == "atpg") return cmd_atpg(args);
   if (args.command == "train") return cmd_train(args);
+  if (args.command == "infer") return cmd_infer(args);
   if (args.command == "opi") return cmd_opi(args);
   if (args.command == "flow") return cmd_flow(args);
   if (args.command == "serve") return cmd_serve(args);
